@@ -1,0 +1,189 @@
+//! The "always predict" baseline: only large facilities.
+//!
+//! The §2 discussion shows prediction is *necessary*; this baseline is the
+//! opposite extreme of the per-commodity decomposition — it treats every
+//! request as demanding all of `S` and runs a single-commodity engine on the
+//! collapsed instance priced at `f^S_m`. It is good when demands are broad
+//! (bundles near `S`) and pays a `Θ(f^S / f^{e})` overhead when demands are
+//! narrow, which the `decomp-cross` experiment makes visible.
+
+use crate::fotakis::FotakisOfl;
+use crate::meyerson::MeyersonOfl;
+use crate::project::collapsed_instance;
+use omfl_commodity::cost::CostModel;
+use omfl_commodity::CommoditySet;
+use omfl_core::algorithm::{OnlineAlgorithm, ServeOutcome};
+use omfl_core::heavy::SharedMetric;
+use omfl_core::instance::Instance;
+use omfl_core::request::Request;
+use omfl_core::solution::{FacilityId, Solution};
+use omfl_core::CoreError;
+use omfl_metric::Metric;
+use std::sync::Arc;
+
+/// The original instance plus its collapsed projection.
+pub struct AllLargeParts {
+    /// The undecomposed instance.
+    pub original: Instance,
+    /// Single-commodity instance priced at `f^S_m`.
+    pub collapsed: Instance,
+}
+
+impl AllLargeParts {
+    /// Builds both views over a shared metric.
+    pub fn build(metric: Arc<dyn Metric>, cost: CostModel) -> Result<Self, CoreError> {
+        let original = Instance::with_cost_fn(
+            Box::new(SharedMetric(Arc::clone(&metric))),
+            Box::new(cost.clone()),
+        )?;
+        let collapsed = collapsed_instance(metric, cost)?;
+        Ok(Self {
+            original,
+            collapsed,
+        })
+    }
+}
+
+/// The always-predict baseline, generic over the engine run on the
+/// collapsed instance.
+pub struct AllLarge<'a, E> {
+    parts: &'a AllLargeParts,
+    engine: E,
+    fmap: Vec<FacilityId>,
+    sol: Solution,
+    label: &'static str,
+}
+
+impl<'a> AllLarge<'a, FotakisOfl<'a>> {
+    /// Deterministic variant (Fotakis engine).
+    pub fn new_fotakis(parts: &'a AllLargeParts) -> Result<Self, CoreError> {
+        Ok(Self {
+            parts,
+            engine: FotakisOfl::new(&parts.collapsed)?,
+            fmap: Vec::new(),
+            sol: Solution::new(),
+            label: "all-large-fotakis",
+        })
+    }
+}
+
+impl<'a> AllLarge<'a, MeyersonOfl<'a>> {
+    /// Randomized variant (Meyerson engine).
+    pub fn new_meyerson(parts: &'a AllLargeParts, seed: u64) -> Result<Self, CoreError> {
+        Ok(Self {
+            parts,
+            engine: MeyersonOfl::new(&parts.collapsed, seed)?,
+            fmap: Vec::new(),
+            sol: Solution::new(),
+            label: "all-large-meyerson",
+        })
+    }
+}
+
+impl<'a, E: OnlineAlgorithm> OnlineAlgorithm for AllLarge<'a, E> {
+    fn serve(&mut self, request: &Request) -> Result<ServeOutcome, CoreError> {
+        let orig = &self.parts.original;
+        request.validate(orig)?;
+        let start_con = self.sol.construction_cost();
+        let sub_req = Request::new(
+            request.location(),
+            CommoditySet::full(self.parts.collapsed.universe()),
+        );
+        let out = self.engine.serve(&sub_req)?;
+        for fid in out.opened {
+            let f = &self.engine.solution().facilities()[fid.index()];
+            let own =
+                self.sol
+                    .open_facility(orig, f.location, CommoditySet::full(orig.universe()));
+            debug_assert_eq!(fid.index(), self.fmap.len());
+            self.fmap.push(own);
+        }
+        let assigned: Vec<FacilityId> = out
+            .assigned_to
+            .iter()
+            .map(|fid| self.fmap[fid.index()])
+            .collect();
+        let before_assign = self.sol.num_requests();
+        let opened: Vec<FacilityId> = self
+            .sol
+            .facilities()
+            .iter()
+            .filter(|f| f.opened_at == before_assign)
+            .map(|f| f.id)
+            .collect();
+        let assignment = self.sol.assign(orig, request.clone(), &assigned);
+        Ok(ServeOutcome {
+            opened,
+            assigned_to: assignment.facilities.clone(),
+            connection_cost: assignment.connection_cost,
+            construction_cost: self.sol.construction_cost() - start_con,
+            served_by_large: true,
+        })
+    }
+
+    fn solution(&self) -> &Solution {
+        &self.sol
+    }
+
+    fn name(&self) -> &'static str {
+        self.label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omfl_core::algorithm::run_online_verified;
+    use omfl_metric::line::LineMetric;
+    use omfl_metric::PointId;
+
+    fn parts(s: u16) -> AllLargeParts {
+        let metric: Arc<dyn Metric> = Arc::new(LineMetric::single_point());
+        AllLargeParts::build(metric, CostModel::ceil_sqrt(s)).unwrap()
+    }
+
+    fn req(inst: &Instance, ids: &[u16]) -> Request {
+        Request::new(
+            PointId(0),
+            CommoditySet::from_ids(inst.universe(), ids).unwrap(),
+        )
+    }
+
+    #[test]
+    fn opens_one_large_facility_and_serves_everything() {
+        let parts = parts(16);
+        let inst = &parts.original;
+        let mut alg = AllLarge::new_fotakis(&parts).unwrap();
+        for e in 0..16u16 {
+            alg.serve(&req(inst, &[e])).unwrap();
+        }
+        alg.solution().verify(inst).unwrap();
+        assert_eq!(alg.solution().num_large_facilities(), 1);
+        assert_eq!(alg.solution().num_small_facilities(), 0);
+        // One large facility at f^S = 4, zero distance.
+        assert!((alg.solution().total_cost() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overpays_on_narrow_demands() {
+        // A single singleton request: AllLarge pays f^S = 4 where a small
+        // facility costs 1 — the always-predict overhead.
+        let parts = parts(16);
+        let inst = &parts.original;
+        let mut alg = AllLarge::new_fotakis(&parts).unwrap();
+        alg.serve(&req(inst, &[3])).unwrap();
+        assert!((alg.solution().total_cost() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn meyerson_variant_feasible_and_reproducible() {
+        let parts = parts(9);
+        let inst = &parts.original;
+        let reqs: Vec<Request> = (0..15u32).map(|i| req(inst, &[(i % 9) as u16])).collect();
+        let mut a = AllLarge::new_meyerson(&parts, 2).unwrap();
+        let ca = run_online_verified(&mut a, inst, &reqs).unwrap();
+        let mut b = AllLarge::new_meyerson(&parts, 2).unwrap();
+        let cb = run_online_verified(&mut b, inst, &reqs).unwrap();
+        assert_eq!(ca, cb);
+    }
+}

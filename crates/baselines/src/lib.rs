@@ -1,0 +1,26 @@
+//! Baselines and reference solvers for OMFLP.
+//!
+//! The paper's yardsticks (§1.3, related work) that every experiment
+//! compares against:
+//!
+//! * [`meyerson::MeyersonOfl`] — Meyerson's randomized single-commodity
+//!   online facility location \[13\], the basis of RAND-OMFLP;
+//! * [`fotakis::FotakisOfl`] — a deterministic primal–dual single-commodity
+//!   algorithm in the style of Fotakis \[5\], the basis of PD-OMFLP;
+//! * [`per_commodity::PerCommodity`] — the trivial
+//!   `O(|S| · log n / log log n)` decomposition: one independent
+//!   single-commodity instance per commodity (§1.3). This algorithm *never
+//!   predicts*, so the Theorem 2 adversary forces `Ω(|S|)` facilities on it;
+//! * [`all_large::AllLarge`] — the opposite extreme: *always* predict, only
+//!   large facilities;
+//! * [`offline`] — offline reference solvers bracketing OPT: exact
+//!   branch-and-bound for tiny instances, greedy + local search upper
+//!   bounds, and two lower bounds (PD's scaled duals and a per-request
+//!   serve-alone bound).
+
+pub mod all_large;
+pub mod fotakis;
+pub mod meyerson;
+pub mod offline;
+pub mod per_commodity;
+pub mod project;

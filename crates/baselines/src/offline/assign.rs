@@ -1,0 +1,206 @@
+//! Optimal assignment of one request to a fixed set of open facilities.
+//!
+//! Given open facilities, the best way to serve a request is a minimum-cost
+//! cover of its demand where facility `(m, σ)` covers `sr ∩ σ` at price
+//! `d(r, m)` (paid once). That is weighted set cover — NP-hard in general
+//! but exactly solvable here by subset DP because demands are small
+//! (`|sr| ≤ 20` enforced).
+
+use omfl_commodity::CommoditySet;
+use omfl_core::instance::Instance;
+use omfl_core::request::Request;
+use omfl_metric::PointId;
+
+/// A facility as the offline solvers see it: location + configuration.
+#[derive(Debug, Clone)]
+pub struct OpenFacility {
+    /// Location `m`.
+    pub location: PointId,
+    /// Configuration `σ`.
+    pub config: CommoditySet,
+}
+
+/// Minimum-cost cover of `request.demand()` by `facilities`.
+///
+/// Returns `(indices into facilities, connection cost)`, or `None` when the
+/// demand cannot be covered. Each facility is used at most once (using it
+/// twice would pay its distance twice for no extra coverage).
+pub fn assign_optimal(
+    inst: &Instance,
+    facilities: &[OpenFacility],
+    request: &Request,
+) -> Option<(Vec<usize>, f64)> {
+    let members: Vec<_> = request.demand().iter().collect();
+    let k = members.len();
+    assert!(k <= 20, "assign_optimal supports |sr| <= 20, got {k}");
+    let full: u32 = if k == 32 { u32::MAX } else { (1u32 << k) - 1 };
+
+    // Per-facility: (cover mask over demand members, distance).
+    let mut covers: Vec<(u32, f64)> = Vec::with_capacity(facilities.len());
+    for f in facilities {
+        let mut mask = 0u32;
+        for (b, &e) in members.iter().enumerate() {
+            if f.config.contains(e) {
+                mask |= 1 << b;
+            }
+        }
+        let d = inst.distance(request.location(), f.location);
+        covers.push((mask, d));
+    }
+
+    const UNREACHED: f64 = f64::INFINITY;
+    let mut dp = vec![UNREACHED; (full as usize) + 1];
+    let mut parent: Vec<Option<(u32, usize)>> = vec![None; (full as usize) + 1];
+    dp[0] = 0.0;
+    // Process states in increasing mask order; always extend via the lowest
+    // uncovered member, which visits each optimal cover exactly once.
+    for mask in 0..=full {
+        if dp[mask as usize] == UNREACHED {
+            continue;
+        }
+        if mask == full {
+            break;
+        }
+        let lowest = (!mask & full).trailing_zeros();
+        for (i, &(cover, d)) in covers.iter().enumerate() {
+            if cover & (1 << lowest) != 0 {
+                let next = mask | cover;
+                let c = dp[mask as usize] + d;
+                if c < dp[next as usize] {
+                    dp[next as usize] = c;
+                    parent[next as usize] = Some((mask, i));
+                }
+            }
+        }
+    }
+    if dp[full as usize] == UNREACHED {
+        return None;
+    }
+    // Reconstruct.
+    let mut used = Vec::new();
+    let mut cur = full;
+    while cur != 0 {
+        let (prev, i) = parent[cur as usize].expect("reached states have parents");
+        used.push(i);
+        cur = prev;
+    }
+    used.reverse();
+    used.dedup();
+    Some((used, dp[full as usize]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omfl_commodity::cost::CostModel;
+    use omfl_commodity::Universe;
+    use omfl_core::request::Request;
+    use omfl_metric::line::LineMetric;
+
+    fn inst() -> Instance {
+        Instance::new(
+            Box::new(LineMetric::new(vec![0.0, 1.0, 3.0, 10.0]).unwrap()),
+            4,
+            CostModel::power(4, 1.0, 1.0),
+        )
+        .unwrap()
+    }
+
+    fn fac(u: Universe, loc: u32, ids: &[u16]) -> OpenFacility {
+        OpenFacility {
+            location: PointId(loc),
+            config: CommoditySet::from_ids(u, ids).unwrap(),
+        }
+    }
+
+    #[test]
+    fn picks_single_covering_facility_when_cheapest() {
+        let inst = inst();
+        let u = inst.universe();
+        let facs = vec![
+            fac(u, 3, &[0, 1]), // distance 10, covers everything
+            fac(u, 1, &[0]),    // distance 1
+            fac(u, 2, &[1]),    // distance 3
+        ];
+        let r = Request::new(
+            PointId(0),
+            CommoditySet::from_ids(u, &[0, 1]).unwrap(),
+        );
+        let (used, cost) = assign_optimal(&inst, &facs, &r).unwrap();
+        // 1 + 3 = 4 < 10: two near facilities beat the far full one.
+        assert_eq!(used, vec![1, 2]);
+        assert!((cost - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_facility_distance_paid_once() {
+        let inst = inst();
+        let u = inst.universe();
+        let facs = vec![
+            fac(u, 1, &[0, 1, 2]), // distance 1, covers all three
+            fac(u, 0, &[0]),       // distance 0 but only commodity 0
+        ];
+        let r = Request::new(
+            PointId(0),
+            CommoditySet::from_ids(u, &[0, 1, 2]).unwrap(),
+        );
+        let (used, cost) = assign_optimal(&inst, &facs, &r).unwrap();
+        // Either {facility 0} at cost 1, or {0, 1} at cost 1 + 0 = 1; the DP
+        // must find cost 1.
+        assert!((cost - 1.0).abs() < 1e-12);
+        assert!(used.contains(&0));
+    }
+
+    #[test]
+    fn uncoverable_demand_returns_none() {
+        let inst = inst();
+        let u = inst.universe();
+        let facs = vec![fac(u, 0, &[0])];
+        let r = Request::new(PointId(0), CommoditySet::from_ids(u, &[1]).unwrap());
+        assert!(assign_optimal(&inst, &facs, &r).is_none());
+    }
+
+    #[test]
+    fn empty_facility_list_is_uncoverable() {
+        let inst = inst();
+        let u = inst.universe();
+        let r = Request::new(PointId(0), CommoditySet::from_ids(u, &[0]).unwrap());
+        assert!(assign_optimal(&inst, &[], &r).is_none());
+    }
+
+    #[test]
+    fn exhaustive_check_against_brute_force() {
+        // Compare DP against brute-force subsets of facilities on a dense
+        // random-ish configuration.
+        let inst = inst();
+        let u = inst.universe();
+        let facs = vec![
+            fac(u, 0, &[0, 2]),
+            fac(u, 1, &[1]),
+            fac(u, 2, &[2, 3]),
+            fac(u, 3, &[0, 1, 2, 3]),
+            fac(u, 1, &[3]),
+        ];
+        let r = Request::new(
+            PointId(2),
+            CommoditySet::from_ids(u, &[0, 1, 2, 3]).unwrap(),
+        );
+        let (_, dp_cost) = assign_optimal(&inst, &facs, &r).unwrap();
+        // Brute force over the 2^5 facility subsets.
+        let mut best = f64::INFINITY;
+        for mask in 1u32..32 {
+            let mut covered = CommoditySet::empty(u);
+            let mut cost = 0.0;
+            for (i, f) in facs.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    covered.union_with(&f.config).unwrap();
+                    cost += inst.distance(r.location(), f.location);
+                }
+            }
+            if r.demand().is_subset_of(&covered) {
+                best = best.min(cost);
+            }
+        }
+        assert!((dp_cost - best).abs() < 1e-12, "dp {dp_cost} vs brute {best}");
+    }
+}

@@ -1,0 +1,273 @@
+//! Exact OPT for tiny instances by branch-and-bound.
+//!
+//! Soundness rests on a WLOG fact the paper establishes in §1.1: under
+//! subadditive costs an optimal solution never opens two facilities at one
+//! location (merge them: construction cost cannot rise, connection cost
+//! cannot rise either because one connection replaces two). The search
+//! therefore assigns each location a configuration in `{∅} ∪ 2^S∖{∅}` and
+//! prunes on partial construction cost. Leaves are evaluated with the exact
+//! per-request subset-cover DP.
+//!
+//! The search space is `(2^|S|)^|M|`, so the solver enforces explicit limits
+//! (defaults: `|S| ≤ 4`, `|M| ≤ 5`, `2^(|S|·|M|) ≤ 2^20`).
+
+use super::assign::{assign_optimal, OpenFacility};
+use omfl_commodity::CommoditySet;
+use omfl_core::instance::Instance;
+use omfl_core::request::Request;
+use omfl_core::solution::Solution;
+use omfl_core::CoreError;
+use omfl_metric::PointId;
+
+/// Exact solver with explicit size limits.
+#[derive(Debug, Clone)]
+pub struct ExactSolver {
+    /// Maximum `|S|` (configurations per location = `2^|S|`).
+    pub max_commodities: u16,
+    /// Maximum `|M|`.
+    pub max_points: usize,
+}
+
+impl Default for ExactSolver {
+    fn default() -> Self {
+        Self {
+            max_commodities: 4,
+            max_points: 5,
+        }
+    }
+}
+
+impl ExactSolver {
+    /// Default limits (`|S| ≤ 4`, `|M| ≤ 5`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Solves exactly. Errors when the instance exceeds the limits.
+    pub fn solve(&self, inst: &Instance, requests: &[Request]) -> Result<Solution, CoreError> {
+        let s = inst.num_commodities();
+        let m = inst.num_points();
+        if s > self.max_commodities as usize || m > self.max_points {
+            return Err(CoreError::BadInstance(format!(
+                "ExactSolver limits exceeded: |S| = {s} (max {}), |M| = {m} (max {})",
+                self.max_commodities, self.max_points
+            )));
+        }
+        for r in requests {
+            r.validate(inst)?;
+        }
+
+        // Precompute all configuration costs per location.
+        let nconf = 1usize << s;
+        let u = inst.universe();
+        let configs: Vec<CommoditySet> = (0..nconf)
+            .map(|mask| CommoditySet::from_mask(u, mask as u64).expect("mask in range"))
+            .collect();
+        let mut cost = vec![vec![0.0; nconf]; m];
+        for (p, row) in cost.iter_mut().enumerate() {
+            for (mask, c) in row.iter_mut().enumerate() {
+                *c = if mask == 0 {
+                    0.0
+                } else {
+                    inst.facility_cost(PointId(p as u32), &configs[mask])
+                };
+            }
+        }
+
+        let mut best_cost = f64::INFINITY;
+        let mut best_choice: Option<Vec<usize>> = None;
+        let mut choice = vec![0usize; m];
+
+        // Depth-first over locations with construction-cost pruning.
+        #[allow(clippy::too_many_arguments)]
+        fn dfs(
+            depth: usize,
+            con_so_far: f64,
+            choice: &mut Vec<usize>,
+            cost: &[Vec<f64>],
+            configs: &[CommoditySet],
+            inst: &Instance,
+            requests: &[Request],
+            best_cost: &mut f64,
+            best_choice: &mut Option<Vec<usize>>,
+        ) {
+            if con_so_far >= *best_cost {
+                return; // prune: construction alone already too expensive
+            }
+            if depth == choice.len() {
+                // Evaluate the assignment at this leaf.
+                let facs: Vec<OpenFacility> = choice
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &mask)| mask != 0)
+                    .map(|(p, &mask)| OpenFacility {
+                        location: PointId(p as u32),
+                        config: configs[mask].clone(),
+                    })
+                    .collect();
+                let mut total = con_so_far;
+                for r in requests {
+                    match assign_optimal(inst, &facs, r) {
+                        Some((_, c)) => total += c,
+                        None => return, // infeasible leaf
+                    }
+                    if total >= *best_cost {
+                        return;
+                    }
+                }
+                *best_cost = total;
+                *best_choice = Some(choice.clone());
+                return;
+            }
+            for mask in 0..configs.len() {
+                choice[depth] = mask;
+                dfs(
+                    depth + 1,
+                    con_so_far + cost[depth][mask],
+                    choice,
+                    cost,
+                    configs,
+                    inst,
+                    requests,
+                    best_cost,
+                    best_choice,
+                );
+            }
+            choice[depth] = 0;
+        }
+
+        dfs(
+            0,
+            0.0,
+            &mut choice,
+            &cost,
+            &configs,
+            inst,
+            requests,
+            &mut best_cost,
+            &mut best_choice,
+        );
+
+        let best_choice = best_choice.ok_or_else(|| {
+            CoreError::Infeasible("no feasible facility placement exists".into())
+        })?;
+        // Materialize.
+        let facs: Vec<OpenFacility> = best_choice
+            .iter()
+            .enumerate()
+            .filter(|&(_, &mask)| mask != 0)
+            .map(|(p, &mask)| OpenFacility {
+                location: PointId(p as u32),
+                config: configs[mask].clone(),
+            })
+            .collect();
+        let mut sol = Solution::new();
+        let fids: Vec<_> = facs
+            .iter()
+            .map(|f| sol.open_facility(inst, f.location, f.config.clone()))
+            .collect();
+        for r in requests {
+            let (used, _) = assign_optimal(inst, &facs, r).expect("best leaf is feasible");
+            let assigned: Vec<_> = used.iter().map(|&i| fids[i]).collect();
+            sol.assign(inst, r.clone(), &assigned);
+        }
+        sol.verify(inst)?;
+        Ok(sol)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::offline::{GreedyOffline, LocalSearch};
+    use omfl_commodity::cost::CostModel;
+    use omfl_metric::line::LineMetric;
+
+    fn req(inst: &Instance, loc: u32, ids: &[u16]) -> Request {
+        Request::new(
+            PointId(loc),
+            CommoditySet::from_ids(inst.universe(), ids).unwrap(),
+        )
+    }
+
+    #[test]
+    fn single_request_opens_exactly_its_demand() {
+        let inst = Instance::new(
+            Box::new(LineMetric::single_point()),
+            3,
+            CostModel::power(3, 1.0, 2.0),
+        )
+        .unwrap();
+        let reqs = vec![req(&inst, 0, &[0, 2])];
+        let sol = ExactSolver::new().solve(&inst, &reqs).unwrap();
+        // OPT: one facility {0,2} at cost 2·sqrt(2) ≈ 2.828 < two singletons
+        // (4) or full S (2·sqrt 3 ≈ 3.46).
+        assert!((sol.total_cost() - 2.0 * 2f64.sqrt()).abs() < 1e-9);
+        assert_eq!(sol.facilities().len(), 1);
+        assert_eq!(sol.facilities()[0].config.len(), 2);
+    }
+
+    #[test]
+    fn chooses_location_trading_construction_for_distance() {
+        // Two points 1 apart; facility 3x cheaper at point 1.
+        let inst = Instance::new(
+            Box::new(LineMetric::new(vec![0.0, 1.0]).unwrap()),
+            2,
+            CostModel::power(2, 2.0, 3.0)
+                .location_scaled(vec![1.0, 1.0 / 3.0])
+                .unwrap(),
+        )
+        .unwrap();
+        let reqs = vec![req(&inst, 0, &[0])];
+        let sol = ExactSolver::new().solve(&inst, &reqs).unwrap();
+        // At p0: cost 3. At p1: cost 1 + distance 1 = 2. Exact picks p1.
+        assert!((sol.total_cost() - 2.0).abs() < 1e-9);
+        assert_eq!(sol.facilities()[0].location, PointId(1));
+    }
+
+    #[test]
+    fn exact_lower_bounds_greedy_and_local_search() {
+        let inst = Instance::new(
+            Box::new(LineMetric::new(vec![0.0, 2.0, 4.0]).unwrap()),
+            3,
+            CostModel::power(3, 1.0, 1.5),
+        )
+        .unwrap();
+        let reqs = vec![
+            req(&inst, 0, &[0, 1]),
+            req(&inst, 1, &[1, 2]),
+            req(&inst, 2, &[0, 2]),
+            req(&inst, 1, &[0]),
+        ];
+        let exact = ExactSolver::new().solve(&inst, &reqs).unwrap().total_cost();
+        let greedy = GreedyOffline::new().solve(&inst, &reqs).unwrap();
+        assert!(exact <= greedy.total_cost() + 1e-9);
+        let ls = LocalSearch::new().improve(&inst, &greedy, &reqs).unwrap();
+        assert!(exact <= ls.total_cost() + 1e-9);
+        assert!(ls.total_cost() <= greedy.total_cost() + 1e-9);
+    }
+
+    #[test]
+    fn limits_are_enforced() {
+        let inst = Instance::new(
+            Box::new(LineMetric::uniform(6, 5.0).unwrap()),
+            3,
+            CostModel::power(3, 1.0, 1.0),
+        )
+        .unwrap();
+        let err = ExactSolver::new().solve(&inst, &[]).unwrap_err();
+        assert!(matches!(err, CoreError::BadInstance(_)));
+    }
+
+    #[test]
+    fn empty_request_list_costs_zero() {
+        let inst = Instance::new(
+            Box::new(LineMetric::single_point()),
+            2,
+            CostModel::power(2, 1.0, 1.0),
+        )
+        .unwrap();
+        let sol = ExactSolver::new().solve(&inst, &[]).unwrap();
+        assert_eq!(sol.total_cost(), 0.0);
+    }
+}

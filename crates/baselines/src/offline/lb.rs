@@ -1,0 +1,230 @@
+//! Lower bounds on OPT, and the bracket the experiments report against.
+
+use super::greedy::GreedyOffline;
+use super::local_search::LocalSearch;
+use omfl_commodity::CommoditySet;
+use omfl_core::algorithm::OnlineAlgorithm;
+use omfl_core::instance::Instance;
+use omfl_core::pd::PdOmflp;
+use omfl_core::request::Request;
+use omfl_core::CoreError;
+use omfl_metric::PointId;
+
+/// The dual lower bound of Corollary 17: run PD-OMFLP, scale its duals by
+/// `γ = 1/(5√|S|·H_n)`; the scaled duals are feasible for the dual LP, so
+/// their sum lower-bounds OPT by weak duality.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DualLowerBound;
+
+impl DualLowerBound {
+    /// Computes the bound for a request sequence.
+    pub fn compute(inst: &Instance, requests: &[Request]) -> Result<f64, CoreError> {
+        let mut alg = PdOmflp::new(inst);
+        for r in requests {
+            alg.serve(r)?;
+        }
+        Ok(alg.scaled_dual_lower_bound())
+    }
+}
+
+/// The serve-alone bound: any feasible solution contains, for each request
+/// `r`, a facility set covering `sr`; its cost (construction of those
+/// facilities + `r`'s connections) is at most the solution's total cost.
+/// Hence `max_r mincost(r) ≤ OPT`, where `mincost(r)` is the cheapest way
+/// to serve `r` in an otherwise empty world.
+///
+/// `mincost(r)` is computed by partition DP over subsets of `sr`
+/// (`O(3^{|sr|} · |M|)`), assuming **monotone** costs so that an optimal
+/// cover uses configurations equal to the covered parts — true for every
+/// cost model in this repository (checkable with
+/// `omfl_commodity::props::monotone_exact`).
+pub fn serve_alone_lower_bound(inst: &Instance, requests: &[Request]) -> Result<f64, CoreError> {
+    let mut best: f64 = 0.0;
+    for r in requests {
+        r.validate(inst)?;
+        best = best.max(mincost_single(inst, r));
+    }
+    Ok(best)
+}
+
+/// Cheapest standalone service of one request (see
+/// [`serve_alone_lower_bound`]).
+pub fn mincost_single(inst: &Instance, r: &Request) -> f64 {
+    let members: Vec<_> = r.demand().iter().collect();
+    let k = members.len();
+    assert!(k <= 12, "mincost_single supports |sr| <= 12, got {k}");
+    let full = (1u32 << k) - 1;
+    let u = inst.universe();
+
+    // price[t] = min over locations m of f^{T}_m + d(m, r) for subset T.
+    let mut price = vec![f64::INFINITY; (full as usize) + 1];
+    for t in 1..=full {
+        let mut cfg = CommoditySet::empty(u);
+        for (b, &e) in members.iter().enumerate() {
+            if t & (1 << b) != 0 {
+                cfg.insert(e).expect("member in range");
+            }
+        }
+        for p in 0..inst.num_points() {
+            let m = PointId(p as u32);
+            let c = inst.facility_cost(m, &cfg) + inst.distance(m, r.location());
+            if c < price[t as usize] {
+                price[t as usize] = c;
+            }
+        }
+    }
+    // Partition DP.
+    let mut dp = vec![f64::INFINITY; (full as usize) + 1];
+    dp[0] = 0.0;
+    for t in 1..=full {
+        // Iterate submasks u of t that contain t's lowest bit.
+        let low = t & t.wrapping_neg();
+        let mut sub = t;
+        loop {
+            if sub & low != 0 {
+                let rest = t & !sub;
+                let c = dp[rest as usize] + price[sub as usize];
+                if c < dp[t as usize] {
+                    dp[t as usize] = c;
+                }
+            }
+            if sub == 0 {
+                break;
+            }
+            sub = (sub - 1) & t;
+        }
+    }
+    dp[full as usize]
+}
+
+/// A bracket `lower ≤ OPT ≤ upper` plus helpers to turn a measured cost
+/// into a competitive-ratio interval.
+#[derive(Debug, Clone, Copy)]
+pub struct OptBracket {
+    /// Best known lower bound on OPT.
+    pub lower: f64,
+    /// Best known upper bound on OPT (cost of a feasible solution).
+    pub upper: f64,
+}
+
+impl OptBracket {
+    /// Computes the bracket: `max(dual LB, serve-alone LB)` below,
+    /// local-search-tightened greedy above.
+    pub fn compute(inst: &Instance, requests: &[Request]) -> Result<Self, CoreError> {
+        let dual = DualLowerBound::compute(inst, requests)?;
+        let alone = serve_alone_lower_bound(inst, requests)?;
+        let greedy = GreedyOffline::new().solve(inst, requests)?;
+        let improved = LocalSearch::new().improve(inst, &greedy, requests)?;
+        let upper = improved.total_cost().min(greedy.total_cost());
+        Ok(Self {
+            lower: dual.max(alone).min(upper), // bracket must stay ordered
+            upper,
+        })
+    }
+
+    /// Optimistic ratio estimate `cost / upper` (≤ the true ratio).
+    pub fn ratio_lower(&self, alg_cost: f64) -> f64 {
+        if self.upper > 0.0 {
+            alg_cost / self.upper
+        } else {
+            1.0
+        }
+    }
+
+    /// Pessimistic ratio estimate `cost / lower` (≥ the true ratio).
+    pub fn ratio_upper(&self, alg_cost: f64) -> f64 {
+        if self.lower > 0.0 {
+            alg_cost / self.lower
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::offline::ExactSolver;
+    use omfl_commodity::cost::CostModel;
+    use omfl_metric::line::LineMetric;
+
+    fn req(inst: &Instance, loc: u32, ids: &[u16]) -> Request {
+        Request::new(
+            PointId(loc),
+            CommoditySet::from_ids(inst.universe(), ids).unwrap(),
+        )
+    }
+
+    fn tiny_instance() -> Instance {
+        Instance::new(
+            Box::new(LineMetric::new(vec![0.0, 1.5, 3.0]).unwrap()),
+            3,
+            CostModel::power(3, 1.0, 1.5),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn mincost_single_matches_hand_computation() {
+        let inst = tiny_instance();
+        // Demand {0}: cheapest is a singleton at the request point: 1.5.
+        let r = req(&inst, 0, &[0]);
+        assert!((mincost_single(&inst, &r) - 1.5).abs() < 1e-9);
+        // Demand {0,1}: one facility {0,1} at p0: 1.5·sqrt(2) ≈ 2.12 beats
+        // two singletons (3.0).
+        let r2 = req(&inst, 0, &[0, 1]);
+        assert!((mincost_single(&inst, &r2) - 1.5 * 2f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bounds_bracket_exact_opt() {
+        let inst = tiny_instance();
+        let reqs = vec![
+            req(&inst, 0, &[0, 1]),
+            req(&inst, 1, &[1, 2]),
+            req(&inst, 2, &[0]),
+            req(&inst, 0, &[2]),
+        ];
+        let opt = ExactSolver::new().solve(&inst, &reqs).unwrap().total_cost();
+        let bracket = OptBracket::compute(&inst, &reqs).unwrap();
+        assert!(
+            bracket.lower <= opt + 1e-9,
+            "lower {} must be ≤ OPT {opt}",
+            bracket.lower
+        );
+        assert!(
+            bracket.upper >= opt - 1e-9,
+            "upper {} must be ≥ OPT {opt}",
+            bracket.upper
+        );
+        assert!(bracket.lower > 0.0);
+    }
+
+    #[test]
+    fn dual_lower_bound_positive_on_nontrivial_input() {
+        let inst = tiny_instance();
+        let reqs = vec![req(&inst, 0, &[0]), req(&inst, 2, &[1, 2])];
+        let lb = DualLowerBound::compute(&inst, &reqs).unwrap();
+        assert!(lb > 0.0);
+    }
+
+    #[test]
+    fn ratio_helpers() {
+        let b = OptBracket {
+            lower: 2.0,
+            upper: 4.0,
+        };
+        assert!((b.ratio_lower(8.0) - 2.0).abs() < 1e-12);
+        assert!((b.ratio_upper(8.0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serve_alone_bound_is_max_over_requests() {
+        let inst = tiny_instance();
+        let cheap = req(&inst, 0, &[0]);
+        let pricey = req(&inst, 0, &[0, 1, 2]);
+        let lb = serve_alone_lower_bound(&inst, std::slice::from_ref(&cheap)).unwrap();
+        let lb2 = serve_alone_lower_bound(&inst, &[cheap, pricey]).unwrap();
+        assert!(lb2 >= lb);
+    }
+}

@@ -1,0 +1,252 @@
+//! Local-search tightening of offline solutions.
+//!
+//! Starting from any feasible facility set (typically [`super::GreedyOffline`]'s
+//! output), applies improving moves until a local optimum or an iteration
+//! budget:
+//!
+//! * **drop** — close a facility if rerouting every affected request to the
+//!   remaining facilities is cheaper than its construction cost;
+//! * **relocate** — move a facility to a nearby request location if the
+//!   total cost drops;
+//! * **promote** — replace a facility's configuration by the full set `S`
+//!   when the extra construction cost is recouped by closing other
+//!   facilities (captures the paper's "predict everything" optimum on
+//!   Theorem-2-like inputs).
+//!
+//! After every move the assignment of *all* requests is recomputed exactly
+//! with the subset-cover DP of [`super::assign_optimal`], so intermediate
+//! states are always feasible and the final cost is exact for its facility
+//! set.
+
+use super::assign::{assign_optimal, OpenFacility};
+use omfl_commodity::CommoditySet;
+use omfl_core::instance::Instance;
+use omfl_core::request::Request;
+use omfl_core::solution::Solution;
+use omfl_core::CoreError;
+
+/// Local-search improver.
+#[derive(Debug, Clone)]
+pub struct LocalSearch {
+    /// Maximum number of applied moves.
+    pub max_moves: usize,
+    /// How many nearest request locations to try per relocate move.
+    pub relocate_candidates: usize,
+}
+
+impl Default for LocalSearch {
+    fn default() -> Self {
+        Self {
+            max_moves: 64,
+            relocate_candidates: 4,
+        }
+    }
+}
+
+impl LocalSearch {
+    /// Default budgets.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total cost of serving all requests optimally from `facilities`;
+    /// `None` when some request cannot be covered.
+    fn eval(
+        inst: &Instance,
+        facilities: &[OpenFacility],
+        requests: &[Request],
+    ) -> Option<f64> {
+        let mut total: f64 = facilities
+            .iter()
+            .map(|f| inst.facility_cost(f.location, &f.config))
+            .sum();
+        for r in requests {
+            let (_, c) = assign_optimal(inst, facilities, r)?;
+            total += c;
+        }
+        Some(total)
+    }
+
+    /// Improves `start` (a facility set) and returns the final solution.
+    pub fn improve(
+        &self,
+        inst: &Instance,
+        start: &Solution,
+        requests: &[Request],
+    ) -> Result<Solution, CoreError> {
+        let mut facs: Vec<OpenFacility> = start
+            .facilities()
+            .iter()
+            .map(|f| OpenFacility {
+                location: f.location,
+                config: f.config.clone(),
+            })
+            .collect();
+        let mut cost = Self::eval(inst, &facs, requests).ok_or_else(|| {
+            CoreError::Infeasible("starting facility set does not cover all requests".into())
+        })?;
+
+        let full = CommoditySet::full(inst.universe());
+        for _ in 0..self.max_moves {
+            let mut best_delta = -1e-9 * (1.0 + cost); // strictly improving only
+            let mut best_facs: Option<Vec<OpenFacility>> = None;
+
+            // Drop moves.
+            for i in 0..facs.len() {
+                let mut cand = facs.clone();
+                cand.swap_remove(i);
+                if let Some(c) = Self::eval(inst, &cand, requests) {
+                    if c - cost < best_delta {
+                        best_delta = c - cost;
+                        best_facs = Some(cand);
+                    }
+                }
+            }
+            // Relocate moves: move each facility to the nearest few request
+            // locations.
+            for i in 0..facs.len() {
+                let here = facs[i].location;
+                let mut sites: Vec<_> = requests
+                    .iter()
+                    .map(|r| (r.location(), inst.distance(here, r.location())))
+                    .collect();
+                sites.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+                sites.dedup_by_key(|s| s.0);
+                for &(site, _) in sites.iter().take(self.relocate_candidates) {
+                    if site == here {
+                        continue;
+                    }
+                    let mut cand = facs.clone();
+                    cand[i].location = site;
+                    if let Some(c) = Self::eval(inst, &cand, requests) {
+                        if c - cost < best_delta {
+                            best_delta = c - cost;
+                            best_facs = Some(cand);
+                        }
+                    }
+                }
+            }
+            // Promote moves: widen a facility to the full configuration.
+            for i in 0..facs.len() {
+                if facs[i].config == full {
+                    continue;
+                }
+                let mut cand = facs.clone();
+                cand[i].config = full.clone();
+                // A promotion usually enables drops; try it together with
+                // dropping every other facility that becomes redundant.
+                if let Some(c) = Self::eval(inst, &cand, requests) {
+                    if c - cost < best_delta {
+                        best_delta = c - cost;
+                        best_facs = Some(cand.clone());
+                    }
+                }
+                let mut pruned = vec![cand[i].clone()];
+                if let Some(c) = Self::eval(inst, &pruned, requests) {
+                    if c - cost < best_delta {
+                        best_delta = c - cost;
+                        best_facs = Some(std::mem::take(&mut pruned));
+                    }
+                }
+            }
+
+            match best_facs {
+                Some(f) => {
+                    facs = f;
+                    // Re-evaluate exactly rather than accumulating deltas.
+                    cost = Self::eval(inst, &facs, requests)
+                        .expect("improving moves preserve feasibility");
+                }
+                None => break,
+            }
+        }
+
+        // Materialize.
+        let mut sol = Solution::new();
+        let fids: Vec<_> = facs
+            .iter()
+            .map(|f| sol.open_facility(inst, f.location, f.config.clone()))
+            .collect();
+        for r in requests {
+            let (used, _) = assign_optimal(inst, &facs, r)
+                .expect("final facility set covers all requests");
+            let assigned: Vec<_> = used.iter().map(|&i| fids[i]).collect();
+            sol.assign(inst, r.clone(), &assigned);
+        }
+        sol.verify(inst)?;
+        Ok(sol)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::offline::GreedyOffline;
+    use omfl_commodity::cost::CostModel;
+    use omfl_metric::line::LineMetric;
+    use omfl_metric::PointId;
+
+    fn req(inst: &Instance, loc: u32, ids: &[u16]) -> Request {
+        Request::new(
+            PointId(loc),
+            CommoditySet::from_ids(inst.universe(), ids).unwrap(),
+        )
+    }
+
+    #[test]
+    fn promote_collapses_theorem2_gadget_to_single_facility() {
+        // 16 singleton requests on one point, ceil-sqrt costs: greedy opens
+        // many small facilities (≈ cost up to 16); promoting one to S and
+        // dropping the rest reaches OPT = f^S = 4.
+        let inst = Instance::new(
+            Box::new(LineMetric::single_point()),
+            16,
+            CostModel::ceil_sqrt(16),
+        )
+        .unwrap();
+        let reqs: Vec<Request> = (0..16u16).map(|e| req(&inst, 0, &[e])).collect();
+        let greedy = GreedyOffline::new().solve(&inst, &reqs).unwrap();
+        let improved = LocalSearch::new().improve(&inst, &greedy, &reqs).unwrap();
+        assert!(improved.total_cost() <= greedy.total_cost() + 1e-9);
+        assert!(
+            (improved.total_cost() - 4.0).abs() < 1e-9,
+            "local search must reach OPT = 4, got {}",
+            improved.total_cost()
+        );
+    }
+
+    #[test]
+    fn drop_removes_redundant_facility() {
+        let inst = Instance::new(
+            Box::new(LineMetric::new(vec![0.0, 0.1]).unwrap()),
+            2,
+            CostModel::power(2, 1.0, 5.0),
+        )
+        .unwrap();
+        // Start from a deliberately wasteful solution: full facilities at
+        // both points.
+        let mut start = Solution::new();
+        let u = inst.universe();
+        let f0 = start.open_facility(&inst, PointId(0), CommoditySet::full(u));
+        let _f1 = start.open_facility(&inst, PointId(1), CommoditySet::full(u));
+        let reqs = vec![req(&inst, 0, &[0, 1]), req(&inst, 1, &[0, 1])];
+        for r in &reqs {
+            start.assign(&inst, r.clone(), &[f0]);
+        }
+        let improved = LocalSearch::new().improve(&inst, &start, &reqs).unwrap();
+        assert_eq!(improved.facilities().len(), 1, "one facility suffices");
+    }
+
+    #[test]
+    fn infeasible_start_is_rejected() {
+        let inst = Instance::new(
+            Box::new(LineMetric::single_point()),
+            2,
+            CostModel::power(2, 1.0, 1.0),
+        )
+        .unwrap();
+        let start = Solution::new(); // no facilities at all
+        let reqs = vec![req(&inst, 0, &[0])];
+        assert!(LocalSearch::new().improve(&inst, &start, &reqs).is_err());
+    }
+}

@@ -1,0 +1,27 @@
+//! Offline reference solvers bracketing OPT.
+//!
+//! Computing OPT for the MFLP is NP-hard (it generalizes both facility
+//! location and, through its cost functions, weighted set cover — paper
+//! §1.2). The experiments therefore report measured competitive ratios
+//! against a *bracket*:
+//!
+//! * **upper bounds** on OPT: [`GreedyOffline`] (a Ravi–Sinha-flavoured
+//!   star greedy) tightened by [`LocalSearch`];
+//! * **lower bounds** on OPT: [`DualLowerBound`] (PD-OMFLP's scaled duals,
+//!   Corollary 17) and the serve-alone bound of [`serve_alone_lower_bound`];
+//! * **exact OPT** via [`ExactSolver`] for tiny instances (used by the test
+//!   suite to certify the bounds, and by experiments on gadget instances).
+//!
+//! `ratio_lower = ALG / upper ≤ true ratio ≤ ALG / lower = ratio_upper`.
+
+mod assign;
+mod exact;
+mod greedy;
+mod lb;
+mod local_search;
+
+pub use assign::{assign_optimal, OpenFacility};
+pub use exact::ExactSolver;
+pub use greedy::GreedyOffline;
+pub use lb::{serve_alone_lower_bound, DualLowerBound, OptBracket};
+pub use local_search::LocalSearch;

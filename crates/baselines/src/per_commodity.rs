@@ -1,0 +1,248 @@
+//! The trivial per-commodity decomposition baseline (§1.3).
+//!
+//! "It is trivial to achieve an algorithm having a competitive ratio of
+//! `O(|S| · log n / log log n)` simply by solving an instance of the OFLP
+//! for each commodity separately" — this module is that algorithm: one
+//! independent single-commodity engine per commodity, with every opening and
+//! assignment mirrored into a composite solution over the original instance.
+//!
+//! The decomposition *never predicts* (it only ever opens single-commodity
+//! facilities), so the Theorem 2 adversary forces it to `Ω(√|S|)·OPT` —
+//! exactly the separation the `thm2-lb` experiment measures.
+
+use crate::fotakis::FotakisOfl;
+use crate::meyerson::MeyersonOfl;
+use crate::project::single_commodity_instance;
+use omfl_commodity::cost::{CostModel, FacilityCostFn};
+use omfl_commodity::{CommodityId, CommoditySet};
+use omfl_core::algorithm::{OnlineAlgorithm, ServeOutcome};
+use omfl_core::heavy::SharedMetric;
+use omfl_core::instance::Instance;
+use omfl_core::pd::PdOmflp;
+use omfl_core::request::Request;
+use omfl_core::solution::{FacilityId, Solution};
+use omfl_core::CoreError;
+use omfl_metric::Metric;
+use std::sync::Arc;
+
+/// The original instance plus one single-commodity projection per commodity.
+pub struct PerCommodityParts {
+    /// The undecomposed instance.
+    pub original: Instance,
+    /// `subs[e]` is the projection onto commodity `e`.
+    pub subs: Vec<Instance>,
+}
+
+impl PerCommodityParts {
+    /// Builds all projections, sharing the metric.
+    pub fn build(metric: Arc<dyn Metric>, cost: CostModel) -> Result<Self, CoreError> {
+        let s = cost.universe().len();
+        let original = Instance::with_cost_fn(
+            Box::new(SharedMetric(Arc::clone(&metric))),
+            Box::new(cost.clone()),
+        )?;
+        let mut subs = Vec::with_capacity(s);
+        for e in 0..s as u16 {
+            subs.push(single_commodity_instance(
+                Arc::clone(&metric),
+                cost.clone(),
+                CommodityId(e),
+            )?);
+        }
+        Ok(Self { original, subs })
+    }
+}
+
+/// The decomposition baseline, generic over the per-commodity engine.
+pub struct PerCommodity<'a, E> {
+    parts: &'a PerCommodityParts,
+    engines: Vec<E>,
+    fmaps: Vec<Vec<FacilityId>>,
+    sol: Solution,
+    label: &'static str,
+}
+
+impl<'a> PerCommodity<'a, PdOmflp<'a>> {
+    /// Deterministic decomposition: PD (≡ Fotakis-style) per commodity.
+    pub fn new_pd(parts: &'a PerCommodityParts) -> Self {
+        Self {
+            parts,
+            engines: parts.subs.iter().map(PdOmflp::new).collect(),
+            fmaps: vec![Vec::new(); parts.subs.len()],
+            sol: Solution::new(),
+            label: "per-commodity-pd",
+        }
+    }
+}
+
+impl<'a> PerCommodity<'a, FotakisOfl<'a>> {
+    /// Deterministic decomposition with the standalone Fotakis engine.
+    pub fn new_fotakis(parts: &'a PerCommodityParts) -> Result<Self, CoreError> {
+        let engines = parts
+            .subs
+            .iter()
+            .map(FotakisOfl::new)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            parts,
+            engines,
+            fmaps: vec![Vec::new(); parts.subs.len()],
+            sol: Solution::new(),
+            label: "per-commodity-fotakis",
+        })
+    }
+}
+
+impl<'a> PerCommodity<'a, MeyersonOfl<'a>> {
+    /// Randomized decomposition: Meyerson per commodity. Engine `e` is
+    /// seeded with `seed ⊕ e` so runs are reproducible.
+    pub fn new_meyerson(parts: &'a PerCommodityParts, seed: u64) -> Result<Self, CoreError> {
+        let engines = parts
+            .subs
+            .iter()
+            .enumerate()
+            .map(|(e, sub)| MeyersonOfl::new(sub, seed ^ e as u64))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            parts,
+            engines,
+            fmaps: vec![Vec::new(); parts.subs.len()],
+            sol: Solution::new(),
+            label: "per-commodity-meyerson",
+        })
+    }
+}
+
+impl<'a, E: OnlineAlgorithm> OnlineAlgorithm for PerCommodity<'a, E> {
+    fn serve(&mut self, request: &Request) -> Result<ServeOutcome, CoreError> {
+        let orig = &self.parts.original;
+        request.validate(orig)?;
+        let start_con = self.sol.construction_cost();
+        let mut assigned = Vec::new();
+
+        for e in request.demand().iter() {
+            let sub = &self.parts.subs[e.index()];
+            let sub_req = Request::new(request.location(), CommoditySet::full(sub.universe()));
+            let out = self.engines[e.index()].serve(&sub_req)?;
+            // Mirror new facilities (single-commodity config {e}).
+            for fid in out.opened {
+                let f = &self.engines[e.index()].solution().facilities()[fid.index()];
+                let config = CommoditySet::singleton(orig.universe(), e)
+                    .expect("commodity from the original demand");
+                let own = self.sol.open_facility(orig, f.location, config);
+                debug_assert_eq!(fid.index(), self.fmaps[e.index()].len());
+                self.fmaps[e.index()].push(own);
+            }
+            for fid in out.assigned_to {
+                assigned.push(self.fmaps[e.index()][fid.index()]);
+            }
+        }
+
+        let before_assign = self.sol.num_requests();
+        let opened: Vec<FacilityId> = self
+            .sol
+            .facilities()
+            .iter()
+            .filter(|f| f.opened_at == before_assign)
+            .map(|f| f.id)
+            .collect();
+        let assignment = self.sol.assign(orig, request.clone(), &assigned);
+        Ok(ServeOutcome {
+            opened,
+            assigned_to: assignment.facilities.clone(),
+            connection_cost: assignment.connection_cost,
+            construction_cost: self.sol.construction_cost() - start_con,
+            served_by_large: false,
+        })
+    }
+
+    fn solution(&self) -> &Solution {
+        &self.sol
+    }
+
+    fn name(&self) -> &'static str {
+        self.label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omfl_core::algorithm::run_online_verified;
+    use omfl_metric::line::LineMetric;
+    use omfl_metric::PointId;
+
+    fn parts(s: u16) -> PerCommodityParts {
+        let metric: Arc<dyn Metric> = Arc::new(LineMetric::single_point());
+        PerCommodityParts::build(metric, CostModel::ceil_sqrt(s)).unwrap()
+    }
+
+    fn req(inst: &Instance, ids: &[u16]) -> Request {
+        Request::new(
+            PointId(0),
+            CommoditySet::from_ids(inst.universe(), ids).unwrap(),
+        )
+    }
+
+    #[test]
+    fn never_predicts_on_theorem2_gadget() {
+        // 16 commodities requested one by one: the decomposition must open
+        // 16 single-commodity facilities (cost 16) — the Ω(√S)-separation
+        // versus OPT = f^S = 4.
+        let parts = parts(16);
+        let inst = &parts.original;
+        let mut alg = PerCommodity::new_pd(&parts);
+        for e in 0..16u16 {
+            alg.serve(&req(inst, &[e])).unwrap();
+        }
+        alg.solution().verify(inst).unwrap();
+        assert_eq!(alg.solution().num_small_facilities(), 16);
+        assert_eq!(alg.solution().num_large_facilities(), 0);
+        assert!((alg.solution().total_cost() - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_commodity_requests_fan_out() {
+        let parts = parts(9);
+        let inst = &parts.original;
+        let mut alg = PerCommodity::new_pd(&parts);
+        let out = alg.serve(&req(inst, &[0, 4, 8])).unwrap();
+        assert_eq!(out.opened.len(), 3, "one facility per demanded commodity");
+        alg.solution().verify(inst).unwrap();
+    }
+
+    #[test]
+    fn meyerson_engines_are_feasible_and_seeded() {
+        let parts = parts(8);
+        let inst = &parts.original;
+        let reqs: Vec<Request> = (0..20u32)
+            .map(|i| req(inst, &[(i % 8) as u16, ((i * 3 + 1) % 8) as u16]))
+            .collect();
+        let mut a = PerCommodity::new_meyerson(&parts, 5).unwrap();
+        let ca = run_online_verified(&mut a, inst, &reqs).unwrap();
+        let mut b = PerCommodity::new_meyerson(&parts, 5).unwrap();
+        let cb = run_online_verified(&mut b, inst, &reqs).unwrap();
+        assert_eq!(ca, cb, "same seed must reproduce the same run");
+    }
+
+    #[test]
+    fn fotakis_and_pd_engines_agree() {
+        let metric: Arc<dyn Metric> =
+            Arc::new(LineMetric::new(vec![0.0, 2.0, 5.0, 9.0]).unwrap());
+        let parts = PerCommodityParts::build(metric, CostModel::power(4, 1.0, 2.0)).unwrap();
+        let inst = &parts.original;
+        let reqs: Vec<Request> = (0..16u32)
+            .map(|i| {
+                Request::new(
+                    PointId(i % 4),
+                    CommoditySet::from_ids(inst.universe(), &[(i % 4) as u16]).unwrap(),
+                )
+            })
+            .collect();
+        let mut pd = PerCommodity::new_pd(&parts);
+        let c1 = run_online_verified(&mut pd, inst, &reqs).unwrap();
+        let mut fo = PerCommodity::new_fotakis(&parts).unwrap();
+        let c2 = run_online_verified(&mut fo, inst, &reqs).unwrap();
+        assert!((c1 - c2).abs() < 1e-6 * (1.0 + c1.abs()));
+    }
+}

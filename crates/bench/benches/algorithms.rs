@@ -1,0 +1,126 @@
+//! Criterion benches for the online algorithms and offline solvers.
+//!
+//! These quantify the paper's §4 efficiency claim (RAND's per-request work
+//! avoids PD's O(|M|·|S|) bid scans) and guard the hot paths against
+//! regressions.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use omfl_baselines::offline::{ExactSolver, GreedyOffline};
+use omfl_baselines::per_commodity::{PerCommodity, PerCommodityParts};
+use omfl_commodity::cost::CostModel;
+use omfl_commodity::CommoditySet;
+use omfl_core::algorithm::run_online;
+use omfl_core::instance::Instance;
+use omfl_core::pd::PdOmflp;
+use omfl_core::randalg::RandOmflp;
+use omfl_core::request::Request;
+use omfl_metric::line::LineMetric;
+use omfl_metric::PointId;
+use omfl_workload::composite::uniform_line;
+use omfl_workload::demand::DemandModel;
+use omfl_workload::Scenario;
+use std::time::Duration;
+
+fn scenario(n: usize, s: u16) -> Scenario {
+    uniform_line(
+        32,
+        40.0,
+        n,
+        DemandModel::UniformK { k: 3 },
+        CostModel::power(s, 1.0, 2.0),
+        9,
+    )
+    .expect("scenario")
+}
+
+fn bench_online(c: &mut Criterion) {
+    let mut g = c.benchmark_group("online-serve");
+    for &(n, s) in &[(64usize, 8u16), (128, 32), (256, 64)] {
+        let sc = scenario(n, s);
+        g.throughput(criterion::Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("pd", format!("n{n}-s{s}")), &sc, |b, sc| {
+            b.iter_batched(
+                || PdOmflp::new(sc.instance()),
+                |mut alg| run_online(&mut alg, &sc.requests).expect("serve"),
+                BatchSize::SmallInput,
+            );
+        });
+        g.bench_with_input(
+            BenchmarkId::new("rand", format!("n{n}-s{s}")),
+            &sc,
+            |b, sc| {
+                b.iter_batched(
+                    || RandOmflp::new(sc.instance(), 7),
+                    |mut alg| run_online(&mut alg, &sc.requests).expect("serve"),
+                    BatchSize::SmallInput,
+                );
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("per-commodity", format!("n{n}-s{s}")),
+            &sc,
+            |b, sc| {
+                let parts = PerCommodityParts::build(
+                    std::sync::Arc::clone(&sc.metric),
+                    sc.cost.clone(),
+                )
+                .expect("parts");
+                b.iter_batched(
+                    || PerCommodity::new_pd(&parts),
+                    |mut alg| run_online(&mut alg, &sc.requests).expect("serve"),
+                    BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_offline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("offline");
+    let sc = scenario(48, 8);
+    g.bench_function("greedy-n48-s8", |b| {
+        b.iter(|| {
+            GreedyOffline::new()
+                .solve(sc.instance(), &sc.requests)
+                .expect("greedy")
+                .total_cost()
+        })
+    });
+
+    // Exact solver on a tiny instance.
+    let inst = Instance::new(
+        Box::new(LineMetric::new(vec![0.0, 1.0, 2.5, 4.0]).unwrap()),
+        3,
+        CostModel::power(3, 1.0, 1.5),
+    )
+    .unwrap();
+    let u = inst.universe();
+    let reqs: Vec<Request> = (0..8u32)
+        .map(|i| {
+            Request::new(
+                PointId(i % 4),
+                CommoditySet::from_ids(u, &[(i % 3) as u16, ((i + 1) % 3) as u16]).unwrap(),
+            )
+        })
+        .collect();
+    g.bench_function("exact-m4-s3-n8", |b| {
+        b.iter(|| {
+            ExactSolver::new()
+                .solve(&inst, &reqs)
+                .expect("exact")
+                .total_cost()
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(Duration::from_millis(1500))
+        .warm_up_time(Duration::from_millis(400))
+        .sample_size(15);
+    targets = bench_online, bench_offline
+}
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Criterion benches for the substrates: commodity bitsets, metric queries,
+//! and the set-cover assignment DP.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use omfl_baselines::offline::{assign_optimal, OpenFacility};
+use omfl_commodity::cost::CostModel;
+use omfl_commodity::{CommodityId, CommoditySet, Universe};
+use omfl_core::instance::Instance;
+use omfl_core::request::Request;
+use omfl_metric::graph::GraphMetric;
+use omfl_metric::line::LineMetric;
+use omfl_metric::{Metric, PointId};
+use std::time::Duration;
+
+fn bench_bitset(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bitset");
+    for &s in &[64u16, 128, 512] {
+        let u = Universe::new(s).unwrap();
+        let a = CommoditySet::from_ids(u, &(0..s).step_by(2).collect::<Vec<_>>()).unwrap();
+        let b = CommoditySet::from_ids(u, &(0..s).step_by(3).collect::<Vec<_>>()).unwrap();
+        g.bench_with_input(BenchmarkId::new("union", s), &(a.clone(), b.clone()), |bch, (a, b)| {
+            bch.iter(|| black_box(a.union(b).unwrap().len()))
+        });
+        g.bench_with_input(BenchmarkId::new("iter-sum", s), &a, |bch, a| {
+            bch.iter(|| black_box(a.iter().map(|e| e.0 as u64).sum::<u64>()))
+        });
+        g.bench_with_input(BenchmarkId::new("subset", s), &(a.clone(), b.clone()), |bch, (a, b)| {
+            bch.iter(|| black_box(a.is_subset_of(b)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_metric(c: &mut Criterion) {
+    let mut g = c.benchmark_group("metric");
+    let line = LineMetric::uniform(256, 100.0).unwrap();
+    g.bench_function("line-distance", |b| {
+        b.iter(|| black_box(line.distance(PointId(3), PointId(200))))
+    });
+    let ring = GraphMetric::ring(256).unwrap();
+    g.bench_function("graph-apsp-lookup", |b| {
+        b.iter(|| black_box(ring.distance(PointId(3), PointId(200))))
+    });
+    g.bench_function("graph-apsp-build-64", |b| {
+        b.iter(|| black_box(GraphMetric::ring(64).unwrap().len()))
+    });
+    g.finish();
+}
+
+fn bench_assign(c: &mut Criterion) {
+    let inst = Instance::new(
+        Box::new(LineMetric::uniform(16, 20.0).unwrap()),
+        12,
+        CostModel::power(12, 1.0, 1.0),
+    )
+    .unwrap();
+    let u = inst.universe();
+    let facs: Vec<OpenFacility> = (0..16u32)
+        .map(|i| OpenFacility {
+            location: PointId(i % 16),
+            config: CommoditySet::from_ids(u, &[(i % 12) as u16, ((i * 5 + 1) % 12) as u16])
+                .unwrap(),
+        })
+        .collect();
+    let req = Request::new(
+        PointId(4),
+        CommoditySet::from_ids(u, &[0, 2, 5, 7, 9, 11]).unwrap(),
+    );
+    c.bench_function("assign-optimal-k6-f16", |b| {
+        b.iter(|| black_box(assign_optimal(&inst, &facs, &req).unwrap().1))
+    });
+    let _ = CommodityId(0);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(Duration::from_millis(1200))
+        .warm_up_time(Duration::from_millis(300))
+        .sample_size(20);
+    targets = bench_bitset, bench_metric, bench_assign
+}
+criterion_main!(benches);

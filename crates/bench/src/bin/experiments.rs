@@ -1,0 +1,61 @@
+//! Experiment harness CLI.
+//!
+//! ```text
+//! experiments --list               enumerate experiments
+//! experiments                      run all (quick mode)
+//! experiments --full thm2-lb ...   run selected experiments at full size
+//! experiments --out results/       also write CSVs (default: results/)
+//! ```
+
+use omfl_bench::registry;
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let list = args.iter().any(|a| a == "--list");
+    let full = args.iter().any(|a| a == "--full");
+    let mut out_dir = PathBuf::from("results");
+    if let Some(i) = args.iter().position(|a| a == "--out") {
+        if let Some(d) = args.get(i + 1) {
+            out_dir = PathBuf::from(d);
+        }
+    }
+    let selected: Vec<&String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--") && Some(a.as_str()) != args.iter().position(|x| x == "--out").and_then(|i| args.get(i + 1)).map(|s| s.as_str()))
+        .collect();
+
+    let reg = registry();
+    if list {
+        println!("available experiments:");
+        for e in &reg {
+            println!("  {:14} {}", e.id, e.title);
+        }
+        return;
+    }
+
+    let quick = !full;
+    let mut ran = 0;
+    for e in &reg {
+        if !selected.is_empty() && !selected.iter().any(|s| s.as_str() == e.id) {
+            continue;
+        }
+        println!("=== {} — {} ({}) ===", e.id, e.title, if quick { "quick" } else { "full" });
+        let t0 = std::time::Instant::now();
+        let tables = (e.run)(quick);
+        for t in &tables {
+            print!("{}", t.render());
+            match t.save_csv(&out_dir) {
+                Ok(p) => println!("  csv: {}", p.display()),
+                Err(err) => eprintln!("  csv write failed: {err}"),
+            }
+            println!();
+        }
+        println!("  ({} in {:.1}s)\n", e.id, t0.elapsed().as_secs_f64());
+        ran += 1;
+    }
+    if ran == 0 {
+        eprintln!("no experiment matched; use --list to see ids");
+        std::process::exit(2);
+    }
+}

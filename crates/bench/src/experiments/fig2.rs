@@ -1,0 +1,42 @@
+//! `fig2-bounds` — regenerates Figure 2 exactly: the class-C upper bound
+//! `√|S|^{(2x−x²)/2}` against the lower bound
+//! `min{√|S|^{(2−x)/2}, √|S|^{x/2}}` for `|S| = 10,000`, `x ∈ [0, 2]`.
+
+use crate::table::{fmt, Table};
+use omfl_core::bounds::{class_c_lower, class_c_upper, figure2_table};
+
+/// Runs the experiment.
+pub fn run(quick: bool) -> Vec<Table> {
+    let s = 10_000;
+    let points = if quick { 21 } else { 51 };
+    let mut t = Table::new(
+        format!("Figure 2 curves, |S| = {s} ({points} samples)"),
+        &["x", "upper √S^((2x-x²)/2)", "lower min(√S^((2-x)/2), √S^(x/2))"],
+    );
+    for (x, up, lo) in figure2_table(s, points) {
+        t.row(&[fmt(x), fmt(up), fmt(lo)]);
+    }
+    t.note("paper: curves agree at x ∈ {0, 1, 2} and peak at 4√|S| = 10 for x = 1");
+    t.note(format!(
+        "measured peak: upper = {} and lower = {} at x = 1 (expected 10)",
+        fmt(class_c_upper(s, 1.0)),
+        fmt(class_c_lower(s, 1.0))
+    ));
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn runs_and_matches_paper_peak() {
+        let tables = super::run(true);
+        assert_eq!(tables.len(), 1);
+        let t = &tables[0];
+        assert_eq!(t.rows.len(), 21);
+        // x = 1 row: both curves = 10.
+        let mid = &t.rows[10];
+        assert_eq!(mid[0], "1.000");
+        assert_eq!(mid[1], "10.0");
+        assert_eq!(mid[2], "10.0");
+    }
+}

@@ -1,0 +1,96 @@
+//! `fig3-modes` — Figure 3 depicts RAND-OMFLP's two serve modes (cheapest
+//! small facilities vs a single large facility). This experiment measures
+//! how the mode mix and facility openings evolve over a clustered bundle
+//! workload: early requests are served by small facilities; once large
+//! facilities exist, broad requests increasingly connect to them.
+
+use crate::table::{fmt, Table};
+use omfl_commodity::cost::CostModel;
+use omfl_core::algorithm::OnlineAlgorithm;
+use omfl_core::randalg::RandOmflp;
+use omfl_workload::composite::clustered_bundles;
+use omfl_workload::demand::{default_bundles, DemandModel};
+
+/// Runs the experiment.
+pub fn run(quick: bool) -> Vec<Table> {
+    let n = if quick { 160 } else { 400 };
+    let sc = clustered_bundles(
+        4,
+        6,
+        60.0,
+        3.0,
+        n,
+        DemandModel::Bundles {
+            bundles: default_bundles(8),
+            noise: 0.2,
+        },
+        CostModel::affine(8, 5.0, 0.6),
+        211,
+    )
+    .expect("scenario");
+    let inst = sc.instance();
+    let mut alg = RandOmflp::new(inst, 77);
+
+    let quarters = 4;
+    let per_q = n / quarters;
+    let mut t = Table::new(
+        format!("Figure 3: RAND serve modes over time (n = {n}, clustered bundles)"),
+        &[
+            "quarter",
+            "served-by-large %",
+            "small opened",
+            "large opened",
+            "avg conn cost",
+        ],
+    );
+    for q in 0..quarters {
+        let mut large_served = 0usize;
+        let mut small_open = 0usize;
+        let mut large_open = 0usize;
+        let mut conn = 0.0;
+        for r in &sc.requests[q * per_q..(q + 1) * per_q] {
+            let out = alg.serve(r).expect("serve");
+            if out.served_by_large {
+                large_served += 1;
+            }
+            for f in &out.opened {
+                let fac = &alg.solution().facilities()[f.index()];
+                if fac.config.len() == inst.num_commodities() {
+                    large_open += 1;
+                } else {
+                    small_open += 1;
+                }
+            }
+            conn += out.connection_cost;
+        }
+        t.row(&[
+            format!("Q{}", q + 1),
+            fmt(100.0 * large_served as f64 / per_q as f64),
+            small_open.to_string(),
+            large_open.to_string(),
+            fmt(conn / per_q as f64),
+        ]);
+    }
+    alg.solution().verify(inst).expect("feasible");
+    t.note("paper Fig. 3: a request connects to small facilities when they are near, else a single large one");
+    t.note("expected: facility openings concentrate in early quarters; connection costs fall over time");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn openings_front_loaded() {
+        let tables = super::run(true);
+        let t = &tables[0];
+        let opens = |i: usize| -> usize {
+            t.rows[i][2].parse::<usize>().unwrap() + t.rows[i][3].parse::<usize>().unwrap()
+        };
+        let first_half = opens(0) + opens(1);
+        let second_half = opens(2) + opens(3);
+        assert!(
+            first_half >= second_half,
+            "facility openings should be front-loaded: {first_half} vs {second_half}"
+        );
+    }
+}

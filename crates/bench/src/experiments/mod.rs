@@ -1,0 +1,13 @@
+//! One module per experiment; ids and scope are indexed in DESIGN.md §2.
+
+pub mod cond1;
+pub mod cor3;
+pub mod decomp;
+pub mod fig2;
+pub mod fig3;
+pub mod model_split;
+pub mod order;
+pub mod thm18;
+pub mod thm19;
+pub mod thm2;
+pub mod thm4;

@@ -1,0 +1,110 @@
+//! `thm19-rand` — RAND-OMFLP: expected ratio sweep plus the efficiency
+//! head-to-head with PD-OMFLP (the paper argues RAND "is much more
+//! efficient to implement"; we measure wall-clock per request).
+
+use crate::runner::{bracket, run_cost, run_timed, Alg};
+use crate::table::{fmt, Table};
+use omfl_commodity::cost::CostModel;
+use omfl_core::bounds::{pd_upper, rand_upper};
+use omfl_par::{parallel_map, seed_for, summarize};
+use omfl_workload::composite::uniform_line;
+use omfl_workload::demand::DemandModel;
+
+/// Runs the experiment.
+pub fn run(quick: bool) -> Vec<Table> {
+    let mut out = Vec::new();
+    let trials = if quick { 8 } else { 32 };
+    let threads = omfl_par::default_threads();
+
+    // Expected ratio vs n (Monte-Carlo over RAND's coins; scenario fixed).
+    {
+        let ns: &[usize] = if quick { &[32, 64, 128] } else { &[32, 64, 128, 256, 512] };
+        let s = 16u16;
+        let mut t = Table::new(
+            format!("Theorem 19: RAND expected ratio vs n (|S| = {s}, {trials} trials)"),
+            &["n", "√S·lnn/lnlnn", "E[cost]±ci", "opt∈[lo,hi]", "E[ratio]/upper"],
+        );
+        for &n in ns {
+            let sc = uniform_line(
+                24,
+                30.0,
+                n,
+                DemandModel::UniformK { k: 3 },
+                CostModel::power(s, 1.0, 2.0),
+                101,
+            )
+            .expect("scenario");
+            let b = bracket(&sc);
+            let seeds: Vec<u64> = (0..trials as u64).collect();
+            let costs = parallel_map(&seeds, threads, |_, &t| {
+                run_cost(&sc, Alg::Rand(seed_for(23, t)))
+            });
+            let sum = summarize(&costs);
+            t.row(&[
+                n.to_string(),
+                fmt(rand_upper(s as usize, n)),
+                format!("{}±{}", fmt(sum.mean), fmt(sum.ci95)),
+                format!("[{},{}]", fmt(b.lower), fmt(b.upper)),
+                fmt(sum.mean / b.upper),
+            ]);
+        }
+        t.note("paper shape: expected ratio ≲ √S·ln n/ln ln n — slightly below PD's √S·ln n");
+        out.push(t);
+    }
+
+    // Efficiency head-to-head: per-request wall-clock, PD vs RAND.
+    {
+        let ns: &[usize] = if quick { &[128, 256] } else { &[128, 256, 512, 1024] };
+        let s = 32u16;
+        let mut t = Table::new(
+            format!("RAND vs PD efficiency (|S| = {s}, per-request µs)"),
+            &["n", "pd µs/req", "rand µs/req", "speedup", "pd cost", "rand cost"],
+        );
+        for &n in ns {
+            let sc = uniform_line(
+                48,
+                40.0,
+                n,
+                DemandModel::UniformK { k: 4 },
+                CostModel::power(s, 1.0, 2.0),
+                107,
+            )
+            .expect("scenario");
+            let (pd_cost, pd_t) = run_timed(&sc, Alg::Pd);
+            let (rn_cost, rn_t) = run_timed(&sc, Alg::Rand(9));
+            t.row(&[
+                n.to_string(),
+                fmt(pd_t * 1e6 / n as f64),
+                fmt(rn_t * 1e6 / n as f64),
+                fmt(pd_t / rn_t.max(1e-12)),
+                fmt(pd_cost),
+                fmt(rn_cost),
+            ]);
+        }
+        t.note("paper §4: 'Randomization has the advantage that the decision process is highly efficient'");
+        t.note(format!(
+            "PD bound shape at n=256: {} vs RAND {}",
+            fmt(pd_upper(s as usize, 256)),
+            fmt(rand_upper(s as usize, 256))
+        ));
+        out.push(t);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn rand_is_faster_per_request_than_pd() {
+        let tables = super::run(true);
+        let eff = &tables[1];
+        // On the largest measured n, RAND should not be slower than PD
+        // (it avoids the O(|M|·|S|) bid scans).
+        let last = eff.rows.last().unwrap();
+        let speedup: f64 = last[3].parse().unwrap();
+        assert!(
+            speedup > 0.8,
+            "RAND should be at least comparable to PD, speedup = {speedup}"
+        );
+    }
+}

@@ -1,0 +1,143 @@
+//! Commodities and construction-cost functions for OMFLP.
+//!
+//! In the Multi-Commodity Facility Location Problem each request demands a
+//! subset `sr ⊆ S` of commodities and each facility is opened in a
+//! *configuration* `σ ⊆ S` (paper §1.1). This crate provides:
+//!
+//! * [`Universe`] — the finite commodity set `S`;
+//! * [`CommoditySet`] — a compact subset-of-`S` bitset (inline up to 128
+//!   commodities, heap beyond) used for request demands and facility
+//!   configurations;
+//! * [`cost`] — construction cost functions `f^σ_m`, including the class `C`
+//!   power functions of §3.3 and the `⌈|σ|/√|S|⌉` function from the Theorem 2
+//!   lower bound;
+//! * [`props`] — exact and sampled checkers for subadditivity and the
+//!   paper's Condition 1 (`f^σ_m/|σ| ≥ f^S_m/|S|`).
+
+pub mod cost;
+pub mod props;
+mod set;
+
+pub use set::{CommoditySet, SetIter};
+
+use std::fmt;
+
+/// Identifier of a commodity, dense in `0..|S|`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CommodityId(pub u16);
+
+impl CommodityId {
+    /// The commodity index as a `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for CommodityId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// The commodity universe `S`: just its size, shared by sets and cost
+/// functions so they can agree on the word width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Universe {
+    size: u16,
+}
+
+impl Universe {
+    /// A universe of `size` commodities. `size` must be at least 1.
+    pub fn new(size: u16) -> Result<Self, CommodityError> {
+        if size == 0 {
+            return Err(CommodityError::EmptyUniverse);
+        }
+        Ok(Self { size })
+    }
+
+    /// `|S|`.
+    #[inline]
+    pub fn size(self) -> u16 {
+        self.size
+    }
+
+    /// `|S|` as `usize`, for indexing.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.size as usize
+    }
+
+    /// Never true (construction requires `size >= 1`); mirrors `len`.
+    pub fn is_empty(self) -> bool {
+        false
+    }
+
+    /// Iterate over all commodity ids.
+    pub fn ids(self) -> impl ExactSizeIterator<Item = CommodityId> {
+        (0..self.size).map(CommodityId)
+    }
+
+    /// `√|S|`, the small/large threshold used throughout the paper.
+    pub fn sqrt_size(self) -> f64 {
+        (self.size as f64).sqrt()
+    }
+}
+
+/// Errors from commodity-set and cost-function construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CommodityError {
+    /// A universe must contain at least one commodity.
+    EmptyUniverse,
+    /// A commodity id is outside the universe.
+    OutOfRange { id: u16, size: u16 },
+    /// Universes of two operands disagree.
+    UniverseMismatch { left: u16, right: u16 },
+    /// A cost value is invalid (negative, NaN, infinite) or a table is
+    /// malformed.
+    InvalidCost(String),
+}
+
+impl fmt::Display for CommodityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommodityError::EmptyUniverse => write!(f, "commodity universe must be non-empty"),
+            CommodityError::OutOfRange { id, size } => {
+                write!(f, "commodity {id} out of range for universe of size {size}")
+            }
+            CommodityError::UniverseMismatch { left, right } => {
+                write!(f, "universe mismatch: {left} vs {right}")
+            }
+            CommodityError::InvalidCost(s) => write!(f, "invalid cost: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for CommodityError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn universe_basics() {
+        let u = Universe::new(5).unwrap();
+        assert_eq!(u.size(), 5);
+        assert_eq!(u.len(), 5);
+        assert!(!u.is_empty());
+        assert_eq!(u.ids().count(), 5);
+        assert!((u.sqrt_size() - 5f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_universe_rejected() {
+        assert_eq!(Universe::new(0).unwrap_err(), CommodityError::EmptyUniverse);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(CommodityId(3).to_string(), "c3");
+        let e = CommodityError::OutOfRange { id: 9, size: 4 };
+        assert!(e.to_string().contains("out of range"));
+    }
+}

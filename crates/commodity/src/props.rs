@@ -1,0 +1,270 @@
+//! Structural property checks for cost functions.
+//!
+//! The paper's analysis rests on two properties of `f^σ_m` (§1.1):
+//!
+//! * **subadditivity** — for all `a ∪ b = σ`: `f^σ_m ≤ f^a_m + f^b_m`
+//!   (always assumable: an algorithm would otherwise split the facility);
+//! * **Condition 1** — `f^σ_m / |σ| ≥ f^S_m / |S|` for all non-empty `σ`
+//!   (per-commodity cost is minimal for the full configuration).
+//!
+//! Exact checks enumerate all configurations (feasible for `|S| ≤ ~12`);
+//! sampled checks probe random subsets with a deterministic SplitMix64
+//! stream so failures reproduce.
+
+use crate::cost::FacilityCostFn;
+use crate::{CommoditySet, Universe};
+
+/// Outcome of a property check: `Ok(())` or a human-readable counterexample.
+pub type PropResult = Result<(), String>;
+
+/// Exact Condition 1 check at one location. O(2^|S|).
+pub fn condition1_exact(cost: &dyn FacilityCostFn, location: usize) -> PropResult {
+    let u = cost.universe();
+    assert!(u.size() <= 20, "condition1_exact supports |S| <= 20");
+    let full = cost.full_cost(location);
+    let per_full = full / u.len() as f64;
+    for mask in 1u64..(1u64 << u.size()) {
+        let s = CommoditySet::from_mask(u, mask).expect("mask in range");
+        let f = cost.cost(location, &s);
+        let per = f / s.len() as f64;
+        if per < per_full * (1.0 - 1e-9) - 1e-12 {
+            return Err(format!(
+                "Condition 1 violated at location {location}: f({s:?}) = {f}, per-commodity \
+                 {per} < f(S)/|S| = {per_full}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Exact subadditivity check at one location: for every σ and every pair
+/// `a ∪ b = σ`, `f(σ) ≤ f(a) + f(b)`. O(4^|S|) — use for `|S| ≤ ~10`.
+pub fn subadditive_exact(cost: &dyn FacilityCostFn, location: usize) -> PropResult {
+    let u = cost.universe();
+    assert!(u.size() <= 12, "subadditive_exact supports |S| <= 12");
+    let n = 1u64 << u.size();
+    // Precompute all costs once.
+    let mut f = vec![0.0; n as usize];
+    for mask in 0..n {
+        let s = CommoditySet::from_mask(u, mask).expect("mask in range");
+        f[mask as usize] = cost.cost(location, &s);
+    }
+    for sigma in 1..n {
+        // Enumerate a ⊆ sigma; b must satisfy a ∪ b = sigma, i.e.
+        // b ⊇ sigma \ a and b ⊆ sigma. The cheapest such b is minimized over
+        // supersets; but since we need *all* pairs to satisfy the bound, the
+        // binding case is the minimum of f(a) + f(b) over valid pairs. It is
+        // enough to check b = sigma \ a extended by any subset of a; we scan
+        // them all for exactness.
+        let mut a = sigma;
+        loop {
+            let rest = sigma & !a;
+            // Enumerate b = rest ∪ (subset of a).
+            let mut extra = a;
+            loop {
+                let b = rest | extra;
+                if f[sigma as usize] > f[a as usize] + f[b as usize] + tol(f[sigma as usize]) {
+                    return Err(format!(
+                        "subadditivity violated at location {location}: f({sigma:#b}) = {} > \
+                         f({a:#b}) + f({b:#b}) = {}",
+                        f[sigma as usize],
+                        f[a as usize] + f[b as usize]
+                    ));
+                }
+                if extra == 0 {
+                    break;
+                }
+                extra = (extra - 1) & a;
+            }
+            if a == 0 {
+                break;
+            }
+            a = (a - 1) & sigma;
+        }
+    }
+    Ok(())
+}
+
+/// Exact monotonicity check (`σ ⊆ τ ⇒ f(σ) ≤ f(τ)`). O(|S|·2^|S|).
+pub fn monotone_exact(cost: &dyn FacilityCostFn, location: usize) -> PropResult {
+    let u = cost.universe();
+    assert!(u.size() <= 20, "monotone_exact supports |S| <= 20");
+    let n = 1u64 << u.size();
+    for mask in 0..n {
+        let s = CommoditySet::from_mask(u, mask).expect("mask in range");
+        let fs = cost.cost(location, &s);
+        for e in 0..u.size() {
+            if mask & (1 << e) == 0 {
+                let bigger = CommoditySet::from_mask(u, mask | (1 << e)).expect("in range");
+                let fb = cost.cost(location, &bigger);
+                if fb < fs - tol(fs) {
+                    return Err(format!(
+                        "monotonicity violated at location {location}: f({bigger:?}) = {fb} < \
+                         f({s:?}) = {fs}"
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Sampled Condition 1 check for large universes: probes `samples` random
+/// non-empty subsets.
+pub fn condition1_sampled(
+    cost: &dyn FacilityCostFn,
+    location: usize,
+    samples: usize,
+    seed: u64,
+) -> PropResult {
+    let u = cost.universe();
+    let full = cost.full_cost(location);
+    let per_full = full / u.len() as f64;
+    let mut rng = SplitMix(seed);
+    for _ in 0..samples {
+        let s = random_nonempty_subset(u, &mut rng);
+        let f = cost.cost(location, &s);
+        let per = f / s.len() as f64;
+        if per < per_full * (1.0 - 1e-9) - 1e-12 {
+            return Err(format!(
+                "Condition 1 violated at location {location} on sampled {s:?}: per-commodity \
+                 {per} < {per_full}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Sampled subadditivity: probes random (a, b) pairs and checks
+/// `f(a ∪ b) ≤ f(a) + f(b)`.
+pub fn subadditive_sampled(
+    cost: &dyn FacilityCostFn,
+    location: usize,
+    samples: usize,
+    seed: u64,
+) -> PropResult {
+    let u = cost.universe();
+    let mut rng = SplitMix(seed);
+    for _ in 0..samples {
+        let a = random_nonempty_subset(u, &mut rng);
+        let b = random_nonempty_subset(u, &mut rng);
+        let ab = a.union(&b).expect("same universe");
+        let fab = cost.cost(location, &ab);
+        let fa = cost.cost(location, &a);
+        let fb = cost.cost(location, &b);
+        if fab > fa + fb + tol(fab) {
+            return Err(format!(
+                "subadditivity violated at location {location}: f({a:?} ∪ {b:?}) = {fab} > \
+                 {fa} + {fb}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn tol(x: f64) -> f64 {
+    1e-12 + 1e-9 * x.abs()
+}
+
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+fn random_nonempty_subset(u: Universe, rng: &mut SplitMix) -> CommoditySet {
+    let mut s = CommoditySet::empty(u);
+    // Each commodity independently with probability 1/2, then force one
+    // element if empty.
+    for e in u.ids() {
+        if rng.next() & 1 == 1 {
+            s.insert(e).expect("in range");
+        }
+    }
+    if s.is_empty() {
+        let e = (rng.next() % u.size() as u64) as u16;
+        s.insert(crate::CommodityId(e)).expect("in range");
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+
+    #[test]
+    fn class_c_powers_satisfy_both_properties() {
+        for &x in &[0.0, 0.5, 1.0, 1.5, 2.0] {
+            let c = CostModel::power(8, x, 2.5);
+            condition1_exact(&c, 0).unwrap();
+            subadditive_exact(&c, 0).unwrap();
+            monotone_exact(&c, 0).unwrap();
+        }
+    }
+
+    #[test]
+    fn ceil_sqrt_satisfies_both_properties() {
+        let c = CostModel::ceil_sqrt(9);
+        condition1_exact(&c, 0).unwrap();
+        subadditive_exact(&c, 0).unwrap();
+    }
+
+    #[test]
+    fn linear_and_affine_satisfy_condition1() {
+        condition1_exact(&CostModel::linear_uniform(6, 3.0), 0).unwrap();
+        condition1_exact(&CostModel::affine(6, 5.0, 1.0), 0).unwrap();
+        subadditive_exact(&CostModel::affine(6, 5.0, 1.0), 0).unwrap();
+    }
+
+    #[test]
+    fn superadditive_power_fails_condition1() {
+        // x = 3 means |sigma|^{1.5}: per-commodity cost *grows* with |sigma|,
+        // so Condition 1 (minimal at S) fails.
+        let c = CostModel::power(8, 3.0, 1.0);
+        assert!(condition1_exact(&c, 0).is_err());
+    }
+
+    #[test]
+    fn heavy_surcharge_breaks_condition1() {
+        let c = CostModel::power(8, 1.0, 1.0)
+            .with_surcharges(vec![0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 100.0])
+            .unwrap();
+        assert!(condition1_exact(&c, 0).is_err());
+        // ... but remains subadditive (surcharges are additive per commodity).
+        subadditive_exact(&c, 0).unwrap();
+    }
+
+    #[test]
+    fn sampled_checks_agree_with_exact_on_good_models() {
+        let c = CostModel::power(200, 1.0, 1.0);
+        condition1_sampled(&c, 0, 500, 1).unwrap();
+        subadditive_sampled(&c, 0, 500, 2).unwrap();
+    }
+
+    #[test]
+    fn sampled_condition1_catches_gross_violation() {
+        let mut sur = vec![0.0; 64];
+        sur[63] = 1e6;
+        let c = CostModel::power(64, 1.0, 1.0).with_surcharges(sur).unwrap();
+        assert!(condition1_sampled(&c, 0, 2000, 3).is_err());
+    }
+
+    #[test]
+    fn table_model_checked_exactly() {
+        // Handcrafted 2-commodity table that is subadditive and satisfies
+        // Condition 1: f({0}) = 2, f({1}) = 2, f(S) = 3 -> per-commodity 1.5.
+        let c = CostModel::table(2, vec![vec![0.0, 2.0, 2.0, 3.0]]).unwrap();
+        condition1_exact(&c, 0).unwrap();
+        subadditive_exact(&c, 0).unwrap();
+        // Violating table: f(S) = 10 > f({0}) + f({1}).
+        let bad = CostModel::table(2, vec![vec![0.0, 2.0, 2.0, 10.0]]).unwrap();
+        assert!(subadditive_exact(&bad, 0).is_err());
+    }
+}

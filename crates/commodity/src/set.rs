@@ -1,0 +1,424 @@
+//! Compact commodity subsets.
+//!
+//! `CommoditySet` is the hot data structure of the whole system: every
+//! request demand, facility configuration and dual-bookkeeping step
+//! manipulates one. Sets over universes of up to 128 commodities live in two
+//! inline `u64` words (no allocation); larger universes spill to a boxed
+//! slice. All operations are word-parallel.
+
+use crate::{CommodityError, CommodityId, Universe};
+use std::fmt;
+
+const INLINE_WORDS: usize = 2;
+const INLINE_BITS: u16 = (INLINE_WORDS * 64) as u16;
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum Repr {
+    Inline([u64; INLINE_WORDS]),
+    Heap(Box<[u64]>),
+}
+
+/// A subset of a [`Universe`] of commodities, stored as a bitset.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct CommoditySet {
+    nbits: u16,
+    repr: Repr,
+}
+
+#[inline]
+fn words_for(nbits: u16) -> usize {
+    (nbits as usize).div_ceil(64)
+}
+
+impl CommoditySet {
+    /// The empty subset of `universe`.
+    pub fn empty(universe: Universe) -> Self {
+        let nbits = universe.size();
+        let repr = if nbits <= INLINE_BITS {
+            Repr::Inline([0; INLINE_WORDS])
+        } else {
+            Repr::Heap(vec![0u64; words_for(nbits)].into_boxed_slice())
+        };
+        Self { nbits, repr }
+    }
+
+    /// The full set `S`.
+    pub fn full(universe: Universe) -> Self {
+        let mut s = Self::empty(universe);
+        let nbits = s.nbits as usize;
+        let words = s.words_mut();
+        for (i, w) in words.iter_mut().enumerate() {
+            let lo = i * 64;
+            let hi = (lo + 64).min(nbits);
+            if hi > lo {
+                let span = hi - lo;
+                *w = if span == 64 { u64::MAX } else { (1u64 << span) - 1 };
+            }
+        }
+        s
+    }
+
+    /// A singleton `{e}`.
+    pub fn singleton(universe: Universe, e: CommodityId) -> Result<Self, CommodityError> {
+        let mut s = Self::empty(universe);
+        s.insert(e)?;
+        Ok(s)
+    }
+
+    /// Builds a set from raw commodity indices.
+    pub fn from_ids(universe: Universe, ids: &[u16]) -> Result<Self, CommodityError> {
+        let mut s = Self::empty(universe);
+        for &id in ids {
+            s.insert(CommodityId(id))?;
+        }
+        Ok(s)
+    }
+
+    /// Builds the set `{e : bit e of mask set}` for universes of ≤ 64
+    /// commodities; handy in tests and the exact offline solver.
+    pub fn from_mask(universe: Universe, mask: u64) -> Result<Self, CommodityError> {
+        if universe.size() > 64 {
+            return Err(CommodityError::InvalidCost(
+                "from_mask requires |S| <= 64".into(),
+            ));
+        }
+        if universe.size() < 64 && mask >> universe.size() != 0 {
+            return Err(CommodityError::OutOfRange {
+                id: 63 - mask.leading_zeros() as u16,
+                size: universe.size(),
+            });
+        }
+        let mut s = Self::empty(universe);
+        s.words_mut()[0] = mask;
+        Ok(s)
+    }
+
+    /// The low 64 bits as a mask (panics in debug if |S| > 64).
+    pub fn to_mask(&self) -> u64 {
+        debug_assert!(self.nbits <= 64, "to_mask requires |S| <= 64");
+        self.words()[0]
+    }
+
+    /// Size of the universe this set lives in.
+    #[inline]
+    pub fn universe_size(&self) -> u16 {
+        self.nbits
+    }
+
+    #[inline]
+    fn words(&self) -> &[u64] {
+        match &self.repr {
+            Repr::Inline(w) => &w[..words_for(self.nbits).min(INLINE_WORDS)],
+            Repr::Heap(w) => w,
+        }
+    }
+
+    #[inline]
+    fn words_mut(&mut self) -> &mut [u64] {
+        let n = words_for(self.nbits).min(INLINE_WORDS);
+        match &mut self.repr {
+            Repr::Inline(w) => &mut w[..n],
+            Repr::Heap(w) => w,
+        }
+    }
+
+    fn check_id(&self, e: CommodityId) -> Result<(), CommodityError> {
+        if e.0 >= self.nbits {
+            Err(CommodityError::OutOfRange {
+                id: e.0,
+                size: self.nbits,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn check_same(&self, other: &Self) -> Result<(), CommodityError> {
+        if self.nbits != other.nbits {
+            Err(CommodityError::UniverseMismatch {
+                left: self.nbits,
+                right: other.nbits,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Inserts a commodity; returns whether it was newly added.
+    pub fn insert(&mut self, e: CommodityId) -> Result<bool, CommodityError> {
+        self.check_id(e)?;
+        let w = &mut self.words_mut()[e.index() / 64];
+        let bit = 1u64 << (e.index() % 64);
+        let newly = *w & bit == 0;
+        *w |= bit;
+        Ok(newly)
+    }
+
+    /// Removes a commodity; returns whether it was present.
+    pub fn remove(&mut self, e: CommodityId) -> Result<bool, CommodityError> {
+        self.check_id(e)?;
+        let w = &mut self.words_mut()[e.index() / 64];
+        let bit = 1u64 << (e.index() % 64);
+        let was = *w & bit != 0;
+        *w &= !bit;
+        Ok(was)
+    }
+
+    /// Membership test. Out-of-range ids are simply absent.
+    #[inline]
+    pub fn contains(&self, e: CommodityId) -> bool {
+        if e.0 >= self.nbits {
+            return false;
+        }
+        self.words()[e.index() / 64] & (1u64 << (e.index() % 64)) != 0
+    }
+
+    /// Number of commodities in the set.
+    pub fn len(&self) -> usize {
+        self.words().iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `true` if no commodity is present.
+    pub fn is_empty(&self) -> bool {
+        self.words().iter().all(|&w| w == 0)
+    }
+
+    /// `self ⊆ other`.
+    pub fn is_subset_of(&self, other: &Self) -> bool {
+        debug_assert_eq!(self.nbits, other.nbits);
+        self.words()
+            .iter()
+            .zip(other.words())
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// `self ∩ other ≠ ∅`.
+    pub fn intersects(&self, other: &Self) -> bool {
+        debug_assert_eq!(self.nbits, other.nbits);
+        self.words()
+            .iter()
+            .zip(other.words())
+            .any(|(a, b)| a & b != 0)
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &Self) -> Result<(), CommodityError> {
+        self.check_same(other)?;
+        for (a, b) in self.words_mut().iter_mut().zip(other.words()) {
+            *a |= b;
+        }
+        Ok(())
+    }
+
+    /// In-place intersection.
+    pub fn intersect_with(&mut self, other: &Self) -> Result<(), CommodityError> {
+        self.check_same(other)?;
+        for (a, b) in self.words_mut().iter_mut().zip(other.words()) {
+            *a &= b;
+        }
+        Ok(())
+    }
+
+    /// In-place set difference `self \ other`.
+    pub fn subtract(&mut self, other: &Self) -> Result<(), CommodityError> {
+        self.check_same(other)?;
+        for (a, b) in self.words_mut().iter_mut().zip(other.words()) {
+            *a &= !b;
+        }
+        Ok(())
+    }
+
+    /// Owned union.
+    pub fn union(&self, other: &Self) -> Result<Self, CommodityError> {
+        let mut s = self.clone();
+        s.union_with(other)?;
+        Ok(s)
+    }
+
+    /// Owned intersection.
+    pub fn intersection(&self, other: &Self) -> Result<Self, CommodityError> {
+        let mut s = self.clone();
+        s.intersect_with(other)?;
+        Ok(s)
+    }
+
+    /// Owned difference `self \ other`.
+    pub fn difference(&self, other: &Self) -> Result<Self, CommodityError> {
+        let mut s = self.clone();
+        s.subtract(other)?;
+        Ok(s)
+    }
+
+    /// Iterates over member commodities in increasing id order.
+    pub fn iter(&self) -> SetIter<'_> {
+        SetIter {
+            words: self.words(),
+            word_idx: 0,
+            current: self.words().first().copied().unwrap_or(0),
+        }
+    }
+
+    /// The smallest member, if any.
+    pub fn first(&self) -> Option<CommodityId> {
+        self.iter().next()
+    }
+}
+
+impl fmt::Debug for CommoditySet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, e) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", e.0)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for CommoditySet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Iterator over the members of a [`CommoditySet`].
+pub struct SetIter<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for SetIter<'_> {
+    type Item = CommodityId;
+
+    fn next(&mut self) -> Option<CommodityId> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1; // clear lowest set bit
+                return Some(CommodityId((self.word_idx * 64 + bit) as u16));
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(n: u16) -> Universe {
+        Universe::new(n).unwrap()
+    }
+
+    #[test]
+    fn empty_full_singleton() {
+        let uni = u(10);
+        let e = CommoditySet::empty(uni);
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        let f = CommoditySet::full(uni);
+        assert_eq!(f.len(), 10);
+        let s = CommoditySet::singleton(uni, CommodityId(3)).unwrap();
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(CommodityId(3)));
+        assert!(!s.contains(CommodityId(4)));
+    }
+
+    #[test]
+    fn full_set_exact_boundaries() {
+        for n in [1u16, 63, 64, 65, 127, 128, 129, 200, 500] {
+            let f = CommoditySet::full(u(n));
+            assert_eq!(f.len(), n as usize, "|S| = {n}");
+            assert!(f.contains(CommodityId(n - 1)));
+            assert!(!f.contains(CommodityId(n))); // out of range => absent
+        }
+    }
+
+    #[test]
+    fn insert_remove_round_trip() {
+        let mut s = CommoditySet::empty(u(130)); // heap repr
+        assert!(s.insert(CommodityId(129)).unwrap());
+        assert!(!s.insert(CommodityId(129)).unwrap());
+        assert!(s.contains(CommodityId(129)));
+        assert!(s.remove(CommodityId(129)).unwrap());
+        assert!(!s.remove(CommodityId(129)).unwrap());
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut s = CommoditySet::empty(u(4));
+        assert!(matches!(
+            s.insert(CommodityId(4)),
+            Err(CommodityError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let uni = u(8);
+        let a = CommoditySet::from_ids(uni, &[0, 1, 2]).unwrap();
+        let b = CommoditySet::from_ids(uni, &[2, 3]).unwrap();
+        assert_eq!(a.union(&b).unwrap().len(), 4);
+        assert_eq!(a.intersection(&b).unwrap().len(), 1);
+        assert_eq!(a.difference(&b).unwrap().len(), 2);
+        assert!(a.intersects(&b));
+        assert!(!a.is_subset_of(&b));
+        let ab = a.intersection(&b).unwrap();
+        assert!(ab.is_subset_of(&a) && ab.is_subset_of(&b));
+    }
+
+    #[test]
+    fn universe_mismatch_rejected() {
+        let a = CommoditySet::empty(u(4));
+        let b = CommoditySet::empty(u(5));
+        assert!(matches!(
+            a.union(&b),
+            Err(CommodityError::UniverseMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn iter_in_order_across_words() {
+        let uni = u(200);
+        let ids = [0u16, 5, 63, 64, 127, 128, 199];
+        let s = CommoditySet::from_ids(uni, &ids).unwrap();
+        let got: Vec<u16> = s.iter().map(|c| c.0).collect();
+        assert_eq!(got, ids);
+        assert_eq!(s.first(), Some(CommodityId(0)));
+    }
+
+    #[test]
+    fn mask_round_trip() {
+        let uni = u(10);
+        let s = CommoditySet::from_mask(uni, 0b1010110).unwrap();
+        assert_eq!(s.to_mask(), 0b1010110);
+        assert_eq!(s.len(), 4);
+        assert!(CommoditySet::from_mask(uni, 1 << 10).is_err());
+    }
+
+    #[test]
+    fn debug_format() {
+        let s = CommoditySet::from_ids(u(8), &[1, 4]).unwrap();
+        assert_eq!(format!("{s:?}"), "{1,4}");
+    }
+
+    #[test]
+    fn equality_and_hash_consistency() {
+        use std::collections::HashSet;
+        let uni = u(300);
+        let a = CommoditySet::from_ids(uni, &[1, 200]).unwrap();
+        let b = CommoditySet::from_ids(uni, &[200, 1]).unwrap();
+        assert_eq!(a, b);
+        let mut set = HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
+    }
+}

@@ -1,0 +1,147 @@
+//! Property tests: bitset algebra laws and cost-function structure.
+
+use omfl_commodity::cost::{CostModel, FacilityCostFn};
+use omfl_commodity::props::{condition1_sampled, subadditive_sampled};
+use omfl_commodity::{CommodityId, CommoditySet, Universe};
+use proptest::prelude::*;
+
+fn set_from(u: Universe, ids: &[u16]) -> CommoditySet {
+    let ids: Vec<u16> = ids.iter().map(|&e| e % u.size()).collect();
+    CommoditySet::from_ids(u, &ids).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Set algebra laws, exercised across the inline/heap boundary
+    /// (|S| from 1 to 300).
+    #[test]
+    fn bitset_algebra_laws(
+        s in 1u16..300,
+        a_ids in prop::collection::vec(0u16..300, 0..24),
+        b_ids in prop::collection::vec(0u16..300, 0..24),
+        c_ids in prop::collection::vec(0u16..300, 0..24),
+    ) {
+        let u = Universe::new(s).unwrap();
+        let a = set_from(u, &a_ids);
+        let b = set_from(u, &b_ids);
+        let c = set_from(u, &c_ids);
+
+        // Commutativity.
+        prop_assert_eq!(a.union(&b).unwrap(), b.union(&a).unwrap());
+        prop_assert_eq!(a.intersection(&b).unwrap(), b.intersection(&a).unwrap());
+        // Associativity.
+        prop_assert_eq!(
+            a.union(&b).unwrap().union(&c).unwrap(),
+            a.union(&b.union(&c).unwrap()).unwrap()
+        );
+        // Distributivity: a ∩ (b ∪ c) = (a ∩ b) ∪ (a ∩ c).
+        prop_assert_eq!(
+            a.intersection(&b.union(&c).unwrap()).unwrap(),
+            a.intersection(&b).unwrap().union(&a.intersection(&c).unwrap()).unwrap()
+        );
+        // De Morgan via difference: a \ (b ∪ c) = (a \ b) ∩ (a \ c).
+        prop_assert_eq!(
+            a.difference(&b.union(&c).unwrap()).unwrap(),
+            a.difference(&b).unwrap().intersection(&a.difference(&c).unwrap()).unwrap()
+        );
+        // Inclusion–exclusion on sizes.
+        prop_assert_eq!(
+            a.union(&b).unwrap().len() + a.intersection(&b).unwrap().len(),
+            a.len() + b.len()
+        );
+        // Subset relations.
+        prop_assert!(a.intersection(&b).unwrap().is_subset_of(&a));
+        prop_assert!(a.is_subset_of(&a.union(&b).unwrap()));
+        prop_assert_eq!(a.intersects(&b), !a.intersection(&b).unwrap().is_empty());
+    }
+
+    /// Iteration yields exactly the members, ascending, and `len` matches.
+    #[test]
+    fn bitset_iter_round_trip(
+        s in 1u16..300,
+        ids in prop::collection::vec(0u16..300, 0..32),
+    ) {
+        let u = Universe::new(s).unwrap();
+        let set = set_from(u, &ids);
+        let got: Vec<u16> = set.iter().map(|e| e.0).collect();
+        prop_assert_eq!(got.len(), set.len());
+        prop_assert!(got.windows(2).all(|w| w[0] < w[1]), "ascending, distinct");
+        for &e in &got {
+            prop_assert!(set.contains(CommodityId(e)));
+        }
+        // Rebuilding from the iteration gives the same set.
+        prop_assert_eq!(CommoditySet::from_ids(u, &got).unwrap(), set);
+    }
+
+    /// Insert/remove are inverses.
+    #[test]
+    fn insert_remove_inverse(
+        s in 1u16..300,
+        ids in prop::collection::vec(0u16..300, 1..16),
+        probe in 0u16..300,
+    ) {
+        let u = Universe::new(s).unwrap();
+        let mut set = set_from(u, &ids);
+        let e = CommodityId(probe % s);
+        let before = set.clone();
+        let had = set.contains(e);
+        set.insert(e).unwrap();
+        prop_assert!(set.contains(e));
+        set.remove(e).unwrap();
+        prop_assert!(!set.contains(e));
+        if !had {
+            prop_assert_eq!(set, before);
+        }
+    }
+
+    /// All class-C exponents produce subadditive, Condition-1 cost
+    /// functions — the exact premises of the paper's analysis.
+    #[test]
+    fn class_c_properties_hold(
+        s in 2u16..200,
+        x in 0.0..2.0f64,
+        scale in 0.1..10.0f64,
+    ) {
+        let c = CostModel::power(s, x, scale);
+        condition1_sampled(&c, 0, 200, 7).unwrap();
+        subadditive_sampled(&c, 0, 200, 11).unwrap();
+    }
+
+    /// Cost functions are permutation-invariant where they should be:
+    /// Power and CeilSqrt depend only on |σ|.
+    #[test]
+    fn size_only_costs_are_symmetric(
+        s in 4u16..64,
+        ids in prop::collection::vec(0u16..64, 1..8),
+        shift in 1u16..8,
+    ) {
+        let u = Universe::new(s).unwrap();
+        let a = set_from(u, &ids);
+        let shifted: Vec<u16> = a.iter().map(|e| (e.0 + shift) % s).collect();
+        let b = CommoditySet::from_ids(u, &shifted).unwrap();
+        prop_assume!(a.len() == b.len()); // collisions change the size
+        for cost in [CostModel::power(s, 1.3, 2.0), CostModel::ceil_sqrt(s)] {
+            prop_assert!((cost.cost(0, &a) - cost.cost(0, &b)).abs() < 1e-12);
+        }
+    }
+
+    /// Affine and linear models price exactly as specified.
+    #[test]
+    fn affine_and_linear_price_formulas(
+        s in 2u16..64,
+        ids in prop::collection::vec(0u16..64, 1..10),
+        open in 0.0..5.0f64,
+        per in 0.1..3.0f64,
+    ) {
+        let u = Universe::new(s).unwrap();
+        let set = set_from(u, &ids);
+        let k = set.len() as f64;
+        let affine = CostModel::affine(s, open, per);
+        prop_assert!((affine.cost(0, &set) - (open + per * k)).abs() < 1e-12);
+        let linear = CostModel::linear_uniform(s, per);
+        prop_assert!((linear.cost(0, &set) - per * k).abs() < 1e-12);
+        // Empty is free for every model.
+        prop_assert_eq!(affine.cost(0, &CommoditySet::empty(u)), 0.0);
+    }
+}

@@ -1,0 +1,146 @@
+//! The online-algorithm interface shared by PD-OMFLP, RAND-OMFLP and every
+//! baseline.
+//!
+//! An online algorithm receives requests one at a time and must serve each
+//! immediately and irrevocably (paper §1): it may open facilities and must
+//! connect the request to open facilities jointly covering its demand.
+
+use crate::{instance::Instance, request::Request, solution::FacilityId, solution::Solution, CoreError};
+
+/// How one request was served.
+#[derive(Debug, Clone)]
+pub struct ServeOutcome {
+    /// Facilities opened while serving this request.
+    pub opened: Vec<FacilityId>,
+    /// Facilities (deduplicated) the request was connected to.
+    pub assigned_to: Vec<FacilityId>,
+    /// Connection cost paid for this request.
+    pub connection_cost: f64,
+    /// Construction cost paid while serving this request.
+    pub construction_cost: f64,
+    /// `true` when the request was served by a single large facility
+    /// (configuration `S`), the paper's "large" serve mode.
+    pub served_by_large: bool,
+}
+
+/// An online algorithm for the OMFLP.
+pub trait OnlineAlgorithm {
+    /// Serves the next request, updating internal state irrevocably.
+    fn serve(&mut self, request: &Request) -> Result<ServeOutcome, CoreError>;
+
+    /// The solution built so far.
+    fn solution(&self) -> &Solution;
+
+    /// Short algorithm name for experiment tables.
+    fn name(&self) -> &'static str;
+}
+
+/// Serves an entire request sequence, returning the final total cost.
+///
+/// Stops at the first error (a malformed request); by then the solution holds
+/// all previously served requests.
+pub fn run_online<A: OnlineAlgorithm + ?Sized>(
+    alg: &mut A,
+    requests: &[Request],
+) -> Result<f64, CoreError> {
+    for r in requests {
+        alg.serve(r)?;
+    }
+    Ok(alg.solution().total_cost())
+}
+
+/// Serves a sequence and verifies the resulting solution against the
+/// instance. Intended for tests and the experiment harness, where a silent
+/// infeasibility would invalidate every measured ratio.
+pub fn run_online_verified<A: OnlineAlgorithm + ?Sized>(
+    alg: &mut A,
+    inst: &Instance,
+    requests: &[Request],
+) -> Result<f64, CoreError> {
+    let cost = run_online(alg, requests)?;
+    alg.solution().verify(inst)?;
+    Ok(cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omfl_commodity::cost::CostModel;
+    use omfl_commodity::CommoditySet;
+    use omfl_metric::{line::LineMetric, PointId};
+
+    /// A trivial test algorithm: opens a dedicated full facility at every
+    /// request's location (correct but expensive).
+    struct OpenEverywhere<'a> {
+        inst: &'a Instance,
+        sol: Solution,
+    }
+
+    impl OnlineAlgorithm for OpenEverywhere<'_> {
+        fn serve(&mut self, request: &Request) -> Result<ServeOutcome, CoreError> {
+            request.validate(self.inst)?;
+            let config = CommoditySet::full(self.inst.universe());
+            let cost = self.inst.facility_cost(request.location(), &config);
+            let f = self.sol.open_facility(self.inst, request.location(), config);
+            let a = self.sol.assign(self.inst, request.clone(), &[f]);
+            Ok(ServeOutcome {
+                opened: vec![f],
+                assigned_to: a.facilities.clone(),
+                connection_cost: a.connection_cost,
+                construction_cost: cost,
+                served_by_large: true,
+            })
+        }
+
+        fn solution(&self) -> &Solution {
+            &self.sol
+        }
+
+        fn name(&self) -> &'static str {
+            "open-everywhere"
+        }
+    }
+
+    #[test]
+    fn run_online_accumulates_and_verifies() {
+        let inst = Instance::new(
+            Box::new(LineMetric::new(vec![0.0, 1.0]).unwrap()),
+            2,
+            CostModel::power(2, 1.0, 3.0),
+        )
+        .unwrap();
+        let u = inst.universe();
+        let reqs = vec![
+            Request::new(PointId(0), CommoditySet::from_ids(u, &[0]).unwrap()),
+            Request::new(PointId(1), CommoditySet::from_ids(u, &[0, 1]).unwrap()),
+        ];
+        let mut alg = OpenEverywhere {
+            inst: &inst,
+            sol: Solution::new(),
+        };
+        let cost = run_online_verified(&mut alg, &inst, &reqs).unwrap();
+        // Two large facilities at 3·sqrt(2) each; zero connection cost.
+        assert!((cost - 2.0 * 3.0 * 2f64.sqrt()).abs() < 1e-12);
+        assert_eq!(alg.name(), "open-everywhere");
+    }
+
+    #[test]
+    fn run_online_stops_on_bad_request() {
+        let inst = Instance::new(
+            Box::new(LineMetric::new(vec![0.0]).unwrap()),
+            2,
+            CostModel::power(2, 1.0, 1.0),
+        )
+        .unwrap();
+        let u = inst.universe();
+        let reqs = vec![Request::new(
+            PointId(9), // out of range
+            CommoditySet::from_ids(u, &[0]).unwrap(),
+        )];
+        let mut alg = OpenEverywhere {
+            inst: &inst,
+            sol: Solution::new(),
+        };
+        assert!(run_online(&mut alg, &reqs).is_err());
+    }
+}

@@ -1,0 +1,151 @@
+//! Closed-form bound curves from the paper, used by the experiment harness
+//! to print "paper shape" columns next to measured ratios.
+//!
+//! * Theorem 2 / Corollary 3: lower bound `Ω(√|S| + log n / log log n)`;
+//! * Theorem 4: PD-OMFLP is `O(√|S| · log n)`;
+//! * Theorem 19: RAND-OMFLP is `O(√|S| · log n / log log n)`;
+//! * Theorem 18 / Figure 2: for class-C costs `g_x(σ) = |σ|^{x/2}`, upper
+//!   `O(√|S|^{(2x−x²)/2} · log n)` and lower
+//!   `Ω(min{√|S|^{(2−x)/2}, √|S|^{x/2}} + log n / log log n)`.
+//!
+//! These are *shapes* (no hidden constants); the harness normalizes them
+//! against measurements at a reference point.
+
+/// `√|S|` — the small/large threshold of the general analysis.
+pub fn sqrt_s(s: usize) -> f64 {
+    (s as f64).sqrt()
+}
+
+/// `log n / log log n`, the single-commodity online facility location bound
+/// (Fotakis). Defined as 1 for `n < 4` to avoid degenerate denominators.
+pub fn log_over_loglog(n: usize) -> f64 {
+    if n < 4 {
+        return 1.0;
+    }
+    let ln = (n as f64).ln();
+    ln / ln.ln().max(1.0)
+}
+
+/// Theorem 4 shape: `√|S| · ln n`.
+pub fn pd_upper(s: usize, n: usize) -> f64 {
+    sqrt_s(s) * (n.max(2) as f64).ln()
+}
+
+/// Theorem 19 shape: `√|S| · ln n / ln ln n`.
+pub fn rand_upper(s: usize, n: usize) -> f64 {
+    sqrt_s(s) * log_over_loglog(n)
+}
+
+/// Corollary 3 shape: `√|S| + ln n / ln ln n`.
+pub fn general_lower(s: usize, n: usize) -> f64 {
+    sqrt_s(s) + log_over_loglog(n)
+}
+
+/// The trivial per-commodity decomposition shape (§1.3): `|S| · ln n / ln ln n`.
+pub fn decomposition_upper(s: usize, n: usize) -> f64 {
+    s as f64 * log_over_loglog(n)
+}
+
+/// Figure 2 upper curve: `√|S|^{(2x−x²)/2} = |S|^{(2x−x²)/4}`.
+///
+/// Equals 1 at `x = 0`, peaks at `|S|^{1/4}` at `x = 1`, returns to 1 at
+/// `x = 2`.
+pub fn class_c_upper(s: usize, x: f64) -> f64 {
+    (s as f64).powf((2.0 * x - x * x) / 4.0)
+}
+
+/// Figure 2 lower curve: `min{√|S|^{(2−x)/2}, √|S|^{x/2}}
+/// = min{|S|^{(2−x)/4}, |S|^{x/4}}`.
+pub fn class_c_lower(s: usize, x: f64) -> f64 {
+    let sf = s as f64;
+    sf.powf((2.0 - x) / 4.0).min(sf.powf(x / 4.0))
+}
+
+/// The §3.3 analysis threshold `a = g_x(|S|) = √|S|^x` separating "small"
+/// from "large" configurations in the refined proof.
+pub fn class_c_threshold(s: usize, x: f64) -> f64 {
+    (s as f64).sqrt().powf(x)
+}
+
+/// Tabulates the two Figure 2 curves over `x ∈ [0, 2]` with `points`
+/// samples — exactly the data the paper plots for `|S| = 10,000`.
+pub fn figure2_table(s: usize, points: usize) -> Vec<(f64, f64, f64)> {
+    assert!(points >= 2);
+    (0..points)
+        .map(|i| {
+            let x = 2.0 * i as f64 / (points - 1) as f64;
+            (x, class_c_upper(s, x), class_c_lower(s, x))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_endpoints_and_peak() {
+        // Paper: "For x ∈ {0, 1, 2} the functions have the same value" and
+        // "both have a peak of value 4√|S| at x = 1" (for |S| = 10,000:
+        // 4√10000 = 10).
+        let s = 10_000;
+        for &x in &[0.0, 1.0, 2.0] {
+            assert!(
+                (class_c_upper(s, x) - class_c_lower(s, x)).abs() < 1e-9,
+                "curves must agree at x = {x}"
+            );
+        }
+        assert!((class_c_upper(s, 1.0) - 10.0).abs() < 1e-9);
+        assert!((class_c_lower(s, 1.0) - 10.0).abs() < 1e-9);
+        assert!((class_c_upper(s, 0.0) - 1.0).abs() < 1e-9);
+        assert!((class_c_upper(s, 2.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn upper_dominates_lower_on_class_c() {
+        let s = 4096;
+        for i in 0..=40 {
+            let x = 2.0 * i as f64 / 40.0;
+            assert!(
+                class_c_upper(s, x) >= class_c_lower(s, x) - 1e-9,
+                "upper < lower at x = {x}"
+            );
+        }
+    }
+
+    #[test]
+    fn figure2_table_shape() {
+        let t = figure2_table(10_000, 51);
+        assert_eq!(t.len(), 51);
+        assert_eq!(t[0].0, 0.0);
+        assert_eq!(t[50].0, 2.0);
+        // Peak at the middle sample (x = 1).
+        let max = t
+            .iter()
+            .map(|&(_, u, _)| u)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!((t[25].1 - max).abs() < 1e-9);
+    }
+
+    #[test]
+    fn monotone_growth_in_s_and_n() {
+        assert!(pd_upper(64, 100) < pd_upper(256, 100));
+        assert!(pd_upper(64, 100) < pd_upper(64, 1000));
+        assert!(rand_upper(64, 1000) < pd_upper(64, 1000));
+        assert!(general_lower(64, 100) < decomposition_upper(64, 100));
+    }
+
+    #[test]
+    fn log_over_loglog_degenerate_inputs() {
+        assert_eq!(log_over_loglog(0), 1.0);
+        assert_eq!(log_over_loglog(3), 1.0);
+        assert!(log_over_loglog(1_000_000) > 1.0);
+    }
+
+    #[test]
+    fn threshold_matches_sqrt_s_at_x1() {
+        assert!((class_c_threshold(100, 1.0) - 10.0).abs() < 1e-9);
+        assert!((class_c_threshold(100, 2.0) - 100.0).abs() < 1e-9);
+        assert!((class_c_threshold(100, 0.0) - 1.0).abs() < 1e-9);
+    }
+}

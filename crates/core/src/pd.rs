@@ -1,0 +1,667 @@
+//! PD-OMFLP — the deterministic primal–dual online algorithm (Algorithm 1,
+//! paper §3), `O(√|S|·log n)`-competitive.
+//!
+//! # How the continuous process is simulated
+//!
+//! On arrival of request `r`, the paper raises all unserved dual variables
+//! `a_{re}` simultaneously until one of four constraint families becomes
+//! tight:
+//!
+//! 1. `a_{re} = d(F(e), r)` — connect `e` to the nearest open facility
+//!    offering `e`;
+//! 2. `Σ_{e∈sr} a_{re} = d(F̂, r)` — connect the whole request to the nearest
+//!    open *large* facility;
+//! 3. `(a_{re} − d(m,r))⁺ + B[m][e] = f^{e}_m` — open a *temporary* small
+//!    facility for `e` at `m`;
+//! 4. `(Σ_e a_{re} − d(m,r))⁺ + B̂[m] = f^{S}_m` — open a large facility at
+//!    `m` and serve everything there.
+//!
+//! `B[m][e] = Σ_j (min{a_{je}, d(F(e), j)} − d(m,j))⁺` and
+//! `B̂[m] = Σ_j (min{Σ_e a_{je}, d(F̂, j)} − d(m,j))⁺` are the *reinvested
+//! bids* of earlier requests. During a single arrival no open-facility set
+//! changes (temporary facilities do not count as open; a large opening ends
+//! the arrival), so every target above is a constant computed once per
+//! arrival and the continuous race reduces to a discrete event loop.
+//!
+//! Between arrivals the bid caps `c_{je} = min(a_{je}, d(F(e), j))` only
+//! shrink (facilities are never closed), so `B`/`B̂` are maintained
+//! incrementally: additions when a request's duals freeze, subtractions when
+//! a newly opened facility lowers a cap.
+//!
+//! Tie-breaking is deterministic and documented: large-connect before
+//! large-open before small-connect before small-open; among commodities,
+//! ascending id; among locations, ascending point id (via strict `<` when
+//! scanning minima).
+
+use crate::algorithm::{OnlineAlgorithm, ServeOutcome};
+use crate::instance::Instance;
+use crate::request::Request;
+use crate::solution::{FacilityId, Solution};
+use crate::{harmonic, CoreError, EPS};
+use omfl_commodity::{CommodityId, CommoditySet};
+use omfl_metric::PointId;
+
+/// Frozen per-request state kept for bid reinvestment.
+#[derive(Debug, Clone)]
+pub struct PastRequest {
+    /// Where the request appeared.
+    pub location: PointId,
+    /// The demanded commodities, ascending.
+    pub commodities: Vec<CommodityId>,
+    /// Frozen dual values `a_{re}`, parallel to `commodities`.
+    pub duals: Vec<f64>,
+    /// Current caps `c_{re} = min(a_{re}, d(F(e), r))`, parallel to
+    /// `commodities`; shrink when new facilities open.
+    pub caps: Vec<f64>,
+    /// Current cap `ĉ_r = min(Σ_e a_{re}, d(F̂, r))`.
+    pub cap_total: f64,
+}
+
+impl PastRequest {
+    /// `Σ_e a_{re}` — the request's total dual investment.
+    pub fn dual_sum(&self) -> f64 {
+        self.duals.iter().sum()
+    }
+}
+
+/// The deterministic primal–dual algorithm PD-OMFLP.
+pub struct PdOmflp<'a> {
+    inst: &'a Instance,
+    sol: Solution,
+    past: Vec<PastRequest>,
+    /// For each commodity, `(past request index, member slot)` of earlier
+    /// requests demanding it — the update set when a small facility opens.
+    past_by_e: Vec<Vec<(u32, u16)>>,
+    /// Open small facilities offering commodity `e`.
+    small_by_e: Vec<Vec<FacilityId>>,
+    /// Open large facilities.
+    large_facs: Vec<FacilityId>,
+    /// `B[m][e]`, flat `m * |S| + e`.
+    b_small: Vec<f64>,
+    /// `B̂[m]`.
+    b_large: Vec<f64>,
+    /// Cached `f^{e}_m`, flat `m * |S| + e`.
+    f_small: Vec<f64>,
+    /// Cached `f^{S}_m`.
+    f_full: Vec<f64>,
+    /// Scratch: `d(m, r)` for the current arrival.
+    dist_row: Vec<f64>,
+    /// Running `Σ_r Σ_e a_{re}` for the Corollary 8 check.
+    dual_sum: f64,
+}
+
+/// Per-member outcome inside one arrival.
+#[derive(Clone, Copy, Debug)]
+enum MemberServe {
+    /// Connected to an existing facility (constraint 1).
+    Existing(FacilityId),
+    /// Temporary small facility at this location (constraint 3).
+    Temp(PointId),
+}
+
+impl<'a> PdOmflp<'a> {
+    /// Creates the algorithm over an instance. Precomputes the per-location
+    /// small and large facility costs (`O(|M|·|S|)` memory — the same order
+    /// as the bid matrix the analysis requires).
+    pub fn new(inst: &'a Instance) -> Self {
+        let m = inst.num_points();
+        let s = inst.num_commodities();
+        let mut f_small = vec![0.0; m * s];
+        let mut f_full = vec![0.0; m];
+        for p in 0..m {
+            for e in 0..s {
+                f_small[p * s + e] = inst.small_cost(PointId(p as u32), CommodityId(e as u16));
+            }
+            f_full[p] = inst.large_cost(PointId(p as u32));
+        }
+        Self {
+            inst,
+            sol: Solution::new(),
+            past: Vec::new(),
+            past_by_e: vec![Vec::new(); s],
+            small_by_e: vec![Vec::new(); s],
+            large_facs: Vec::new(),
+            b_small: vec![0.0; m * s],
+            b_large: vec![0.0; m],
+            f_small,
+            f_full,
+            dist_row: vec![0.0; m],
+            dual_sum: 0.0,
+        }
+    }
+
+    /// The instance the algorithm runs on.
+    pub fn instance(&self) -> &Instance {
+        self.inst
+    }
+
+    /// Frozen dual state of all served requests (for the validator and the
+    /// dual lower bound).
+    pub fn past_requests(&self) -> &[PastRequest] {
+        &self.past
+    }
+
+    /// `Σ_r Σ_e a_{re}` over all served requests.
+    pub fn dual_sum(&self) -> f64 {
+        self.dual_sum
+    }
+
+    /// The dual-feasibility lower bound on OPT from Corollary 17: the duals
+    /// scaled by `γ = 1 / (5 √|S| H_n)` are dual-feasible, so
+    /// `γ · Σ a ≤ OPT`.
+    pub fn scaled_dual_lower_bound(&self) -> f64 {
+        let n = self.past.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let gamma = 1.0 / (5.0 * (self.inst.num_commodities() as f64).sqrt() * harmonic(n));
+        gamma * self.dual_sum
+    }
+
+    /// Nearest open facility offering commodity `e` (small-for-`e` or large).
+    fn nearest_offering(&self, e: CommodityId, from: PointId) -> Option<(FacilityId, f64)> {
+        let mut best: Option<(FacilityId, f64)> = None;
+        let consider = |best: &mut Option<(FacilityId, f64)>, fid: FacilityId, d: f64| {
+            match *best {
+                Some((_, bd)) if bd <= d => {}
+                _ => *best = Some((fid, d)),
+            }
+        };
+        for &fid in &self.small_by_e[e.index()] {
+            let d = self
+                .inst
+                .distance(from, self.sol.facilities()[fid.index()].location);
+            consider(&mut best, fid, d);
+        }
+        for &fid in &self.large_facs {
+            let d = self
+                .inst
+                .distance(from, self.sol.facilities()[fid.index()].location);
+            consider(&mut best, fid, d);
+        }
+        best
+    }
+
+    /// Nearest open large facility.
+    fn nearest_large(&self, from: PointId) -> Option<(FacilityId, f64)> {
+        let mut best: Option<(FacilityId, f64)> = None;
+        for &fid in &self.large_facs {
+            let d = self
+                .inst
+                .distance(from, self.sol.facilities()[fid.index()].location);
+            match best {
+                Some((_, bd)) if bd <= d => {}
+                _ => best = Some((fid, d)),
+            }
+        }
+        best
+    }
+
+    /// Applies cap shrinkage for past requests after a *small* facility for
+    /// `e` opened at `at`.
+    fn post_open_small(&mut self, e: CommodityId, at: PointId) {
+        let s = self.inst.num_commodities();
+        let m = self.inst.num_points();
+        for &(pi, slot) in &self.past_by_e[e.index()] {
+            let pr = &self.past[pi as usize];
+            let dj = self.inst.distance(at, pr.location);
+            let old = pr.caps[slot as usize];
+            if dj < old {
+                let loc = pr.location;
+                for p in 0..m {
+                    let dpj = self.inst.distance(PointId(p as u32), loc);
+                    let delta = (old - dpj).max(0.0) - (dj - dpj).max(0.0);
+                    self.b_small[p * s + e.index()] -= delta;
+                }
+                self.past[pi as usize].caps[slot as usize] = dj;
+            }
+        }
+    }
+
+    /// Applies cap shrinkage after a *large* facility opened at `at`:
+    /// it joins `F̂` and every `F(e)`.
+    fn post_open_large(&mut self, at: PointId) {
+        let s = self.inst.num_commodities();
+        let m = self.inst.num_points();
+        for pi in 0..self.past.len() {
+            let loc = self.past[pi].location;
+            let dj = self.inst.distance(at, loc);
+            // Large-facility cap.
+            let old_total = self.past[pi].cap_total;
+            if dj < old_total {
+                for p in 0..m {
+                    let dpj = self.inst.distance(PointId(p as u32), loc);
+                    let delta = (old_total - dpj).max(0.0) - (dj - dpj).max(0.0);
+                    self.b_large[p] -= delta;
+                }
+                self.past[pi].cap_total = dj;
+            }
+            // Per-commodity caps (a large facility offers every commodity).
+            for slot in 0..self.past[pi].commodities.len() {
+                let old = self.past[pi].caps[slot];
+                if dj < old {
+                    let e = self.past[pi].commodities[slot];
+                    for p in 0..m {
+                        let dpj = self.inst.distance(PointId(p as u32), loc);
+                        let delta = (old - dpj).max(0.0) - (dj - dpj).max(0.0);
+                        self.b_small[p * s + e.index()] -= delta;
+                    }
+                    self.past[pi].caps[slot] = dj;
+                }
+            }
+        }
+    }
+
+    /// Freezes the served request's duals into the bid matrices.
+    fn freeze(&mut self, request: &Request, members: &[CommodityId], duals: &[f64]) {
+        let s = self.inst.num_commodities();
+        let m = self.inst.num_points();
+        let loc = request.location();
+        let pi = self.past.len() as u32;
+        let mut caps = Vec::with_capacity(members.len());
+        for (slot, (&e, &a)) in members.iter().zip(duals).enumerate() {
+            let d_fe = self
+                .nearest_offering(e, loc)
+                .map(|(_, d)| d)
+                .unwrap_or(f64::INFINITY);
+            let cap = a.min(d_fe);
+            caps.push(cap);
+            if cap > 0.0 {
+                for p in 0..m {
+                    let add = (cap - self.dist_row[p]).max(0.0);
+                    self.b_small[p * s + e.index()] += add;
+                }
+            }
+            self.past_by_e[e.index()].push((pi, slot as u16));
+        }
+        let total: f64 = duals.iter().sum();
+        let d_fhat = self
+            .nearest_large(loc)
+            .map(|(_, d)| d)
+            .unwrap_or(f64::INFINITY);
+        let cap_total = total.min(d_fhat);
+        if cap_total > 0.0 {
+            for p in 0..m {
+                self.b_large[p] += (cap_total - self.dist_row[p]).max(0.0);
+            }
+        }
+        self.dual_sum += total;
+        self.past.push(PastRequest {
+            location: loc,
+            commodities: members.to_vec(),
+            duals: duals.to_vec(),
+            caps,
+            cap_total,
+        });
+    }
+}
+
+/// `a` is tight against target `t` (reached within tolerance).
+#[inline]
+fn tight(value: f64, target: f64) -> bool {
+    value >= target - EPS * (1.0 + target.abs())
+}
+
+impl OnlineAlgorithm for PdOmflp<'_> {
+    fn serve(&mut self, request: &Request) -> Result<ServeOutcome, CoreError> {
+        request.validate(self.inst)?;
+        let loc = request.location();
+        let s = self.inst.num_commodities();
+        let mpts = self.inst.num_points();
+        let members: Vec<CommodityId> = request.demand().iter().collect();
+        let k = members.len();
+
+        // Distance row d(m, r), reused everywhere this arrival.
+        for p in 0..mpts {
+            self.dist_row[p] = self.inst.distance(PointId(p as u32), loc);
+        }
+
+        // Per-commodity targets t1 (connect) / t3 (temp open) and joint
+        // targets t2 (connect large) / t4 (open large). All constant during
+        // the arrival (see module docs).
+        let mut t1 = vec![f64::INFINITY; k];
+        let mut t1_fac: Vec<Option<FacilityId>> = vec![None; k];
+        let mut t3 = vec![f64::INFINITY; k];
+        let mut t3_loc = vec![PointId(0); k];
+        for (i, &e) in members.iter().enumerate() {
+            if let Some((fid, d)) = self.nearest_offering(e, loc) {
+                t1[i] = d;
+                t1_fac[i] = Some(fid);
+            }
+            let mut best = f64::INFINITY;
+            let mut best_m = PointId(0);
+            for p in 0..mpts {
+                let v = (self.f_small[p * s + e.index()] - self.b_small[p * s + e.index()])
+                    .max(0.0)
+                    + self.dist_row[p];
+                if v < best {
+                    best = v;
+                    best_m = PointId(p as u32);
+                }
+            }
+            t3[i] = best;
+            t3_loc[i] = best_m;
+        }
+        let (t2, t2_fac) = match self.nearest_large(loc) {
+            Some((fid, d)) => (d, Some(fid)),
+            None => (f64::INFINITY, None),
+        };
+        let mut t4 = f64::INFINITY;
+        let mut t4_loc = PointId(0);
+        for p in 0..mpts {
+            let v = (self.f_full[p] - self.b_large[p]).max(0.0) + self.dist_row[p];
+            if v < t4 {
+                t4 = v;
+                t4_loc = PointId(p as u32);
+            }
+        }
+
+        // Event loop: raise unserved duals simultaneously.
+        let mut a = vec![0.0f64; k];
+        let mut outcome: Vec<Option<MemberServe>> = vec![None; k];
+        let mut total: f64 = 0.0; // Σ_e a_{re}, frozen + growing
+        let mut large_mode: Option<(Option<FacilityId>, PointId, bool)> = None; // (existing, open-at, is_open)
+        loop {
+            let unserved: Vec<usize> = (0..k).filter(|&i| outcome[i].is_none()).collect();
+            let u = unserved.len();
+            if u == 0 {
+                break;
+            }
+            // Next event distance.
+            let mut delta = f64::INFINITY;
+            for &i in &unserved {
+                delta = delta.min(t1[i] - a[i]).min(t3[i] - a[i]);
+            }
+            delta = delta
+                .min((t2 - total) / u as f64)
+                .min((t4 - total) / u as f64);
+            debug_assert!(delta.is_finite(), "t3/t4 are always finite");
+            let delta = delta.max(0.0);
+            for &i in &unserved {
+                a[i] += delta;
+            }
+            total += delta * u as f64;
+
+            // Priority: large-connect, large-open, small-connect, small-open.
+            if tight(total, t2) {
+                large_mode = Some((t2_fac, PointId(0), false));
+                break;
+            }
+            if tight(total, t4) {
+                large_mode = Some((None, t4_loc, true));
+                break;
+            }
+            let mut progressed = false;
+            for &i in &unserved {
+                if outcome[i].is_none() && tight(a[i], t1[i]) {
+                    outcome[i] = Some(MemberServe::Existing(
+                        t1_fac[i].expect("finite t1 implies a facility"),
+                    ));
+                    progressed = true;
+                }
+            }
+            for &i in &unserved {
+                if outcome[i].is_none() && tight(a[i], t3[i]) {
+                    outcome[i] = Some(MemberServe::Temp(t3_loc[i]));
+                    progressed = true;
+                }
+            }
+            debug_assert!(progressed, "event loop must make progress each iteration");
+            if !progressed {
+                // Defensive: force the cheapest pending target to fire so a
+                // floating-point corner cannot hang the loop.
+                let (&i, _) = unserved
+                    .iter()
+                    .zip(std::iter::repeat(()))
+                    .min_by(|(&x, _), (&y, _)| {
+                        let vx = t1[x].min(t3[x]) - a[x];
+                        let vy = t1[y].min(t3[y]) - a[y];
+                        vx.partial_cmp(&vy).expect("finite")
+                    })
+                    .expect("unserved non-empty");
+                outcome[i] = Some(if t1[i] <= t3[i] {
+                    MemberServe::Existing(t1_fac[i].expect("finite t1"))
+                } else {
+                    MemberServe::Temp(t3_loc[i])
+                });
+            }
+        }
+
+        // Realize the outcome.
+        let start_con = self.sol.construction_cost();
+        let mut opened = Vec::new();
+        let (assigned, served_by_large) = match large_mode {
+            Some((Some(fid), _, false)) => (vec![fid], true),
+            Some((_, at, true)) => {
+                let fid =
+                    self.sol
+                        .open_facility(self.inst, at, CommoditySet::full(self.inst.universe()));
+                self.large_facs.push(fid);
+                opened.push(fid);
+                self.post_open_large(at);
+                (vec![fid], true)
+            }
+            Some((None, _, false)) => unreachable!("large-connect requires a facility"),
+            None => {
+                // Small mode: open all temporary facilities, collect targets.
+                let mut fids = Vec::with_capacity(k);
+                for (i, &e) in members.iter().enumerate() {
+                    match outcome[i].expect("all members served") {
+                        MemberServe::Existing(fid) => fids.push(fid),
+                        MemberServe::Temp(at) => {
+                            let config = CommoditySet::singleton(self.inst.universe(), e)
+                                .map_err(CoreError::Commodity)?;
+                            let fid = self.sol.open_facility(self.inst, at, config);
+                            self.small_by_e[e.index()].push(fid);
+                            opened.push(fid);
+                            self.post_open_small(e, at);
+                            fids.push(fid);
+                        }
+                    }
+                }
+                (fids, false)
+            }
+        };
+        let assignment = self.sol.assign(self.inst, request.clone(), &assigned);
+        let connection_cost = assignment.connection_cost;
+        let assigned_to = assignment.facilities.clone();
+
+        // Freeze duals into the bid matrices (after openings, so caps see
+        // the new facility sets).
+        self.freeze(request, &members, &a);
+
+        Ok(ServeOutcome {
+            opened,
+            assigned_to,
+            connection_cost,
+            construction_cost: self.sol.construction_cost() - start_con,
+            served_by_large,
+        })
+    }
+
+    fn solution(&self) -> &Solution {
+        &self.sol
+    }
+
+    fn name(&self) -> &'static str {
+        "pd-omflp"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::run_online_verified;
+    use omfl_commodity::cost::CostModel;
+    use omfl_metric::line::LineMetric;
+
+    fn single_point_inst(s: u16) -> Instance {
+        Instance::new(
+            Box::new(LineMetric::single_point()),
+            s,
+            CostModel::ceil_sqrt(s),
+        )
+        .unwrap()
+    }
+
+    fn req(inst: &Instance, loc: u32, ids: &[u16]) -> Request {
+        Request::new(
+            PointId(loc),
+            CommoditySet::from_ids(inst.universe(), ids).unwrap(),
+        )
+    }
+
+    #[test]
+    fn first_request_opens_small_facility() {
+        let inst = single_point_inst(16);
+        let mut alg = PdOmflp::new(&inst);
+        let out = alg.serve(&req(&inst, 0, &[3])).unwrap();
+        assert_eq!(out.opened.len(), 1);
+        assert!(!out.served_by_large);
+        assert_eq!(alg.solution().num_small_facilities(), 1);
+        // Small facility cost under ceil-sqrt is 1; zero distance.
+        assert!((alg.solution().total_cost() - 1.0).abs() < 1e-9);
+        // The dual reached f^{e}_m = 1.
+        assert!((alg.past_requests()[0].duals[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn theorem2_gadget_switches_to_large_facility() {
+        // |S| = 16, sqrt = 4, g(σ) = ceil(|σ|/4): distinct singleton requests
+        // on one point. PD opens small facilities until the accumulated bids
+        // pay for the large facility (f^S = 4), then switches; afterwards
+        // everything is served for free.
+        let inst = single_point_inst(16);
+        let mut alg = PdOmflp::new(&inst);
+        for e in 0..16u16 {
+            alg.serve(&req(&inst, 0, &[e])).unwrap();
+        }
+        alg.solution().verify(&inst).unwrap();
+        assert_eq!(
+            alg.solution().num_large_facilities(),
+            1,
+            "exactly one large facility must open"
+        );
+        let smalls = alg.solution().num_small_facilities();
+        assert!(
+            (3..=5).contains(&smalls),
+            "≈√S small facilities before the switch, got {smalls}"
+        );
+        // Total cost ≈ smalls·1 + 4; OPT for all of S is 4 ⇒ ratio O(1)·√S-ish.
+        let cost = alg.solution().total_cost();
+        assert!(cost <= 10.0, "cost {cost} should be ≈ √S + f^S");
+    }
+
+    #[test]
+    fn served_by_large_after_large_exists() {
+        let inst = single_point_inst(16);
+        let mut alg = PdOmflp::new(&inst);
+        for e in 0..16u16 {
+            alg.serve(&req(&inst, 0, &[e])).unwrap();
+        }
+        // A fresh request is served by the (distance 0) large facility with
+        // zero dual growth.
+        let out = alg.serve(&req(&inst, 0, &[0, 5, 9])).unwrap();
+        assert!(out.served_by_large);
+        assert!(out.opened.is_empty());
+        assert_eq!(out.connection_cost, 0.0);
+    }
+
+    #[test]
+    fn connect_to_existing_small_facility_when_close() {
+        // Two points at distance 0.1; singleton cost is 5. The second
+        // request should connect (paying 0.1) rather than open (paying 5).
+        let inst = Instance::new(
+            Box::new(LineMetric::new(vec![0.0, 0.1]).unwrap()),
+            4,
+            CostModel::power(4, 1.0, 5.0),
+        )
+        .unwrap();
+        let mut alg = PdOmflp::new(&inst);
+        alg.serve(&req(&inst, 0, &[2])).unwrap();
+        let before = alg.solution().facilities().len();
+        let out = alg.serve(&req(&inst, 1, &[2])).unwrap();
+        assert_eq!(alg.solution().facilities().len(), before, "no new facility");
+        assert!((out.connection_cost - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_commodity_request_is_fully_covered() {
+        let inst = Instance::new(
+            Box::new(LineMetric::new(vec![0.0, 2.0, 5.0]).unwrap()),
+            6,
+            CostModel::power(6, 1.0, 1.5),
+        )
+        .unwrap();
+        let reqs = vec![
+            req(&inst, 0, &[0, 1]),
+            req(&inst, 1, &[1, 2, 3]),
+            req(&inst, 2, &[0, 4, 5]),
+            req(&inst, 1, &[0, 1, 2, 3, 4, 5]),
+        ];
+        let mut alg = PdOmflp::new(&inst);
+        run_online_verified(&mut alg, &inst, &reqs).unwrap();
+        assert_eq!(alg.solution().num_requests(), 4);
+    }
+
+    #[test]
+    fn corollary8_cost_at_most_three_dual_sums() {
+        let inst = Instance::new(
+            Box::new(LineMetric::uniform(8, 10.0).unwrap()),
+            8,
+            CostModel::power(8, 1.0, 2.0),
+        )
+        .unwrap();
+        let mut alg = PdOmflp::new(&inst);
+        let mut reqs = Vec::new();
+        for i in 0..20u32 {
+            let loc = (i * 3) % 8;
+            let ids = [(i % 8) as u16, ((i * 5 + 1) % 8) as u16];
+            reqs.push(req(&inst, loc, &ids));
+        }
+        run_online_verified(&mut alg, &inst, &reqs).unwrap();
+        let cost = alg.solution().total_cost();
+        assert!(
+            cost <= 3.0 * alg.dual_sum() + 1e-6,
+            "Corollary 8 violated: cost {cost} > 3·Σa = {}",
+            3.0 * alg.dual_sum()
+        );
+    }
+
+    #[test]
+    fn dual_lower_bound_is_positive_and_below_cost() {
+        let inst = single_point_inst(16);
+        let mut alg = PdOmflp::new(&inst);
+        for e in 0..8u16 {
+            alg.serve(&req(&inst, 0, &[e])).unwrap();
+        }
+        let lb = alg.scaled_dual_lower_bound();
+        assert!(lb > 0.0);
+        assert!(lb <= alg.solution().total_cost() + 1e-9);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let inst = Instance::new(
+            Box::new(LineMetric::uniform(5, 4.0).unwrap()),
+            5,
+            CostModel::power(5, 1.0, 1.0),
+        )
+        .unwrap();
+        let reqs: Vec<Request> = (0..12u32)
+            .map(|i| req(&inst, i % 5, &[(i % 5) as u16, ((i + 2) % 5) as u16]))
+            .collect();
+        let run = |_| {
+            let mut alg = PdOmflp::new(&inst);
+            for r in &reqs {
+                alg.serve(r).unwrap();
+            }
+            (
+                alg.solution().total_cost(),
+                alg.solution().facilities().len(),
+                alg.dual_sum(),
+            )
+        };
+        assert_eq!(run(0), run(1));
+    }
+}

@@ -1,0 +1,112 @@
+//! Requests: a location plus a demanded commodity set (paper §1.1).
+
+use crate::{CoreError, instance::Instance};
+use omfl_commodity::CommoditySet;
+use omfl_metric::PointId;
+
+/// Index of a request in arrival order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RequestId(pub u32);
+
+impl RequestId {
+    /// The request index as `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A single online request `r` at a point demanding `sr ⊆ S`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    location: PointId,
+    demand: CommoditySet,
+}
+
+impl Request {
+    /// Creates a request. Panics if the demand is empty — the model requires
+    /// `sr ≠ ∅`; use [`Request::try_new`] for fallible construction.
+    pub fn new(location: PointId, demand: CommoditySet) -> Self {
+        Self::try_new(location, demand).expect("request demand must be non-empty")
+    }
+
+    /// Fallible constructor: rejects empty demands.
+    pub fn try_new(location: PointId, demand: CommoditySet) -> Result<Self, CoreError> {
+        if demand.is_empty() {
+            return Err(CoreError::BadRequest(
+                "request must demand at least one commodity".into(),
+            ));
+        }
+        Ok(Self { location, demand })
+    }
+
+    /// Where the request appears.
+    #[inline]
+    pub fn location(&self) -> PointId {
+        self.location
+    }
+
+    /// The demanded commodity set `sr`.
+    #[inline]
+    pub fn demand(&self) -> &CommoditySet {
+        &self.demand
+    }
+
+    /// Validates the request against an instance (point range, universe).
+    pub fn validate(&self, inst: &Instance) -> Result<(), CoreError> {
+        inst.check_point(self.location)?;
+        if self.demand.universe_size() != inst.universe().size() {
+            return Err(CoreError::BadRequest(format!(
+                "request demand universe {} does not match instance universe {}",
+                self.demand.universe_size(),
+                inst.universe().size()
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omfl_commodity::cost::CostModel;
+    use omfl_commodity::Universe;
+    use omfl_metric::line::LineMetric;
+
+    #[test]
+    fn empty_demand_rejected() {
+        let u = Universe::new(3).unwrap();
+        let err = Request::try_new(PointId(0), CommoditySet::empty(u)).unwrap_err();
+        assert!(matches!(err, CoreError::BadRequest(_)));
+    }
+
+    #[test]
+    fn validate_against_instance() {
+        let inst = Instance::new(
+            Box::new(LineMetric::new(vec![0.0, 1.0]).unwrap()),
+            3,
+            CostModel::power(3, 1.0, 1.0),
+        )
+        .unwrap();
+        let u = inst.universe();
+        let ok = Request::new(PointId(1), CommoditySet::from_ids(u, &[0, 2]).unwrap());
+        ok.validate(&inst).unwrap();
+
+        let bad_point = Request::new(PointId(5), CommoditySet::from_ids(u, &[0]).unwrap());
+        assert!(bad_point.validate(&inst).is_err());
+
+        let other_u = Universe::new(4).unwrap();
+        let bad_universe =
+            Request::new(PointId(0), CommoditySet::from_ids(other_u, &[0]).unwrap());
+        assert!(bad_universe.validate(&inst).is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let u = Universe::new(3).unwrap();
+        let r = Request::new(PointId(2), CommoditySet::from_ids(u, &[1]).unwrap());
+        assert_eq!(r.location(), PointId(2));
+        assert_eq!(r.demand().len(), 1);
+        assert_eq!(RequestId(4).index(), 4);
+    }
+}

@@ -1,0 +1,338 @@
+//! Solutions: opened facilities plus request assignments, with independent
+//! cost accounting and feasibility verification.
+//!
+//! Per the paper's cost model (§1.1), the connection cost of a request is the
+//! sum of distances to the *distinct facilities* it is connected to — if two
+//! demanded commodities are served by the same facility, that distance is
+//! paid once; if two different facilities happen to share a point, it is
+//! paid twice.
+
+use crate::{instance::Instance, request::Request, CoreError, EPS};
+use omfl_commodity::CommoditySet;
+use omfl_metric::PointId;
+
+/// Identifier of an opened facility, dense in opening order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FacilityId(pub u32);
+
+impl FacilityId {
+    /// The facility index as `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An opened facility: location + configuration + the construction cost paid.
+#[derive(Debug, Clone)]
+pub struct Facility {
+    /// Dense id in opening order.
+    pub id: FacilityId,
+    /// Location `m ∈ M`.
+    pub location: PointId,
+    /// Offered configuration `σ ⊆ S`.
+    pub config: CommoditySet,
+    /// Construction cost `f^σ_m` paid when opening.
+    pub cost: f64,
+    /// Index of the request whose arrival triggered the opening.
+    pub opened_at: usize,
+}
+
+/// One request together with the facilities serving it.
+#[derive(Debug, Clone)]
+pub struct Assignment {
+    /// The request as it arrived.
+    pub request: Request,
+    /// Distinct facilities the request is connected to.
+    pub facilities: Vec<FacilityId>,
+    /// Connection cost: `Σ d(r, facility)` over `facilities`.
+    pub connection_cost: f64,
+}
+
+/// A (partial or complete) OMFLP solution under construction by an online
+/// algorithm, or produced by an offline solver.
+#[derive(Debug, Clone, Default)]
+pub struct Solution {
+    facilities: Vec<Facility>,
+    assignments: Vec<Assignment>,
+    construction_cost: f64,
+    connection_cost: f64,
+}
+
+impl Solution {
+    /// An empty solution.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Opens a facility, paying `inst.facility_cost`. Returns its id.
+    pub fn open_facility(
+        &mut self,
+        inst: &Instance,
+        location: PointId,
+        config: CommoditySet,
+    ) -> FacilityId {
+        let cost = inst.facility_cost(location, &config);
+        let id = FacilityId(self.facilities.len() as u32);
+        self.construction_cost += cost;
+        self.facilities.push(Facility {
+            id,
+            location,
+            config,
+            cost,
+            opened_at: self.assignments.len(),
+        });
+        id
+    }
+
+    /// Records the assignment of `request` to `facilities` (deduplicated
+    /// here; order is preserved for the first occurrence of each id) and
+    /// accumulates the connection cost.
+    pub fn assign(
+        &mut self,
+        inst: &Instance,
+        request: Request,
+        facilities: &[FacilityId],
+    ) -> &Assignment {
+        let mut dedup: Vec<FacilityId> = Vec::with_capacity(facilities.len());
+        for &f in facilities {
+            if !dedup.contains(&f) {
+                dedup.push(f);
+            }
+        }
+        let connection_cost: f64 = dedup
+            .iter()
+            .map(|f| inst.distance(request.location(), self.facilities[f.index()].location))
+            .sum();
+        self.connection_cost += connection_cost;
+        self.assignments.push(Assignment {
+            request,
+            facilities: dedup,
+            connection_cost,
+        });
+        self.assignments.last().expect("just pushed")
+    }
+
+    /// All opened facilities in opening order.
+    pub fn facilities(&self) -> &[Facility] {
+        &self.facilities
+    }
+
+    /// All assignments in arrival order.
+    pub fn assignments(&self) -> &[Assignment] {
+        &self.assignments
+    }
+
+    /// Total construction cost paid so far.
+    pub fn construction_cost(&self) -> f64 {
+        self.construction_cost
+    }
+
+    /// Total connection cost paid so far.
+    pub fn connection_cost(&self) -> f64 {
+        self.connection_cost
+    }
+
+    /// Construction + connection cost.
+    pub fn total_cost(&self) -> f64 {
+        self.construction_cost + self.connection_cost
+    }
+
+    /// Number of requests served.
+    pub fn num_requests(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// Number of *small* facilities (single-commodity configurations).
+    pub fn num_small_facilities(&self) -> usize {
+        self.facilities.iter().filter(|f| f.config.len() == 1).count()
+    }
+
+    /// Number of *large* facilities (full-universe configurations).
+    pub fn num_large_facilities(&self) -> usize {
+        let s = self
+            .facilities
+            .first()
+            .map(|f| f.config.universe_size() as usize);
+        match s {
+            Some(full) => self.facilities.iter().filter(|f| f.config.len() == full).count(),
+            None => 0,
+        }
+    }
+
+    /// Verifies feasibility and cost accounting from first principles:
+    ///
+    /// 1. every facility's recorded cost equals `f^σ_m` and `σ ≠ ∅`;
+    /// 2. every request's demand is covered by the union of its assigned
+    ///    facilities' configurations;
+    /// 3. per-assignment connection costs and the running totals match a
+    ///    from-scratch recomputation.
+    pub fn verify(&self, inst: &Instance) -> Result<(), CoreError> {
+        let mut construction = 0.0;
+        for f in &self.facilities {
+            inst.check_point(f.location)?;
+            if f.config.is_empty() {
+                return Err(CoreError::Infeasible(format!(
+                    "facility {:?} has an empty configuration",
+                    f.id
+                )));
+            }
+            let c = inst.facility_cost(f.location, &f.config);
+            if (c - f.cost).abs() > EPS * (1.0 + c.abs()) {
+                return Err(CoreError::Infeasible(format!(
+                    "facility {:?} recorded cost {} but f^σ_m = {c}",
+                    f.id, f.cost
+                )));
+            }
+            construction += c;
+        }
+        let mut connection = 0.0;
+        for (i, a) in self.assignments.iter().enumerate() {
+            a.request.validate(inst)?;
+            let mut covered = CommoditySet::empty(inst.universe());
+            let mut cc = 0.0;
+            let mut seen: Vec<FacilityId> = Vec::with_capacity(a.facilities.len());
+            for &fid in &a.facilities {
+                if fid.index() >= self.facilities.len() {
+                    return Err(CoreError::Infeasible(format!(
+                        "assignment {i} references unknown facility {fid:?}"
+                    )));
+                }
+                if seen.contains(&fid) {
+                    return Err(CoreError::Infeasible(format!(
+                        "assignment {i} references facility {fid:?} twice"
+                    )));
+                }
+                seen.push(fid);
+                let f = &self.facilities[fid.index()];
+                covered
+                    .union_with(&f.config)
+                    .map_err(CoreError::Commodity)?;
+                cc += inst.distance(a.request.location(), f.location);
+            }
+            if !a.request.demand().is_subset_of(&covered) {
+                return Err(CoreError::Infeasible(format!(
+                    "assignment {i}: demand {:?} not covered by assigned facilities (covered {:?})",
+                    a.request.demand(),
+                    covered
+                )));
+            }
+            if (cc - a.connection_cost).abs() > EPS * (1.0 + cc.abs()) {
+                return Err(CoreError::Infeasible(format!(
+                    "assignment {i}: recorded connection cost {} but recomputed {cc}",
+                    a.connection_cost
+                )));
+            }
+            connection += cc;
+        }
+        if (construction - self.construction_cost).abs() > EPS * (1.0 + construction.abs()) {
+            return Err(CoreError::Infeasible(format!(
+                "construction total {} does not match recomputed {construction}",
+                self.construction_cost
+            )));
+        }
+        if (connection - self.connection_cost).abs() > EPS * (1.0 + connection.abs()) {
+            return Err(CoreError::Infeasible(format!(
+                "connection total {} does not match recomputed {connection}",
+                self.connection_cost
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omfl_commodity::cost::CostModel;
+    use omfl_metric::line::LineMetric;
+
+    fn inst() -> Instance {
+        Instance::new(
+            Box::new(LineMetric::new(vec![0.0, 1.0, 3.0]).unwrap()),
+            3,
+            CostModel::power(3, 1.0, 2.0),
+        )
+        .unwrap()
+    }
+
+    fn req(inst: &Instance, loc: u32, ids: &[u16]) -> Request {
+        Request::new(
+            PointId(loc),
+            CommoditySet::from_ids(inst.universe(), ids).unwrap(),
+        )
+    }
+
+    #[test]
+    fn open_and_assign_accumulate_costs() {
+        let inst = inst();
+        let mut sol = Solution::new();
+        let u = inst.universe();
+        let f0 = sol.open_facility(&inst, PointId(0), CommoditySet::from_ids(u, &[0]).unwrap());
+        let f1 = sol.open_facility(&inst, PointId(2), CommoditySet::from_ids(u, &[1, 2]).unwrap());
+        assert!((sol.construction_cost() - (2.0 + 2.0 * 2f64.sqrt())).abs() < 1e-12);
+
+        sol.assign(&inst, req(&inst, 1, &[0, 1]), &[f0, f1]);
+        // d(1, 0) + d(1, 2) = 1 + 2 = 3.
+        assert!((sol.connection_cost() - 3.0).abs() < 1e-12);
+        sol.verify(&inst).unwrap();
+    }
+
+    #[test]
+    fn duplicate_facility_ids_are_deduped_in_assignment() {
+        let inst = inst();
+        let mut sol = Solution::new();
+        let u = inst.universe();
+        let f = sol.open_facility(&inst, PointId(0), CommoditySet::full(u));
+        let a = sol.assign(&inst, req(&inst, 2, &[0, 1, 2]), &[f, f, f]);
+        assert_eq!(a.facilities.len(), 1);
+        assert!((a.connection_cost - 3.0).abs() < 1e-12);
+        sol.verify(&inst).unwrap();
+    }
+
+    #[test]
+    fn two_facilities_same_point_pay_twice() {
+        let inst = inst();
+        let mut sol = Solution::new();
+        let u = inst.universe();
+        let f0 = sol.open_facility(&inst, PointId(0), CommoditySet::from_ids(u, &[0]).unwrap());
+        let f1 = sol.open_facility(&inst, PointId(0), CommoditySet::from_ids(u, &[1]).unwrap());
+        let a = sol.assign(&inst, req(&inst, 1, &[0, 1]), &[f0, f1]);
+        assert!((a.connection_cost - 2.0).abs() < 1e-12, "distance paid per facility");
+        sol.verify(&inst).unwrap();
+    }
+
+    #[test]
+    fn verify_catches_uncovered_demand() {
+        let inst = inst();
+        let mut sol = Solution::new();
+        let u = inst.universe();
+        let f = sol.open_facility(&inst, PointId(0), CommoditySet::from_ids(u, &[0]).unwrap());
+        sol.assign(&inst, req(&inst, 0, &[0, 1]), &[f]);
+        let err = sol.verify(&inst).unwrap_err();
+        assert!(matches!(err, CoreError::Infeasible(_)));
+    }
+
+    #[test]
+    fn facility_counters() {
+        let inst = inst();
+        let mut sol = Solution::new();
+        let u = inst.universe();
+        sol.open_facility(&inst, PointId(0), CommoditySet::from_ids(u, &[0]).unwrap());
+        sol.open_facility(&inst, PointId(1), CommoditySet::full(u));
+        sol.open_facility(&inst, PointId(2), CommoditySet::from_ids(u, &[1, 2]).unwrap());
+        assert_eq!(sol.num_small_facilities(), 1);
+        assert_eq!(sol.num_large_facilities(), 1);
+        assert_eq!(sol.facilities().len(), 3);
+    }
+
+    #[test]
+    fn empty_solution_verifies() {
+        let inst = inst();
+        let sol = Solution::new();
+        sol.verify(&inst).unwrap();
+        assert_eq!(sol.total_cost(), 0.0);
+        assert_eq!(sol.num_requests(), 0);
+        assert_eq!(sol.num_large_facilities(), 0);
+    }
+}

@@ -1,0 +1,248 @@
+//! Independent validation of PD-OMFLP's dual invariants.
+//!
+//! The checker reconstructs everything from the algorithm's frozen dual
+//! state and the final solution, trusting none of the incremental bid
+//! matrices:
+//!
+//! * **bid feasibility** (the invariant behind Lemmas 6/7): for every
+//!   location `m` and commodity `e`,
+//!   `Σ_j (min{a_{je}, d(F(e), j)} − d(m,j))⁺ ≤ f^{e}_m`, and the analogue
+//!   for large facilities with `f^{S}_m`;
+//! * **Corollary 8**: total cost ≤ 3·Σ duals;
+//! * **Corollary 17** (dual feasibility after scaling by
+//!   `γ = 1/(5√|S|·H_n)`): for every `m` and every configuration `σ`,
+//!   `Σ_r (Σ_{e∈sr∩σ} γ·a_{re} − d(m,r))⁺ ≤ f^σ_m`. Checking all `2^|S|`
+//!   configurations is exponential, so [`check_scaled_dual_feasible`] does
+//!   it exactly for `|S| ≤ max_exact_s` and otherwise checks all singletons,
+//!   the full set, and sampled configurations.
+
+use crate::algorithm::OnlineAlgorithm;
+use crate::pd::PdOmflp;
+use crate::{harmonic, EPS};
+use omfl_commodity::{CommodityId, CommoditySet};
+use omfl_metric::PointId;
+
+/// Checks the maintained-bid invariant `B[m][e] ≤ f^{e}_m` and
+/// `B̂[m] ≤ f^{S}_m` by recomputing the bids from scratch.
+pub fn check_bid_feasibility(alg: &PdOmflp<'_>) -> Result<(), String> {
+    let inst = alg.instance();
+    let s = inst.num_commodities();
+    let mpts = inst.num_points();
+
+    // Final facility sets per commodity and large, from the solution.
+    let mut locs_by_e: Vec<Vec<PointId>> = vec![Vec::new(); s];
+    let mut large_locs: Vec<PointId> = Vec::new();
+    for f in alg.solution().facilities() {
+        if f.config.len() == s {
+            large_locs.push(f.location);
+        }
+        for e in f.config.iter() {
+            locs_by_e[e.index()].push(f.location);
+        }
+    }
+
+    let nearest = |locs: &[PointId], from: PointId| -> f64 {
+        locs.iter()
+            .map(|&l| inst.distance(from, l))
+            .fold(f64::INFINITY, f64::min)
+    };
+
+    for p in 0..mpts {
+        let m = PointId(p as u32);
+        // Large-facility bids.
+        let mut bhat = 0.0;
+        for j in alg.past_requests() {
+            let cap = j.dual_sum().min(nearest(&large_locs, j.location));
+            bhat += (cap - inst.distance(m, j.location)).max(0.0);
+        }
+        let f_full = inst.large_cost(m);
+        if bhat > f_full + tol(f_full) {
+            return Err(format!(
+                "large-bid invariant violated at {m}: B̂ = {bhat} > f^S_m = {f_full}"
+            ));
+        }
+        // Small-facility bids.
+        for (e, locs) in locs_by_e.iter().enumerate() {
+            let ec = CommodityId(e as u16);
+            let mut b = 0.0;
+            for j in alg.past_requests() {
+                if let Some(slot) = j.commodities.iter().position(|&c| c == ec) {
+                    let cap = j.duals[slot].min(nearest(locs, j.location));
+                    b += (cap - inst.distance(m, j.location)).max(0.0);
+                }
+            }
+            let fe = inst.small_cost(m, ec);
+            if b > fe + tol(fe) {
+                return Err(format!(
+                    "small-bid invariant violated at {m}, commodity {ec}: B = {b} > f = {fe}"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks Corollary 8: the algorithm's total cost is at most `3 Σ_r Σ_e a_{re}`.
+pub fn check_corollary8(alg: &PdOmflp<'_>) -> Result<(), String> {
+    let cost = alg.solution().total_cost();
+    let bound = 3.0 * alg.dual_sum();
+    if cost > bound + tol(bound) {
+        return Err(format!(
+            "Corollary 8 violated: total cost {cost} > 3·Σa = {bound}"
+        ));
+    }
+    Ok(())
+}
+
+/// Checks Corollary 17: the duals scaled by `γ = 1/(5√|S|·H_n)` are feasible
+/// for the simplified dual program.
+///
+/// Exact over all `2^|S| − 1` configurations when `|S| ≤ max_exact_s`
+/// (recommended ≤ 12); otherwise singletons + full set + `samples` random
+/// configurations from a deterministic stream.
+pub fn check_scaled_dual_feasible(
+    alg: &PdOmflp<'_>,
+    max_exact_s: u16,
+    samples: usize,
+) -> Result<(), String> {
+    let inst = alg.instance();
+    let s = inst.universe();
+    let n = alg.past_requests().len();
+    if n == 0 {
+        return Ok(());
+    }
+    let gamma = 1.0 / (5.0 * (s.len() as f64).sqrt() * harmonic(n));
+
+    let check_sigma = |sigma: &CommoditySet| -> Result<(), String> {
+        for p in 0..inst.num_points() {
+            let m = PointId(p as u32);
+            let f = inst.facility_cost(m, sigma);
+            let mut lhs = 0.0;
+            for j in alg.past_requests() {
+                let mut inv = 0.0;
+                for (slot, &e) in j.commodities.iter().enumerate() {
+                    if sigma.contains(e) {
+                        inv += gamma * j.duals[slot];
+                    }
+                }
+                lhs += (inv - inst.distance(m, j.location)).max(0.0);
+            }
+            if lhs > f + tol(f) {
+                return Err(format!(
+                    "Corollary 17 violated at {m}, σ = {sigma:?}: LHS {lhs} > f^σ_m = {f}"
+                ));
+            }
+        }
+        Ok(())
+    };
+
+    if s.size() <= max_exact_s {
+        for mask in 1u64..(1u64 << s.size()) {
+            let sigma = CommoditySet::from_mask(s, mask).expect("mask in range");
+            check_sigma(&sigma)?;
+        }
+        return Ok(());
+    }
+    // Large universe: singletons, full set, and sampled configurations.
+    for e in s.ids() {
+        let sigma = CommoditySet::singleton(s, e).expect("in range");
+        check_sigma(&sigma)?;
+    }
+    check_sigma(&CommoditySet::full(s))?;
+    let mut state = 0x5EED_5EED_u64;
+    for _ in 0..samples {
+        let mut sigma = CommoditySet::empty(s);
+        for e in s.ids() {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            if (z ^ (z >> 31)) & 1 == 1 {
+                sigma.insert(e).expect("in range");
+            }
+        }
+        if !sigma.is_empty() {
+            check_sigma(&sigma)?;
+        }
+    }
+    Ok(())
+}
+
+/// Runs every PD validity check: solution feasibility, bid invariants,
+/// Corollary 8 and scaled dual feasibility.
+pub fn check_all(alg: &PdOmflp<'_>) -> Result<(), String> {
+    alg.solution()
+        .verify(alg.instance())
+        .map_err(|e| e.to_string())?;
+    check_bid_feasibility(alg)?;
+    check_corollary8(alg)?;
+    check_scaled_dual_feasible(alg, 10, 32)
+}
+
+fn tol(x: f64) -> f64 {
+    1e-7 + 1e-7 * x.abs() + EPS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::OnlineAlgorithm;
+    use crate::instance::Instance;
+    use crate::request::Request;
+    use omfl_commodity::cost::CostModel;
+    use omfl_metric::line::LineMetric;
+
+    fn req(inst: &Instance, loc: u32, ids: &[u16]) -> Request {
+        Request::new(
+            PointId(loc),
+            CommoditySet::from_ids(inst.universe(), ids).unwrap(),
+        )
+    }
+
+    #[test]
+    fn all_checks_pass_on_theorem2_gadget() {
+        let inst = Instance::new(
+            Box::new(LineMetric::single_point()),
+            9,
+            CostModel::ceil_sqrt(9),
+        )
+        .unwrap();
+        let mut alg = PdOmflp::new(&inst);
+        for e in 0..9u16 {
+            alg.serve(&req(&inst, 0, &[e])).unwrap();
+        }
+        check_all(&alg).unwrap();
+    }
+
+    #[test]
+    fn all_checks_pass_on_line_with_bundles() {
+        let inst = Instance::new(
+            Box::new(LineMetric::uniform(6, 9.0).unwrap()),
+            6,
+            CostModel::power(6, 1.0, 2.0),
+        )
+        .unwrap();
+        let mut alg = PdOmflp::new(&inst);
+        for i in 0..25u32 {
+            let ids = [(i % 6) as u16, ((i * 2 + 1) % 6) as u16, ((i * 5) % 6) as u16];
+            alg.serve(&req(&inst, (i * 3) % 6, &ids)).unwrap();
+        }
+        check_all(&alg).unwrap();
+    }
+
+    #[test]
+    fn checks_pass_with_affine_costs() {
+        let inst = Instance::new(
+            Box::new(LineMetric::uniform(4, 3.0).unwrap()),
+            5,
+            CostModel::affine(5, 4.0, 0.5),
+        )
+        .unwrap();
+        let mut alg = PdOmflp::new(&inst);
+        for i in 0..18u32 {
+            alg.serve(&req(&inst, i % 4, &[(i % 5) as u16, ((i + 3) % 5) as u16]))
+                .unwrap();
+        }
+        check_all(&alg).unwrap();
+    }
+}

@@ -1,0 +1,198 @@
+//! Edge-case tests for PD-OMFLP and RAND-OMFLP that the unit suites don't
+//! reach: degenerate metrics, extreme demands, large (heap-bitset)
+//! universes, and repeated identical requests.
+
+use omfl_commodity::cost::CostModel;
+use omfl_commodity::CommoditySet;
+use omfl_core::algorithm::{run_online_verified, OnlineAlgorithm};
+use omfl_core::instance::Instance;
+use omfl_core::pd::PdOmflp;
+use omfl_core::randalg::RandOmflp;
+use omfl_core::request::Request;
+use omfl_core::validate;
+use omfl_metric::dense::DenseMetric;
+use omfl_metric::line::LineMetric;
+use omfl_metric::PointId;
+
+fn req(inst: &Instance, loc: u32, ids: &[u16]) -> Request {
+    Request::new(
+        PointId(loc),
+        CommoditySet::from_ids(inst.universe(), ids).unwrap(),
+    )
+}
+
+#[test]
+fn full_universe_demand_goes_large_immediately() {
+    // A request demanding all of S: constraint (4) must fire before |S|
+    // small facilities do (Condition 1 makes the large facility cheaper
+    // than |S| singletons).
+    let inst = Instance::new(
+        Box::new(LineMetric::single_point()),
+        9,
+        CostModel::power(9, 1.0, 1.0),
+    )
+    .unwrap();
+    let mut pd = PdOmflp::new(&inst);
+    let out = pd.serve(&req(&inst, 0, &[0, 1, 2, 3, 4, 5, 6, 7, 8])).unwrap();
+    assert!(out.served_by_large);
+    assert_eq!(pd.solution().num_large_facilities(), 1);
+    // Cost = f^S = 3 (sqrt(9) · 1).
+    assert!((pd.solution().total_cost() - 3.0).abs() < 1e-9);
+    validate::check_all(&pd).unwrap();
+}
+
+#[test]
+fn repeated_identical_requests_amortize() {
+    let inst = Instance::new(
+        Box::new(LineMetric::single_point()),
+        4,
+        CostModel::power(4, 1.0, 5.0),
+    )
+    .unwrap();
+    let mut pd = PdOmflp::new(&inst);
+    let r = req(&inst, 0, &[1, 2]);
+    pd.serve(&r).unwrap();
+    let after_first = pd.solution().total_cost();
+    for _ in 0..20 {
+        pd.serve(&r).unwrap();
+    }
+    // Everything colocated: after the first request no further cost accrues.
+    assert_eq!(pd.solution().total_cost(), after_first);
+    validate::check_all(&pd).unwrap();
+}
+
+#[test]
+fn zero_distance_duplicate_points() {
+    // Two distinct points at the same coordinate: facilities at either are
+    // interchangeable; the validator must accept whichever PD picks.
+    let inst = Instance::new(
+        Box::new(LineMetric::new(vec![3.0, 3.0]).unwrap()),
+        3,
+        CostModel::power(3, 1.0, 2.0),
+    )
+    .unwrap();
+    let mut pd = PdOmflp::new(&inst);
+    run_online_verified(
+        &mut pd,
+        &inst,
+        &[req(&inst, 0, &[0]), req(&inst, 1, &[0]), req(&inst, 0, &[1, 2])],
+    )
+    .unwrap();
+    validate::check_all(&pd).unwrap();
+}
+
+#[test]
+fn uniform_metric_forces_facility_per_area_decision() {
+    // Uniform metric (every pair at distance 10): there is no geometry to
+    // exploit; PD must still be feasible and bounded by 3·duals.
+    let inst = Instance::new(
+        Box::new(DenseMetric::uniform(5, 10.0).unwrap()),
+        4,
+        CostModel::power(4, 1.0, 2.0),
+    )
+    .unwrap();
+    let mut pd = PdOmflp::new(&inst);
+    let reqs: Vec<Request> = (0..15u32)
+        .map(|i| req(&inst, i % 5, &[(i % 4) as u16]))
+        .collect();
+    let cost = run_online_verified(&mut pd, &inst, &reqs).unwrap();
+    assert!(cost <= 3.0 * pd.dual_sum() + 1e-6);
+    validate::check_all(&pd).unwrap();
+}
+
+#[test]
+fn large_heap_bitset_universe() {
+    // |S| = 200 forces the heap bitset representation end to end.
+    let inst = Instance::new(
+        Box::new(LineMetric::new(vec![0.0, 2.0]).unwrap()),
+        200,
+        CostModel::power(200, 1.0, 1.0),
+    )
+    .unwrap();
+    let mut pd = PdOmflp::new(&inst);
+    let reqs: Vec<Request> = (0..30u32)
+        .map(|i| {
+            req(
+                &inst,
+                i % 2,
+                &[(i * 7 % 200) as u16, ((i * 13 + 128) % 200) as u16],
+            )
+        })
+        .collect();
+    run_online_verified(&mut pd, &inst, &reqs).unwrap();
+
+    let mut rn = RandOmflp::new(&inst, 9);
+    run_online_verified(&mut rn, &inst, &reqs).unwrap();
+}
+
+#[test]
+fn singleton_universe_degenerates_to_classic_ofl() {
+    let inst = Instance::new(
+        Box::new(LineMetric::new(vec![0.0, 1.0, 5.0]).unwrap()),
+        1,
+        CostModel::power(1, 2.0, 3.0),
+    )
+    .unwrap();
+    let mut pd = PdOmflp::new(&inst);
+    let reqs: Vec<Request> = (0..12u32).map(|i| req(&inst, i % 3, &[0])).collect();
+    let cost = run_online_verified(&mut pd, &inst, &reqs).unwrap();
+    assert!(cost > 0.0);
+    // Small and large facilities coincide when |S| = 1.
+    for f in pd.solution().facilities() {
+        assert_eq!(f.config.len(), 1);
+    }
+    validate::check_all(&pd).unwrap();
+}
+
+#[test]
+fn far_apart_clusters_get_separate_facilities() {
+    // Two clusters separated by a gap far exceeding facility costs: PD must
+    // open facilities in both (connecting across costs 1000).
+    let inst = Instance::new(
+        Box::new(LineMetric::new(vec![0.0, 0.5, 1000.0, 1000.5]).unwrap()),
+        2,
+        CostModel::power(2, 1.0, 2.0),
+    )
+    .unwrap();
+    let mut pd = PdOmflp::new(&inst);
+    let reqs = vec![
+        req(&inst, 0, &[0]),
+        req(&inst, 1, &[0]),
+        req(&inst, 2, &[0]),
+        req(&inst, 3, &[0]),
+    ];
+    let cost = run_online_verified(&mut pd, &inst, &reqs).unwrap();
+    assert!(
+        cost < 100.0,
+        "no request should ever connect across the gap (cost {cost})"
+    );
+    let locations: std::collections::HashSet<u32> = pd
+        .solution()
+        .facilities()
+        .iter()
+        .map(|f| f.location.0)
+        .collect();
+    assert!(
+        locations.iter().any(|&l| l <= 1) && locations.iter().any(|&l| l >= 2),
+        "facilities must exist on both sides of the gap: {locations:?}"
+    );
+}
+
+#[test]
+fn rand_with_constant_costs_single_class() {
+    // All locations share one cost: exactly one class per configuration;
+    // the class machinery must not degenerate.
+    let inst = Instance::new(
+        Box::new(LineMetric::uniform(6, 12.0).unwrap()),
+        4,
+        CostModel::power(4, 1.0, 2.0),
+    )
+    .unwrap();
+    for seed in 0..5 {
+        let mut rn = RandOmflp::new(&inst, seed);
+        let reqs: Vec<Request> = (0..20u32)
+            .map(|i| req(&inst, i % 6, &[(i % 4) as u16]))
+            .collect();
+        run_online_verified(&mut rn, &inst, &reqs).unwrap();
+    }
+}

@@ -1,0 +1,186 @@
+//! Point sets in d-dimensional real space under L1, L2, or L∞ norms.
+//!
+//! Used by the clustered / uniform plane workloads that stand in for the
+//! paper's "clients appear at locations in the network" scenario when a
+//! geometric embedding is more natural than a graph.
+
+use crate::{check_finite, Metric, MetricError, PointId};
+
+/// Which norm induces the metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Norm {
+    /// Manhattan distance, `Σ|aᵢ−bᵢ|`.
+    L1,
+    /// Euclidean distance, `√(Σ(aᵢ−bᵢ)²)`.
+    L2,
+    /// Chebyshev distance, `max|aᵢ−bᵢ|`.
+    LInf,
+}
+
+/// A finite set of points in ℝ^dim with a chosen norm.
+///
+/// Coordinates are stored row-major in a flat buffer (`point * dim + axis`)
+/// to keep distance evaluation cache-friendly.
+#[derive(Debug, Clone)]
+pub struct EuclideanMetric {
+    coords: Vec<f64>,
+    dim: usize,
+    norm: Norm,
+}
+
+impl EuclideanMetric {
+    /// Builds a metric from per-point coordinate rows (all of length `dim`).
+    pub fn new(points: &[Vec<f64>], norm: Norm) -> Result<Self, MetricError> {
+        if points.is_empty() {
+            return Err(MetricError::Empty);
+        }
+        let dim = points[0].len();
+        if dim == 0 {
+            return Err(MetricError::Malformed("points must have at least one coordinate".into()));
+        }
+        let mut coords = Vec::with_capacity(points.len() * dim);
+        for (i, row) in points.iter().enumerate() {
+            if row.len() != dim {
+                return Err(MetricError::Malformed(format!(
+                    "point {i} has {} coordinates, expected {dim}",
+                    row.len()
+                )));
+            }
+            for (j, &c) in row.iter().enumerate() {
+                check_finite(c, &format!("point[{i}][{j}]"))?;
+                coords.push(c);
+            }
+        }
+        Ok(Self { coords, dim, norm })
+    }
+
+    /// Builds a 2-D L2 metric from `(x, y)` pairs — the common case.
+    pub fn plane(points: &[(f64, f64)]) -> Result<Self, MetricError> {
+        let rows: Vec<Vec<f64>> = points.iter().map(|&(x, y)| vec![x, y]).collect();
+        Self::new(&rows, Norm::L2)
+    }
+
+    /// An `w × h` unit grid under the chosen norm (row-major point ids).
+    pub fn grid(w: usize, h: usize, norm: Norm) -> Result<Self, MetricError> {
+        if w == 0 || h == 0 {
+            return Err(MetricError::Empty);
+        }
+        let mut rows = Vec::with_capacity(w * h);
+        for y in 0..h {
+            for x in 0..w {
+                rows.push(vec![x as f64, y as f64]);
+            }
+        }
+        Self::new(&rows, norm)
+    }
+
+    /// Dimension of the ambient space.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The norm in use.
+    pub fn norm(&self) -> Norm {
+        self.norm
+    }
+
+    /// Coordinates of a point.
+    pub fn coords(&self, p: PointId) -> &[f64] {
+        let i = p.index() * self.dim;
+        &self.coords[i..i + self.dim]
+    }
+}
+
+impl Metric for EuclideanMetric {
+    fn len(&self) -> usize {
+        self.coords.len() / self.dim
+    }
+
+    fn distance(&self, a: PointId, b: PointId) -> f64 {
+        let pa = self.coords(a);
+        let pb = self.coords(b);
+        match self.norm {
+            Norm::L1 => pa.iter().zip(pb).map(|(x, y)| (x - y).abs()).sum(),
+            Norm::L2 => pa
+                .iter()
+                .zip(pb)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f64>()
+                .sqrt(),
+            Norm::LInf => pa
+                .iter()
+                .zip(pb)
+                .map(|(x, y)| (x - y).abs())
+                .fold(0.0, f64::max),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_square() -> Vec<Vec<f64>> {
+        vec![
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 1.0],
+        ]
+    }
+
+    #[test]
+    fn l2_diagonal_of_unit_square() {
+        let m = EuclideanMetric::new(&unit_square(), Norm::L2).unwrap();
+        assert!((m.distance(PointId(0), PointId(3)) - 2f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn l1_diagonal_of_unit_square() {
+        let m = EuclideanMetric::new(&unit_square(), Norm::L1).unwrap();
+        assert!((m.distance(PointId(0), PointId(3)) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linf_diagonal_of_unit_square() {
+        let m = EuclideanMetric::new(&unit_square(), Norm::LInf).unwrap();
+        assert!((m.distance(PointId(0), PointId(3)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn plane_constructor() {
+        let m = EuclideanMetric::plane(&[(0.0, 0.0), (3.0, 4.0)]).unwrap();
+        assert_eq!(m.len(), 2);
+        assert!((m.distance(PointId(0), PointId(1)) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grid_has_expected_size_and_spacing() {
+        let m = EuclideanMetric::grid(3, 2, Norm::L1).unwrap();
+        assert_eq!(m.len(), 6);
+        // (0,0) to (2,1): |2| + |1| = 3.
+        assert!((m.distance(PointId(0), PointId(5)) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_ragged_rows_and_empty() {
+        assert!(matches!(
+            EuclideanMetric::new(&[vec![0.0], vec![0.0, 1.0]], Norm::L2),
+            Err(MetricError::Malformed(_))
+        ));
+        assert_eq!(
+            EuclideanMetric::new(&[], Norm::L2).unwrap_err(),
+            MetricError::Empty
+        );
+        assert!(matches!(
+            EuclideanMetric::new(&[vec![f64::NAN]], Norm::L2),
+            Err(MetricError::InvalidValue(_))
+        ));
+    }
+
+    #[test]
+    fn zero_distance_on_same_point() {
+        let m = EuclideanMetric::plane(&[(2.5, -1.0)]).unwrap();
+        assert_eq!(m.distance(PointId(0), PointId(0)), 0.0);
+    }
+}

@@ -1,0 +1,299 @@
+//! Shortest-path metrics over weighted undirected graphs.
+//!
+//! This is the substrate for the paper's motivating scenario: "a provider of
+//! services in a network infrastructure" (§1). Points are network nodes and
+//! the metric is the shortest-path closure, computed once at construction
+//! via Dijkstra from every node (binary heap, CSR adjacency).
+
+use crate::{check_finite_nonneg, Metric, MetricError, PointId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A weighted undirected graph in compressed sparse row form.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    /// CSR row offsets, length `n + 1`.
+    offsets: Vec<u32>,
+    /// Neighbor node ids.
+    targets: Vec<u32>,
+    /// Edge weights, parallel to `targets`.
+    weights: Vec<f64>,
+    n: usize,
+}
+
+impl Graph {
+    /// Builds a graph from an undirected edge list `(u, v, w)`.
+    ///
+    /// Self-loops are rejected; parallel edges are allowed (the lighter one
+    /// wins implicitly during shortest-path computation).
+    pub fn from_edges(n: usize, edges: &[(u32, u32, f64)]) -> Result<Self, MetricError> {
+        if n == 0 {
+            return Err(MetricError::Empty);
+        }
+        let mut degree = vec![0u32; n];
+        for &(u, v, w) in edges {
+            for x in [u, v] {
+                if x as usize >= n {
+                    return Err(MetricError::PointOutOfRange { point: x, len: n });
+                }
+            }
+            if u == v {
+                return Err(MetricError::Malformed(format!("self-loop at node {u}")));
+            }
+            check_finite_nonneg(w, &format!("weight({u},{v})"))?;
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        }
+        let mut offsets = vec![0u32; n + 1];
+        for i in 0..n {
+            offsets[i + 1] = offsets[i] + degree[i];
+        }
+        let m2 = edges.len() * 2;
+        let mut targets = vec![0u32; m2];
+        let mut weights = vec![0.0f64; m2];
+        let mut cursor = offsets.clone();
+        for &(u, v, w) in edges {
+            for (a, b) in [(u, v), (v, u)] {
+                let slot = cursor[a as usize] as usize;
+                targets[slot] = b;
+                weights[slot] = w;
+                cursor[a as usize] += 1;
+            }
+        }
+        Ok(Self {
+            offsets,
+            targets,
+            weights,
+            n,
+        })
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.targets.len() / 2
+    }
+
+    /// Neighbors of `u` with edge weights.
+    pub fn neighbors(&self, u: u32) -> impl Iterator<Item = (u32, f64)> + '_ {
+        let lo = self.offsets[u as usize] as usize;
+        let hi = self.offsets[u as usize + 1] as usize;
+        self.targets[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.weights[lo..hi].iter().copied())
+    }
+
+    /// Single-source shortest paths (Dijkstra). `f64::INFINITY` marks
+    /// unreachable nodes.
+    pub fn dijkstra(&self, source: u32) -> Vec<f64> {
+        #[derive(PartialEq)]
+        struct Entry {
+            dist: f64,
+            node: u32,
+        }
+        impl Eq for Entry {}
+        impl Ord for Entry {
+            fn cmp(&self, other: &Self) -> Ordering {
+                // Min-heap on distance via reversed comparison; distances are
+                // finite non-NaN by construction.
+                other
+                    .dist
+                    .partial_cmp(&self.dist)
+                    .expect("distances are not NaN")
+                    .then(other.node.cmp(&self.node))
+            }
+        }
+        impl PartialOrd for Entry {
+            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+
+        let mut dist = vec![f64::INFINITY; self.n];
+        dist[source as usize] = 0.0;
+        let mut heap = BinaryHeap::with_capacity(self.n);
+        heap.push(Entry {
+            dist: 0.0,
+            node: source,
+        });
+        while let Some(Entry { dist: d, node: u }) = heap.pop() {
+            if d > dist[u as usize] {
+                continue; // stale entry
+            }
+            for (v, w) in self.neighbors(u) {
+                let nd = d + w;
+                if nd < dist[v as usize] {
+                    dist[v as usize] = nd;
+                    heap.push(Entry { dist: nd, node: v });
+                }
+            }
+        }
+        dist
+    }
+}
+
+/// The shortest-path metric of a connected weighted graph.
+///
+/// All-pairs distances are materialized at construction (`n` Dijkstra runs,
+/// O(n·(m + n log n))), giving O(1) queries thereafter.
+#[derive(Debug, Clone)]
+pub struct GraphMetric {
+    apsp: Vec<f64>,
+    n: usize,
+}
+
+impl GraphMetric {
+    /// Computes the metric closure of `graph`. Fails if disconnected.
+    pub fn new(graph: &Graph) -> Result<Self, MetricError> {
+        let n = graph.node_count();
+        let mut apsp = vec![0.0; n * n];
+        for s in 0..n as u32 {
+            let dist = graph.dijkstra(s);
+            for (t, &d) in dist.iter().enumerate() {
+                if !d.is_finite() {
+                    return Err(MetricError::Disconnected {
+                        from: s,
+                        to: t as u32,
+                    });
+                }
+                apsp[s as usize * n + t] = d;
+            }
+        }
+        Ok(Self { apsp, n })
+    }
+
+    /// Convenience: build straight from an edge list.
+    pub fn from_edges(n: usize, edges: &[(u32, u32, f64)]) -> Result<Self, MetricError> {
+        Self::new(&Graph::from_edges(n, edges)?)
+    }
+
+    /// A cycle of `n` nodes with unit edges.
+    pub fn ring(n: usize) -> Result<Self, MetricError> {
+        if n == 0 {
+            return Err(MetricError::Empty);
+        }
+        if n == 1 {
+            return Self::from_edges(1, &[]);
+        }
+        let mut edges = Vec::with_capacity(n);
+        for i in 0..n as u32 {
+            edges.push((i, (i + 1) % n as u32, 1.0));
+        }
+        Self::from_edges(n, &edges)
+    }
+
+    /// A star: node 0 is the hub, spokes have the given weight.
+    pub fn star(n_leaves: usize, spoke: f64) -> Result<Self, MetricError> {
+        let n = n_leaves + 1;
+        let edges: Vec<(u32, u32, f64)> = (1..n as u32).map(|i| (0, i, spoke)).collect();
+        Self::from_edges(n, &edges)
+    }
+}
+
+impl Metric for GraphMetric {
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn distance(&self, a: PointId, b: PointId) -> f64 {
+        self.apsp[a.index() * self.n + b.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dijkstra_on_path_graph() {
+        let g = Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 2.0), (2, 3, 4.0)]).unwrap();
+        let d = g.dijkstra(0);
+        assert_eq!(d, vec![0.0, 1.0, 3.0, 7.0]);
+    }
+
+    #[test]
+    fn dijkstra_prefers_lighter_parallel_edge() {
+        let g = Graph::from_edges(2, &[(0, 1, 5.0), (0, 1, 2.0)]).unwrap();
+        assert_eq!(g.dijkstra(0)[1], 2.0);
+    }
+
+    #[test]
+    fn shortcut_beats_long_path() {
+        let g = Graph::from_edges(
+            4,
+            &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (0, 3, 1.5)],
+        )
+        .unwrap();
+        let m = GraphMetric::new(&g).unwrap();
+        assert!((m.distance(PointId(0), PointId(3)) - 1.5).abs() < 1e-12);
+        assert!((m.distance(PointId(0), PointId(2)) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disconnected_graph_rejected() {
+        let err = GraphMetric::from_edges(3, &[(0, 1, 1.0)]).unwrap_err();
+        assert!(matches!(err, MetricError::Disconnected { .. }));
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let err = Graph::from_edges(2, &[(0, 0, 1.0)]).unwrap_err();
+        assert!(matches!(err, MetricError::Malformed(_)));
+    }
+
+    #[test]
+    fn out_of_range_edge_rejected() {
+        let err = Graph::from_edges(2, &[(0, 5, 1.0)]).unwrap_err();
+        assert!(matches!(err, MetricError::PointOutOfRange { .. }));
+    }
+
+    #[test]
+    fn negative_weight_rejected() {
+        let err = Graph::from_edges(2, &[(0, 1, -1.0)]).unwrap_err();
+        assert!(matches!(err, MetricError::InvalidValue(_)));
+    }
+
+    #[test]
+    fn ring_distances_wrap_around() {
+        let m = GraphMetric::ring(6).unwrap();
+        assert!((m.distance(PointId(0), PointId(3)) - 3.0).abs() < 1e-12);
+        assert!((m.distance(PointId(0), PointId(5)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn star_distances() {
+        let m = GraphMetric::star(3, 2.0).unwrap();
+        assert!((m.distance(PointId(0), PointId(1)) - 2.0).abs() < 1e-12);
+        assert!((m.distance(PointId(1), PointId(2)) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_node_ring() {
+        let m = GraphMetric::ring(1).unwrap();
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn metric_closure_satisfies_triangle() {
+        let m = GraphMetric::from_edges(
+            5,
+            &[
+                (0, 1, 1.0),
+                (1, 2, 3.0),
+                (2, 3, 1.0),
+                (3, 4, 2.0),
+                (4, 0, 2.5),
+                (1, 3, 1.2),
+            ],
+        )
+        .unwrap();
+        let dense = crate::dense::DenseMetric::from_metric(&m).unwrap();
+        dense.validate().unwrap();
+    }
+}

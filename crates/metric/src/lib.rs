@@ -1,0 +1,250 @@
+//! Finite metric spaces for facility-location problems.
+//!
+//! The OMFLP model (paper §1.1) places requests and facilities at points of a
+//! finite metric space `M`. This crate provides the metric substrate:
+//!
+//! * [`line::LineMetric`] — points on the real line (the paper's lower bounds
+//!   already hold on line metrics, Corollary 3);
+//! * [`euclidean::EuclideanMetric`] — point sets in d-dimensional space with
+//!   L1/L2/L∞ norms;
+//! * [`dense::DenseMetric`] — an explicit distance matrix, validated against
+//!   the metric axioms;
+//! * [`graph::GraphMetric`] — shortest-path closure of a weighted graph (the
+//!   "network infrastructure" of the paper's motivating scenario);
+//! * [`tree::TreeMetric`] — shortest paths on a weighted tree.
+//!
+//! All distances are non-negative `f64`; identity of indiscernibles is
+//! relaxed to `d(a, a) = 0` (distinct points at distance zero are allowed,
+//! matching the paper where multiple facilities may share a point).
+
+pub mod dense;
+pub mod euclidean;
+pub mod graph;
+pub mod line;
+pub mod tree;
+pub mod validate;
+
+use std::fmt;
+
+/// Index of a point of the finite metric space.
+///
+/// Points are dense indices `0..metric.len()`; the newtype prevents mixing
+/// them up with commodity or request indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PointId(pub u32);
+
+impl PointId {
+    /// The point index as a `usize`, for direct slice indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PointId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Errors produced while constructing or validating metric spaces.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricError {
+    /// The space has no points.
+    Empty,
+    /// A coordinate or edge weight is NaN, infinite, or negative.
+    InvalidValue(String),
+    /// The triangle inequality (or symmetry / zero diagonal) is violated.
+    AxiomViolation(String),
+    /// A point index is out of range.
+    PointOutOfRange { point: u32, len: usize },
+    /// The underlying graph is disconnected, so some distances are undefined.
+    Disconnected { from: u32, to: u32 },
+    /// Structural problem in the input (e.g. a tree with a cycle).
+    Malformed(String),
+}
+
+impl fmt::Display for MetricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetricError::Empty => write!(f, "metric space must contain at least one point"),
+            MetricError::InvalidValue(s) => write!(f, "invalid numeric value: {s}"),
+            MetricError::AxiomViolation(s) => write!(f, "metric axiom violated: {s}"),
+            MetricError::PointOutOfRange { point, len } => {
+                write!(f, "point index {point} out of range for space of {len} points")
+            }
+            MetricError::Disconnected { from, to } => {
+                write!(f, "graph is disconnected: no path from {from} to {to}")
+            }
+            MetricError::Malformed(s) => write!(f, "malformed input: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for MetricError {}
+
+/// A finite metric space.
+///
+/// Implementations must guarantee, for all in-range points:
+/// `distance(a, b) >= 0`, `distance(a, a) == 0`,
+/// `distance(a, b) == distance(b, a)`, and the triangle inequality
+/// (up to floating-point rounding; see [`validate`]).
+pub trait Metric: Send + Sync {
+    /// Number of points in the space.
+    fn len(&self) -> usize;
+
+    /// Distance between two points. Panics if either index is out of range.
+    fn distance(&self, a: PointId, b: PointId) -> f64;
+
+    /// `true` if the space has no points.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterate over all point ids of the space.
+    fn points(&self) -> PointIter {
+        PointIter {
+            next: 0,
+            len: self.len() as u32,
+        }
+    }
+
+    /// The nearest point to `from` among `candidates`, with its distance.
+    ///
+    /// Returns `None` when `candidates` is empty. Ties break to the earliest
+    /// candidate, so the result is deterministic.
+    fn nearest_among(&self, from: PointId, candidates: &[PointId]) -> Option<(PointId, f64)> {
+        let mut best: Option<(PointId, f64)> = None;
+        for &c in candidates {
+            let d = self.distance(from, c);
+            match best {
+                Some((_, bd)) if bd <= d => {}
+                _ => best = Some((c, d)),
+            }
+        }
+        best
+    }
+
+    /// Diameter of the space (maximum pairwise distance). O(n²).
+    fn diameter(&self) -> f64 {
+        let n = self.len();
+        let mut best = 0.0_f64;
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let d = self.distance(PointId(a as u32), PointId(b as u32));
+                if d > best {
+                    best = d;
+                }
+            }
+        }
+        best
+    }
+}
+
+impl Metric for Box<dyn Metric> {
+    fn len(&self) -> usize {
+        self.as_ref().len()
+    }
+
+    fn distance(&self, a: PointId, b: PointId) -> f64 {
+        self.as_ref().distance(a, b)
+    }
+}
+
+/// Iterator over the point ids `0..len` of a metric space.
+#[derive(Debug, Clone)]
+pub struct PointIter {
+    next: u32,
+    len: u32,
+}
+
+impl Iterator for PointIter {
+    type Item = PointId;
+
+    fn next(&mut self) -> Option<PointId> {
+        if self.next < self.len {
+            let p = PointId(self.next);
+            self.next += 1;
+            Some(p)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = (self.len - self.next) as usize;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for PointIter {}
+
+/// Checks that `v` is a finite, non-negative coordinate/weight.
+pub(crate) fn check_finite_nonneg(v: f64, what: &str) -> Result<(), MetricError> {
+    if !v.is_finite() {
+        return Err(MetricError::InvalidValue(format!("{what} = {v} is not finite")));
+    }
+    if v < 0.0 {
+        return Err(MetricError::InvalidValue(format!("{what} = {v} is negative")));
+    }
+    Ok(())
+}
+
+/// Checks that `v` is a finite coordinate (may be negative, e.g. line positions).
+pub(crate) fn check_finite(v: f64, what: &str) -> Result<(), MetricError> {
+    if !v.is_finite() {
+        return Err(MetricError::InvalidValue(format!("{what} = {v} is not finite")));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::line::LineMetric;
+
+    #[test]
+    fn point_iter_yields_all_points() {
+        let m = LineMetric::new(vec![0.0, 1.0, 5.0]).unwrap();
+        let pts: Vec<u32> = m.points().map(|p| p.0).collect();
+        assert_eq!(pts, vec![0, 1, 2]);
+        assert_eq!(m.points().len(), 3);
+    }
+
+    #[test]
+    fn nearest_among_breaks_ties_to_earliest() {
+        let m = LineMetric::new(vec![0.0, 2.0, -2.0]).unwrap();
+        // Both candidates at distance 2 from point 0; earliest (p1) wins.
+        let (p, d) = m
+            .nearest_among(PointId(0), &[PointId(1), PointId(2)])
+            .unwrap();
+        assert_eq!(p, PointId(1));
+        assert!((d - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nearest_among_empty_candidates_is_none() {
+        let m = LineMetric::new(vec![0.0]).unwrap();
+        assert!(m.nearest_among(PointId(0), &[]).is_none());
+    }
+
+    #[test]
+    fn diameter_of_line() {
+        let m = LineMetric::new(vec![-1.0, 4.0, 2.0]).unwrap();
+        assert!((m.diameter() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boxed_metric_delegates() {
+        let m: Box<dyn Metric> = Box::new(LineMetric::new(vec![0.0, 3.0]).unwrap());
+        assert_eq!(m.len(), 2);
+        assert!((m.distance(PointId(0), PointId(1)) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(PointId(7).to_string(), "p7");
+        let e = MetricError::PointOutOfRange { point: 9, len: 3 };
+        assert!(e.to_string().contains("out of range"));
+    }
+}

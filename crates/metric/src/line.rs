@@ -1,0 +1,168 @@
+//! Points on the real line.
+//!
+//! The paper's lower bounds (Theorem 2 on a single point, Corollary 3 on a
+//! line) use exactly this class of metrics, so line metrics are the primary
+//! adversarial substrate.
+
+use crate::{check_finite, Metric, MetricError, PointId};
+
+/// A finite metric of points on ℝ with `d(a, b) = |x_a − x_b|`.
+#[derive(Debug, Clone)]
+pub struct LineMetric {
+    positions: Vec<f64>,
+    /// Point ids sorted by position; used by [`LineMetric::nearest_sorted`].
+    by_position: Vec<u32>,
+}
+
+impl LineMetric {
+    /// Builds a line metric from point positions (any order, duplicates allowed).
+    pub fn new(positions: Vec<f64>) -> Result<Self, MetricError> {
+        if positions.is_empty() {
+            return Err(MetricError::Empty);
+        }
+        for (i, &x) in positions.iter().enumerate() {
+            check_finite(x, &format!("position[{i}]"))?;
+        }
+        let mut by_position: Vec<u32> = (0..positions.len() as u32).collect();
+        by_position.sort_by(|&a, &b| {
+            positions[a as usize]
+                .partial_cmp(&positions[b as usize])
+                .expect("positions are finite")
+                .then(a.cmp(&b))
+        });
+        Ok(Self {
+            positions,
+            by_position,
+        })
+    }
+
+    /// `n` points evenly spaced on `[0, span]`.
+    pub fn uniform(n: usize, span: f64) -> Result<Self, MetricError> {
+        if n == 0 {
+            return Err(MetricError::Empty);
+        }
+        check_finite(span, "span")?;
+        if span < 0.0 {
+            return Err(MetricError::InvalidValue(format!("span = {span} is negative")));
+        }
+        let step = if n > 1 { span / (n as f64 - 1.0) } else { 0.0 };
+        Self::new((0..n).map(|i| i as f64 * step).collect())
+    }
+
+    /// A single point at the origin (the Theorem 2 lower-bound space).
+    pub fn single_point() -> Self {
+        Self::new(vec![0.0]).expect("one finite point is always valid")
+    }
+
+    /// The position of a point.
+    pub fn position(&self, p: PointId) -> f64 {
+        self.positions[p.index()]
+    }
+
+    /// All positions, in point-id order.
+    pub fn positions(&self) -> &[f64] {
+        &self.positions
+    }
+
+    /// Nearest point of the whole space to coordinate `x`, via binary search
+    /// on the sorted order — O(log n) instead of the trait's linear scan.
+    pub fn nearest_to_coord(&self, x: f64) -> (PointId, f64) {
+        debug_assert!(!self.by_position.is_empty());
+        let idx = self
+            .by_position
+            .partition_point(|&p| self.positions[p as usize] < x);
+        let mut best = (PointId(self.by_position[0]), f64::INFINITY);
+        for cand in [idx.wrapping_sub(1), idx] {
+            if let Some(&p) = self.by_position.get(cand) {
+                let d = (self.positions[p as usize] - x).abs();
+                if d < best.1 || (d == best.1 && p < best.0 .0) {
+                    best = (PointId(p), d);
+                }
+            }
+        }
+        best
+    }
+}
+
+impl Metric for LineMetric {
+    fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    #[inline]
+    fn distance(&self, a: PointId, b: PointId) -> f64 {
+        (self.positions[a.index()] - self.positions[b.index()]).abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances_are_absolute_differences() {
+        let m = LineMetric::new(vec![1.0, -2.0, 4.5]).unwrap();
+        assert_eq!(m.distance(PointId(0), PointId(1)), 3.0);
+        assert_eq!(m.distance(PointId(1), PointId(2)), 6.5);
+        assert_eq!(m.distance(PointId(2), PointId(2)), 0.0);
+    }
+
+    #[test]
+    fn rejects_empty_and_nonfinite() {
+        assert_eq!(LineMetric::new(vec![]).unwrap_err(), MetricError::Empty);
+        assert!(matches!(
+            LineMetric::new(vec![0.0, f64::NAN]),
+            Err(MetricError::InvalidValue(_))
+        ));
+        assert!(matches!(
+            LineMetric::new(vec![f64::INFINITY]),
+            Err(MetricError::InvalidValue(_))
+        ));
+    }
+
+    #[test]
+    fn uniform_spacing() {
+        let m = LineMetric::uniform(5, 8.0).unwrap();
+        assert_eq!(m.len(), 5);
+        assert!((m.distance(PointId(0), PointId(4)) - 8.0).abs() < 1e-12);
+        assert!((m.distance(PointId(0), PointId(1)) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_single_point_has_zero_span() {
+        let m = LineMetric::uniform(1, 100.0).unwrap();
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.position(PointId(0)), 0.0);
+    }
+
+    #[test]
+    fn single_point_space() {
+        let m = LineMetric::single_point();
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.distance(PointId(0), PointId(0)), 0.0);
+    }
+
+    #[test]
+    fn nearest_to_coord_matches_linear_scan() {
+        let m = LineMetric::new(vec![3.0, -1.0, 7.0, 3.0, 0.5]).unwrap();
+        for &x in &[-5.0, -1.0, 0.0, 0.6, 2.9, 3.0, 3.1, 6.9, 7.0, 100.0] {
+            let (p, d) = m.nearest_to_coord(x);
+            // Linear reference: smallest distance, ties to smallest id.
+            let mut best = (PointId(0), f64::INFINITY);
+            for q in m.points() {
+                let dd = (m.position(q) - x).abs();
+                if dd < best.1 {
+                    best = (q, dd);
+                }
+            }
+            assert!((d - best.1).abs() < 1e-12, "x = {x}");
+            assert!((m.position(p) - x).abs() <= best.1 + 1e-12, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn duplicate_positions_are_allowed() {
+        let m = LineMetric::new(vec![2.0, 2.0]).unwrap();
+        assert_eq!(m.distance(PointId(0), PointId(1)), 0.0);
+    }
+}

@@ -1,0 +1,157 @@
+//! Metric-axiom validation utilities.
+//!
+//! Exact validation is O(n³); for large spaces [`check_axioms_sampled`]
+//! probes random triples with a deterministic PRNG so test failures
+//! reproduce. Both are used by the property-test suites of downstream
+//! crates.
+
+use crate::{Metric, MetricError, PointId};
+
+/// Exhaustively checks non-negativity, zero diagonal, symmetry and the
+/// triangle inequality. O(n³) — use for n up to a few hundred.
+pub fn check_axioms_exact(m: &dyn Metric) -> Result<(), MetricError> {
+    let n = m.len();
+    if n == 0 {
+        return Err(MetricError::Empty);
+    }
+    for a in 0..n as u32 {
+        let da = m.distance(PointId(a), PointId(a));
+        if da != 0.0 {
+            return Err(MetricError::AxiomViolation(format!("d({a},{a}) = {da} != 0")));
+        }
+        for b in 0..n as u32 {
+            let dab = m.distance(PointId(a), PointId(b));
+            if !dab.is_finite() || dab < 0.0 {
+                return Err(MetricError::InvalidValue(format!("d({a},{b}) = {dab}")));
+            }
+            let dba = m.distance(PointId(b), PointId(a));
+            if (dab - dba).abs() > symmetric_tol(dab, dba) {
+                return Err(MetricError::AxiomViolation(format!(
+                    "asymmetry: d({a},{b}) = {dab}, d({b},{a}) = {dba}"
+                )));
+            }
+        }
+    }
+    for a in 0..n as u32 {
+        for b in 0..n as u32 {
+            let dab = m.distance(PointId(a), PointId(b));
+            for c in 0..n as u32 {
+                let via = m.distance(PointId(a), PointId(c)) + m.distance(PointId(c), PointId(b));
+                if dab > via + triangle_tol(dab, via) {
+                    return Err(MetricError::AxiomViolation(format!(
+                        "triangle: d({a},{b}) = {dab} > {via} via {c}"
+                    )));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks `samples` random triples using a SplitMix64 stream seeded by
+/// `seed`, plus the full diagonal and a symmetric sample. Suitable for large
+/// spaces where O(n³) is infeasible.
+pub fn check_axioms_sampled(m: &dyn Metric, samples: usize, seed: u64) -> Result<(), MetricError> {
+    let n = m.len();
+    if n == 0 {
+        return Err(MetricError::Empty);
+    }
+    for a in 0..n as u32 {
+        let da = m.distance(PointId(a), PointId(a));
+        if da != 0.0 {
+            return Err(MetricError::AxiomViolation(format!("d({a},{a}) = {da} != 0")));
+        }
+    }
+    let mut state = seed;
+    let mut next = move || {
+        // SplitMix64: deterministic, dependency-free.
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    for _ in 0..samples {
+        let a = (next() % n as u64) as u32;
+        let b = (next() % n as u64) as u32;
+        let c = (next() % n as u64) as u32;
+        let dab = m.distance(PointId(a), PointId(b));
+        let dba = m.distance(PointId(b), PointId(a));
+        if !dab.is_finite() || dab < 0.0 {
+            return Err(MetricError::InvalidValue(format!("d({a},{b}) = {dab}")));
+        }
+        if (dab - dba).abs() > symmetric_tol(dab, dba) {
+            return Err(MetricError::AxiomViolation(format!(
+                "asymmetry: d({a},{b}) = {dab}, d({b},{a}) = {dba}"
+            )));
+        }
+        let via = m.distance(PointId(a), PointId(c)) + m.distance(PointId(c), PointId(b));
+        if dab > via + triangle_tol(dab, via) {
+            return Err(MetricError::AxiomViolation(format!(
+                "triangle: d({a},{b}) = {dab} > {via} via {c}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn symmetric_tol(x: f64, y: f64) -> f64 {
+    1e-12 + 1e-9 * x.abs().max(y.abs())
+}
+
+fn triangle_tol(x: f64, y: f64) -> f64 {
+    1e-12 + 1e-9 * x.abs().max(y.abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::DenseMetric;
+    use crate::euclidean::{EuclideanMetric, Norm};
+    use crate::line::LineMetric;
+
+    #[test]
+    fn line_passes_exact() {
+        let m = LineMetric::new(vec![0.0, 1.0, 2.5, -3.0]).unwrap();
+        check_axioms_exact(&m).unwrap();
+    }
+
+    #[test]
+    fn grid_passes_exact_under_all_norms() {
+        for norm in [Norm::L1, Norm::L2, Norm::LInf] {
+            let m = EuclideanMetric::grid(4, 3, norm).unwrap();
+            check_axioms_exact(&m).unwrap();
+        }
+    }
+
+    #[test]
+    fn broken_matrix_fails_exact() {
+        // new_unchecked skips the triangle check, so the violation survives
+        // until check_axioms_exact sees it.
+        let m = DenseMetric::new_unchecked(
+            vec![0.0, 1.0, 9.0, 1.0, 0.0, 1.0, 9.0, 1.0, 0.0],
+            3,
+        )
+        .unwrap();
+        assert!(check_axioms_exact(&m).is_err());
+    }
+
+    #[test]
+    fn sampled_check_is_deterministic() {
+        let m = EuclideanMetric::grid(10, 10, Norm::L2).unwrap();
+        check_axioms_sampled(&m, 5_000, 42).unwrap();
+        check_axioms_sampled(&m, 5_000, 42).unwrap();
+    }
+
+    #[test]
+    fn sampled_check_catches_gross_violations() {
+        // A "metric" with a hugely violating pair; with enough samples the
+        // sampler must hit pair (0, 2) or a triple exposing it.
+        let m = DenseMetric::new_unchecked(
+            vec![0.0, 1.0, 50.0, 1.0, 0.0, 1.0, 50.0, 1.0, 0.0],
+            3,
+        )
+        .unwrap();
+        assert!(check_axioms_sampled(&m, 10_000, 7).is_err());
+    }
+}

@@ -1,0 +1,120 @@
+//! Property tests: every generated metric satisfies the metric axioms, and
+//! the specialized fast paths agree with reference implementations.
+
+use omfl_metric::dense::DenseMetric;
+use omfl_metric::euclidean::{EuclideanMetric, Norm};
+use omfl_metric::graph::{Graph, GraphMetric};
+use omfl_metric::line::LineMetric;
+use omfl_metric::tree::TreeMetric;
+use omfl_metric::validate::check_axioms_exact;
+use omfl_metric::{Metric, PointId};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn line_metrics_satisfy_axioms(positions in prop::collection::vec(-50.0..50.0f64, 1..12)) {
+        let m = LineMetric::new(positions).unwrap();
+        check_axioms_exact(&m).unwrap();
+    }
+
+    #[test]
+    fn euclidean_metrics_satisfy_axioms(
+        pts in prop::collection::vec((0.0..30.0f64, 0.0..30.0f64), 1..10),
+        norm_idx in 0usize..3,
+    ) {
+        let norm = [Norm::L1, Norm::L2, Norm::LInf][norm_idx];
+        let rows: Vec<Vec<f64>> = pts.iter().map(|&(x, y)| vec![x, y]).collect();
+        let m = EuclideanMetric::new(&rows, norm).unwrap();
+        check_axioms_exact(&m).unwrap();
+    }
+
+    #[test]
+    fn graph_metric_closure_satisfies_axioms(
+        n in 2usize..9,
+        extra in prop::collection::vec((0u32..8, 0u32..8, 0.1..5.0f64), 0..10),
+    ) {
+        // Spanning chain guarantees connectivity; extra edges are filtered
+        // to valid non-loops.
+        let mut edges: Vec<(u32, u32, f64)> =
+            (1..n as u32).map(|i| (i - 1, i, 1.0)).collect();
+        for (a, b, w) in extra {
+            let (a, b) = (a % n as u32, b % n as u32);
+            if a != b {
+                edges.push((a, b, w));
+            }
+        }
+        let g = Graph::from_edges(n, &edges).unwrap();
+        let m = GraphMetric::new(&g).unwrap();
+        check_axioms_exact(&m).unwrap();
+    }
+
+    #[test]
+    fn tree_metric_agrees_with_graph_metric(
+        weights in prop::collection::vec(0.1..4.0f64, 1..10),
+        shape in prop::collection::vec(0usize..8, 1..10),
+    ) {
+        // Random tree: node v+1 attaches to a previous node (shape[v] % (v+1)).
+        // weights and shape are drawn independently; use the common prefix.
+        let n = weights.len().min(shape.len()) + 1;
+        let mut parents = vec![None; n];
+        let mut edges = Vec::new();
+        for v in 1..n {
+            let p = (shape[v - 1] % v) as u32;
+            parents[v] = Some((p, weights[v - 1]));
+            edges.push((v as u32, p, weights[v - 1]));
+        }
+        let tm = TreeMetric::new(&parents).unwrap();
+        let gm = GraphMetric::from_edges(n, &edges).unwrap();
+        for a in 0..n as u32 {
+            for b in 0..n as u32 {
+                let (ta, gb) = (tm.distance(PointId(a), PointId(b)), gm.distance(PointId(a), PointId(b)));
+                prop_assert!((ta - gb).abs() < 1e-9 * (1.0 + gb), "({a},{b}): {ta} vs {gb}");
+            }
+        }
+    }
+
+    #[test]
+    fn dense_from_metric_round_trips(positions in prop::collection::vec(-20.0..20.0f64, 1..10)) {
+        let line = LineMetric::new(positions).unwrap();
+        let dense = DenseMetric::from_metric(&line).unwrap();
+        dense.validate().unwrap();
+        for a in line.points() {
+            for b in line.points() {
+                prop_assert_eq!(line.distance(a, b), dense.distance(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_to_coord_matches_linear_scan(
+        positions in prop::collection::vec(-20.0..20.0f64, 1..12),
+        x in -25.0..25.0f64,
+    ) {
+        let m = LineMetric::new(positions).unwrap();
+        let (_, d) = m.nearest_to_coord(x);
+        let best = m
+            .points()
+            .map(|p| (m.position(p) - x).abs())
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!((d - best).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nearest_among_is_a_minimum(
+        positions in prop::collection::vec(-20.0..20.0f64, 2..12),
+        from in 0u32..12,
+        cands in prop::collection::vec(0u32..12, 1..6),
+    ) {
+        let m = LineMetric::new(positions).unwrap();
+        let n = m.len() as u32;
+        let from = PointId(from % n);
+        let cands: Vec<PointId> = cands.iter().map(|&c| PointId(c % n)).collect();
+        let (p, d) = m.nearest_among(from, &cands).unwrap();
+        prop_assert!(cands.contains(&p));
+        for &c in &cands {
+            prop_assert!(d <= m.distance(from, c) + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Parallel execution utilities for the experiment harness.
+//!
+//! Monte-Carlo estimation of RAND-OMFLP's *expected* competitive ratio needs
+//! dozens of independent trials per parameter point; this crate provides a
+//! dependency-light scoped parallel map (crossbeam scoped threads pulling
+//! indices from an atomic counter), deterministic per-task seeding
+//! (SplitMix64 — results must not depend on thread scheduling), and the
+//! mean/CI reduction the tables report.
+//!
+//! Rationale for the dependencies (see DESIGN.md): `crossbeam` provides the
+//! scoped threads (rayon would also work but brings a global pool we don't
+//! need); `parking_lot` the mutex guarding the result buffer.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Applies `f` to every index/item pair, spreading work over `threads` OS
+/// threads. Results are returned in input order regardless of scheduling.
+///
+/// `threads = 0` or `1` runs inline (useful under a debugger and in tests).
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.max(1).min(n);
+    if threads == 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(i, &items[i]);
+                results.lock()[i] = Some(r);
+            });
+        }
+    })
+    .expect("worker threads must not panic");
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every index was processed"))
+        .collect()
+}
+
+/// A reasonable default worker count: available parallelism capped at 8
+/// (experiment tasks are memory-bandwidth-bound; more threads stop helping).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+/// Deterministic per-task seed derivation (SplitMix64 over `(base, task)`),
+/// so trial `i` sees the same RNG stream no matter which thread runs it.
+pub fn seed_for(base: u64, task: u64) -> u64 {
+    let mut z = base ^ task.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n ≤ 1).
+    pub std: f64,
+    /// Half-width of the normal-approximation 95% confidence interval.
+    pub ci95: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+/// Computes [`Summary`] over a non-empty sample.
+pub fn summarize(samples: &[f64]) -> Summary {
+    assert!(!samples.is_empty(), "summarize needs at least one sample");
+    let n = samples.len();
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    let var = if n > 1 {
+        samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64
+    } else {
+        0.0
+    };
+    let std = var.sqrt();
+    let ci95 = 1.96 * std / (n as f64).sqrt();
+    let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &x in samples {
+        min = min.min(x);
+        max = max.max(x);
+    }
+    Summary {
+        n,
+        mean,
+        std,
+        ci95,
+        min,
+        max,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out = parallel_map(&items, 4, |i, &x| {
+            assert_eq!(i as u64, x);
+            x * 2
+        });
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let items: Vec<u64> = (0..500).collect();
+        let seq = parallel_map(&items, 1, |i, &x| seed_for(x, i as u64));
+        let par = parallel_map(&items, 8, |i, &x| seed_for(x, i as u64));
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u32> = parallel_map::<u32, u32, _>(&[], 4, |_, &x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn seeds_differ_across_tasks_and_bases() {
+        assert_ne!(seed_for(1, 0), seed_for(1, 1));
+        assert_ne!(seed_for(1, 0), seed_for(2, 0));
+        assert_eq!(seed_for(7, 3), seed_for(7, 3));
+    }
+
+    #[test]
+    fn summary_of_constant_sample() {
+        let s = summarize(&[2.0, 2.0, 2.0]);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.ci95, 0.0);
+        assert_eq!((s.min, s.max), (2.0, 2.0));
+    }
+
+    #[test]
+    fn summary_known_values() {
+        let s = summarize(&[1.0, 3.0]);
+        assert_eq!(s.mean, 2.0);
+        assert!((s.std - 2f64.sqrt()).abs() < 1e-12);
+        assert_eq!((s.min, s.max), (1.0, 3.0));
+        assert_eq!(s.n, 2);
+    }
+
+    #[test]
+    fn single_sample_summary() {
+        let s = summarize(&[5.0]);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.std, 0.0);
+    }
+
+    #[test]
+    fn default_threads_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

@@ -1,0 +1,239 @@
+//! The paper's lower-bound constructions as runnable workloads.
+
+use crate::scenario::Scenario;
+use omfl_commodity::cost::CostModel;
+use omfl_commodity::{CommodityId, CommoditySet, Universe};
+use omfl_core::request::Request;
+use omfl_core::CoreError;
+use omfl_metric::line::LineMetric;
+use omfl_metric::{Metric, PointId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// Which phase(s) of the Theorem 2 adversary to emit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Theorem2Phase {
+    /// Only the `√|S|` random commodities of `S'` (the proof's sequence):
+    /// OPT = 1, every online algorithm pays `Ω(√|S|)`.
+    SPrimeOnly,
+    /// `S'` first, then every remaining commodity once: now OPT = `√|S|`
+    /// and prediction pays off — predicting algorithms reach `O(1)·√|S|`
+    /// total while never-predict pays `|S|`.
+    SPrimeThenAll,
+}
+
+/// The Theorem 2 gadget: a single point, cost `g(σ) = ⌈|σ|/√|S|⌉`, and
+/// singleton requests for a uniformly random `S' ⊂ S` with `|S'| = √|S|`.
+///
+/// `s` should be a perfect square (the paper assumes `√|S| ∈ ℕ`); other
+/// values work but blur the constants.
+pub fn theorem2_gadget(s: u16, phase: Theorem2Phase, seed: u64) -> Result<Scenario, CoreError> {
+    let universe = Universe::new(s).map_err(CoreError::Commodity)?;
+    let sqrt_s = (s as f64).sqrt().round() as usize;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ids: Vec<u16> = (0..s).collect();
+    ids.shuffle(&mut rng);
+    let s_prime: Vec<u16> = ids[..sqrt_s.min(s as usize)].to_vec();
+
+    let mut order: Vec<u16> = s_prime.clone();
+    if phase == Theorem2Phase::SPrimeThenAll {
+        order.extend(ids[sqrt_s.min(s as usize)..].iter().copied());
+    }
+    let requests = order
+        .into_iter()
+        .map(|e| {
+            Ok(Request::new(
+                PointId(0),
+                CommoditySet::singleton(universe, CommodityId(e)).map_err(CoreError::Commodity)?,
+            ))
+        })
+        .collect::<Result<Vec<_>, CoreError>>()?;
+
+    let metric: Arc<dyn Metric> = Arc::new(LineMetric::single_point());
+    Scenario::new(
+        format!("thm2-gadget(s={s},{phase:?})"),
+        metric,
+        CostModel::ceil_sqrt(s),
+        requests,
+    )
+}
+
+/// Closed-form OPT of the Theorem 2 gadget (one facility holding every
+/// requested commodity): `⌈#distinct/√|S|⌉`.
+pub fn theorem2_opt(s: u16, phase: Theorem2Phase) -> f64 {
+    let sqrt_s = (s as f64).sqrt();
+    match phase {
+        Theorem2Phase::SPrimeOnly => 1.0,
+        Theorem2Phase::SPrimeThenAll => (s as f64 / sqrt_s).ceil(),
+    }
+}
+
+/// A Theorem-2-style gadget with a class-C cost `g_x(σ) = |σ|^{x/2}`
+/// (for the Theorem 18 sweep). Requests the whole of a random `S'` of the
+/// given size, one commodity at a time.
+pub fn class_c_gadget(
+    s: u16,
+    x: f64,
+    s_prime_len: usize,
+    seed: u64,
+) -> Result<Scenario, CoreError> {
+    let universe = Universe::new(s).map_err(CoreError::Commodity)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ids: Vec<u16> = (0..s).collect();
+    ids.shuffle(&mut rng);
+    let requests = ids[..s_prime_len.min(s as usize)]
+        .iter()
+        .map(|&e| {
+            Ok(Request::new(
+                PointId(0),
+                CommoditySet::singleton(universe, CommodityId(e)).map_err(CoreError::Commodity)?,
+            ))
+        })
+        .collect::<Result<Vec<_>, CoreError>>()?;
+    let metric: Arc<dyn Metric> = Arc::new(LineMetric::single_point());
+    Scenario::new(
+        format!("classC-gadget(s={s},x={x})"),
+        metric,
+        CostModel::power(s, x, 1.0),
+        requests,
+    )
+}
+
+/// A hierarchical dyadic line workload in the spirit of Fotakis'
+/// `Ω(log n / log log n)` lower bound: `levels` rounds of requests at
+/// dyadic positions of `[0, span]`, finer each round, each demanding a
+/// random bundle of `bundle` commodities.
+///
+/// This is the *shape* of the adversary (nested scales forcing repeated
+/// facility decisions), not the adaptive adversary itself — measured ratios
+/// grow with `levels` but need not match the exact constant.
+pub fn dyadic_line(
+    levels: u32,
+    span: f64,
+    s: u16,
+    bundle: usize,
+    seed: u64,
+) -> Result<Scenario, CoreError> {
+    let universe = Universe::new(s).map_err(CoreError::Commodity)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Points: all dyadic positions at the finest level.
+    let n_pts = (1usize << levels) + 1;
+    let positions: Vec<f64> = (0..n_pts)
+        .map(|i| span * i as f64 / (n_pts - 1) as f64)
+        .collect();
+    let metric: Arc<dyn Metric> =
+        Arc::new(LineMetric::new(positions).map_err(CoreError::Metric)?);
+
+    let mut requests = Vec::new();
+    for level in 0..=levels {
+        let step = 1usize << (levels - level);
+        let mut idx = 0usize;
+        while idx < n_pts {
+            let mut ids: Vec<u16> = (0..s).collect();
+            ids.partial_shuffle(&mut rng, bundle.clamp(1, s as usize));
+            let demand =
+                CommoditySet::from_ids(universe, &ids[..bundle.clamp(1, s as usize)])
+                    .map_err(CoreError::Commodity)?;
+            requests.push(Request::new(PointId(idx as u32), demand));
+            idx += step;
+        }
+    }
+    Scenario::new(
+        format!("dyadic-line(levels={levels},s={s})"),
+        metric,
+        CostModel::power(s, 1.0, span / 4.0),
+        requests,
+    )
+}
+
+/// Repeats each commodity of the gadget `reps` times (with replacement,
+/// shuffled) — used by the arrival-order ablation where a single pass hides
+/// the effect of randomization.
+pub fn theorem2_gadget_repeated(
+    s: u16,
+    reps: usize,
+    seed: u64,
+) -> Result<Scenario, CoreError> {
+    let base = theorem2_gadget(s, Theorem2Phase::SPrimeOnly, seed)?;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+    let mut requests = Vec::with_capacity(base.requests.len() * reps);
+    for _ in 0..reps {
+        requests.extend(base.requests.iter().cloned());
+    }
+    requests.shuffle(&mut rng);
+    base.with_requests(requests)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gadget_shape() {
+        let sc = theorem2_gadget(64, Theorem2Phase::SPrimeOnly, 1).unwrap();
+        assert_eq!(sc.len(), 8, "|S'| = sqrt(64)");
+        assert_eq!(sc.instance().num_points(), 1);
+        // All demands are distinct singletons.
+        let mut seen = std::collections::HashSet::new();
+        for r in &sc.requests {
+            assert_eq!(r.demand().len(), 1);
+            assert!(seen.insert(r.demand().first().unwrap().0));
+        }
+    }
+
+    #[test]
+    fn gadget_full_phase_covers_all_commodities() {
+        let sc = theorem2_gadget(16, Theorem2Phase::SPrimeThenAll, 2).unwrap();
+        assert_eq!(sc.len(), 16);
+        let mut seen = std::collections::HashSet::new();
+        for r in &sc.requests {
+            seen.insert(r.demand().first().unwrap().0);
+        }
+        assert_eq!(seen.len(), 16);
+    }
+
+    #[test]
+    fn gadget_opt_values() {
+        assert_eq!(theorem2_opt(64, Theorem2Phase::SPrimeOnly), 1.0);
+        assert_eq!(theorem2_opt(64, Theorem2Phase::SPrimeThenAll), 8.0);
+    }
+
+    #[test]
+    fn gadget_is_seed_deterministic_and_seed_sensitive() {
+        let a = theorem2_gadget(64, Theorem2Phase::SPrimeOnly, 3).unwrap();
+        let b = theorem2_gadget(64, Theorem2Phase::SPrimeOnly, 3).unwrap();
+        assert_eq!(
+            a.requests.iter().map(|r| r.demand().first().unwrap().0).collect::<Vec<_>>(),
+            b.requests.iter().map(|r| r.demand().first().unwrap().0).collect::<Vec<_>>()
+        );
+        let c = theorem2_gadget(64, Theorem2Phase::SPrimeOnly, 4).unwrap();
+        assert_ne!(
+            a.requests.iter().map(|r| r.demand().first().unwrap().0).collect::<Vec<_>>(),
+            c.requests.iter().map(|r| r.demand().first().unwrap().0).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn class_c_gadget_uses_power_cost() {
+        let sc = class_c_gadget(16, 2.0, 4, 1).unwrap();
+        assert_eq!(sc.len(), 4);
+        // Linear cost (x = 2): f({e}) = 1, f(S) = 16.
+        assert_eq!(sc.instance().large_cost(PointId(0)), 16.0);
+    }
+
+    #[test]
+    fn dyadic_line_counts() {
+        let sc = dyadic_line(3, 8.0, 4, 2, 1).unwrap();
+        // Levels 0..=3 visit 2^l + 1 dyadic points: 2 + 3 + 5 + 9 = 19.
+        assert_eq!(sc.len(), 19);
+        assert_eq!(sc.instance().num_points(), 9);
+    }
+
+    #[test]
+    fn repeated_gadget_multiplies_length() {
+        let sc = theorem2_gadget_repeated(16, 3, 5).unwrap();
+        assert_eq!(sc.len(), 12, "sqrt(16) = 4 requests × 3 reps");
+    }
+}

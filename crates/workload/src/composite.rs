@@ -1,0 +1,172 @@
+//! Composed, named scenarios: spatial generator × demand model × cost model.
+
+use crate::demand::DemandModel;
+use crate::scenario::Scenario;
+use crate::spatial;
+use omfl_commodity::cost::{CostModel, FacilityCostFn};
+use omfl_core::request::Request;
+use omfl_core::CoreError;
+use omfl_metric::PointId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Uniform requests on a random line — the bread-and-butter workload of the
+/// Theorem 4 / Theorem 19 ratio sweeps.
+pub fn uniform_line(
+    n_points: usize,
+    span: f64,
+    n_requests: usize,
+    demand: DemandModel,
+    cost: CostModel,
+    seed: u64,
+) -> Result<Scenario, CoreError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let metric = spatial::random_line(n_points, span, &mut rng).map_err(CoreError::Metric)?;
+    let universe = cost.universe();
+    let locs = spatial::sample_locations(n_points, n_requests, 0.0, &mut rng);
+    let requests = locs
+        .into_iter()
+        .map(|p| Request::new(PointId(p), demand.sample(universe, &mut rng)))
+        .collect();
+    Scenario::new(
+        format!("uniform-line(n={n_requests},|M|={n_points})"),
+        metric,
+        cost,
+        requests,
+    )
+}
+
+/// Clustered plane with bundle demands — the Figure 3 serve-mode workload.
+#[allow(clippy::too_many_arguments)]
+pub fn clustered_bundles(
+    clusters: usize,
+    per_cluster: usize,
+    span: f64,
+    spread: f64,
+    n_requests: usize,
+    demand: DemandModel,
+    cost: CostModel,
+    seed: u64,
+) -> Result<Scenario, CoreError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let metric = spatial::clustered_plane(clusters, per_cluster, span, spread, &mut rng)
+        .map_err(CoreError::Metric)?;
+    let n_points = metric.len();
+    let universe = cost.universe();
+    let locs = spatial::sample_locations(n_points, n_requests, 0.8, &mut rng);
+    let requests = locs
+        .into_iter()
+        .map(|p| Request::new(PointId(p), demand.sample(universe, &mut rng)))
+        .collect();
+    Scenario::new(
+        format!("clustered-bundles(k={clusters},n={n_requests})"),
+        metric,
+        cost,
+        requests,
+    )
+}
+
+/// The paper's motivating scenario: a service network with hotspot clients
+/// requesting service bundles.
+pub fn service_network(
+    nodes: usize,
+    extra_edges: usize,
+    n_requests: usize,
+    demand: DemandModel,
+    cost: CostModel,
+    seed: u64,
+) -> Result<Scenario, CoreError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let metric =
+        spatial::random_network(nodes, extra_edges, 1.0, &mut rng).map_err(CoreError::Metric)?;
+    let universe = cost.universe();
+    let locs = spatial::sample_locations(nodes, n_requests, 1.0, &mut rng);
+    let requests = locs
+        .into_iter()
+        .map(|p| Request::new(PointId(p), demand.sample(universe, &mut rng)))
+        .collect();
+    Scenario::new(
+        format!("service-network(nodes={nodes},n={n_requests})"),
+        metric,
+        cost,
+        requests,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demand::default_bundles;
+
+    #[test]
+    fn uniform_line_scenario_builds() {
+        let sc = uniform_line(
+            16,
+            20.0,
+            40,
+            DemandModel::UniformK { k: 2 },
+            CostModel::power(8, 1.0, 2.0),
+            1,
+        )
+        .unwrap();
+        assert_eq!(sc.len(), 40);
+        assert_eq!(sc.instance().num_points(), 16);
+        assert_eq!(sc.instance().num_commodities(), 8);
+    }
+
+    #[test]
+    fn clustered_bundles_scenario_builds() {
+        let sc = clustered_bundles(
+            3,
+            5,
+            50.0,
+            2.0,
+            30,
+            DemandModel::Bundles {
+                bundles: default_bundles(8),
+                noise: 0.1,
+            },
+            CostModel::affine(8, 4.0, 0.5),
+            2,
+        )
+        .unwrap();
+        assert_eq!(sc.len(), 30);
+        assert_eq!(sc.instance().num_points(), 15);
+    }
+
+    #[test]
+    fn service_network_scenario_builds() {
+        let sc = service_network(
+            20,
+            10,
+            25,
+            DemandModel::Zipf {
+                alpha: 1.0,
+                k_max: 3,
+            },
+            CostModel::power(8, 1.0, 3.0),
+            3,
+        )
+        .unwrap();
+        assert_eq!(sc.len(), 25);
+        assert_eq!(sc.instance().num_points(), 20);
+    }
+
+    #[test]
+    fn scenarios_are_reproducible() {
+        let build = || {
+            uniform_line(
+                8,
+                10.0,
+                20,
+                DemandModel::UniformK { k: 2 },
+                CostModel::power(4, 1.0, 1.0),
+                7,
+            )
+            .unwrap()
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a.requests, b.requests);
+    }
+}

@@ -1,0 +1,212 @@
+//! Demand-set samplers: which commodities a request asks for.
+
+use omfl_commodity::{CommodityId, CommoditySet, Universe};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// How request demands are drawn.
+#[derive(Debug, Clone)]
+pub enum DemandModel {
+    /// Exactly `k` distinct commodities, uniformly at random.
+    UniformK {
+        /// Demand size (clamped to `|S|`).
+        k: usize,
+    },
+    /// Commodity popularity follows a Zipf law with exponent `alpha`; the
+    /// demand size is `1 + Binomial(k_max − 1, 0.5)`-ish (drawn uniformly in
+    /// `1..=k_max`). Models "a few services are hot" workloads.
+    Zipf {
+        /// Zipf exponent (0 = uniform, 1 ≈ classic web popularity).
+        alpha: f64,
+        /// Maximum demand size.
+        k_max: usize,
+    },
+    /// Demands are drawn from fixed bundles (service suites); with
+    /// probability `noise` one extra uniform commodity joins. Models app
+    /// stacks that are requested together — the regime where OMFLP's joint
+    /// facilities pay off.
+    Bundles {
+        /// The bundles (each non-empty, ids in range).
+        bundles: Vec<Vec<u16>>,
+        /// Probability of one extra random commodity.
+        noise: f64,
+    },
+}
+
+impl DemandModel {
+    /// Draws one demand set (never empty).
+    pub fn sample<R: Rng>(&self, universe: Universe, rng: &mut R) -> CommoditySet {
+        match self {
+            DemandModel::UniformK { k } => {
+                let k = (*k).clamp(1, universe.len());
+                let mut ids: Vec<u16> = (0..universe.size()).collect();
+                ids.partial_shuffle(rng, k);
+                CommoditySet::from_ids(universe, &ids[..k]).expect("ids in range")
+            }
+            DemandModel::Zipf { alpha, k_max } => {
+                let k = rng.gen_range(1..=(*k_max).clamp(1, universe.len()));
+                let mut set = CommoditySet::empty(universe);
+                let mut guard = 0;
+                while set.len() < k && guard < 64 * k {
+                    let e = zipf_draw(universe.len(), *alpha, rng);
+                    set.insert(CommodityId(e as u16)).expect("in range");
+                    guard += 1;
+                }
+                if set.is_empty() {
+                    set.insert(CommodityId(0)).expect("universe non-empty");
+                }
+                set
+            }
+            DemandModel::Bundles { bundles, noise } => {
+                assert!(!bundles.is_empty(), "bundle list must be non-empty");
+                let b = bundles.choose(rng).expect("non-empty");
+                let mut set = CommoditySet::from_ids(universe, b).expect("bundle ids in range");
+                if rng.gen::<f64>() < *noise {
+                    let e = rng.gen_range(0..universe.size());
+                    set.insert(CommodityId(e)).expect("in range");
+                }
+                set
+            }
+        }
+    }
+}
+
+/// Draws an index in `0..n` with probability ∝ `1/(i+1)^alpha`.
+fn zipf_draw<R: Rng>(n: usize, alpha: f64, rng: &mut R) -> usize {
+    // Inverse-CDF over the normalized weights; n is small (≤ thousands), so
+    // a linear scan is fine and avoids a lookup-table cache.
+    let z: f64 = (1..=n).map(|i| (i as f64).powf(-alpha)).sum();
+    let mut u = rng.gen::<f64>() * z;
+    for i in 0..n {
+        u -= ((i + 1) as f64).powf(-alpha);
+        if u <= 0.0 {
+            return i;
+        }
+    }
+    n - 1
+}
+
+/// Standard bundle catalogue for the service-network scenario: a web stack,
+/// a data stack, a media stack and a monitoring pair, over `s ≥ 8`
+/// commodities.
+pub fn default_bundles(s: u16) -> Vec<Vec<u16>> {
+    assert!(s >= 8, "default bundles need |S| >= 8");
+    vec![
+        vec![0, 1, 2],        // web: LB + app + cache
+        vec![1, 3, 4],        // data: app + db + queue
+        vec![5, 6],           // media: transcode + store
+        vec![2, 7],           // monitoring: cache + metrics
+        vec![0, 1, 2, 3, 4],  // full web+data suite
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn u(n: u16) -> Universe {
+        Universe::new(n).unwrap()
+    }
+
+    #[test]
+    fn uniform_k_draws_exact_size() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = DemandModel::UniformK { k: 3 };
+        for _ in 0..50 {
+            let s = m.sample(u(10), &mut rng);
+            assert_eq!(s.len(), 3);
+        }
+    }
+
+    #[test]
+    fn uniform_k_clamps_to_universe() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = DemandModel::UniformK { k: 99 };
+        let s = m.sample(u(4), &mut rng);
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn zipf_prefers_low_ids() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = DemandModel::Zipf {
+            alpha: 1.2,
+            k_max: 1,
+        };
+        let mut low = 0;
+        let trials = 400;
+        for _ in 0..trials {
+            let s = m.sample(u(16), &mut rng);
+            assert_eq!(s.len(), 1);
+            if s.first().unwrap().0 < 4 {
+                low += 1;
+            }
+        }
+        assert!(
+            low > trials / 2,
+            "zipf(1.2) should put >50% of mass on the first quarter, got {low}/{trials}"
+        );
+    }
+
+    #[test]
+    fn bundles_are_respected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let m = DemandModel::Bundles {
+            bundles: vec![vec![1, 2]],
+            noise: 0.0,
+        };
+        for _ in 0..10 {
+            let s = m.sample(u(8), &mut rng);
+            assert_eq!(s.len(), 2);
+            assert!(s.contains(CommodityId(1)) && s.contains(CommodityId(2)));
+        }
+    }
+
+    #[test]
+    fn bundle_noise_adds_commodities_sometimes() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let m = DemandModel::Bundles {
+            bundles: vec![vec![0]],
+            noise: 1.0,
+        };
+        let mut grew = 0;
+        for _ in 0..50 {
+            if m.sample(u(8), &mut rng).len() > 1 {
+                grew += 1;
+            }
+        }
+        // With noise = 1.0, the extra draw only fails to grow the set when
+        // it hits commodity 0 itself (1/8 chance).
+        assert!(grew > 30, "noise=1 should usually add a commodity, got {grew}/50");
+    }
+
+    #[test]
+    fn default_bundles_in_range() {
+        for b in default_bundles(8) {
+            assert!(!b.is_empty());
+            assert!(b.iter().all(|&e| e < 8));
+        }
+    }
+
+    #[test]
+    fn samples_are_never_empty() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for m in [
+            DemandModel::UniformK { k: 1 },
+            DemandModel::Zipf {
+                alpha: 2.0,
+                k_max: 3,
+            },
+            DemandModel::Bundles {
+                bundles: vec![vec![0], vec![1, 2]],
+                noise: 0.5,
+            },
+        ] {
+            for _ in 0..20 {
+                assert!(!m.sample(u(4), &mut rng).is_empty());
+            }
+        }
+    }
+}

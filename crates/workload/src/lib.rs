@@ -1,0 +1,24 @@
+//! Workload and instance generators for OMFLP experiments.
+//!
+//! Every generator is deterministic given its seed, so experiments reproduce
+//! bit-for-bit. The two adversarial constructions mirror the paper's lower
+//! bounds:
+//!
+//! * [`adversarial::theorem2_gadget`] — the Theorem 2 single-point adversary
+//!   (`g(σ) = ⌈|σ|/√|S|⌉`, a uniformly random `S' ⊂ S` of size `√|S|`
+//!   requested one commodity at a time);
+//! * [`adversarial::dyadic_line`] — a hierarchical line workload in the
+//!   spirit of Fotakis' `Ω(log n / log log n)` construction (Corollary 3's
+//!   second term).
+//!
+//! The remaining generators model the paper's motivating scenario (§1):
+//! clients appearing in a network and requesting service bundles.
+
+pub mod adversarial;
+pub mod arrival;
+pub mod composite;
+pub mod demand;
+pub mod scenario;
+pub mod spatial;
+
+pub use scenario::Scenario;

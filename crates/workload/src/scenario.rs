@@ -1,0 +1,113 @@
+//! A scenario bundles everything an experiment needs: the shared metric,
+//! the cost model, the instance, and the request sequence.
+
+use omfl_commodity::cost::CostModel;
+use omfl_core::heavy::SharedMetric;
+use omfl_core::instance::Instance;
+use omfl_core::request::Request;
+use omfl_core::CoreError;
+use omfl_metric::Metric;
+use std::sync::Arc;
+
+/// A ready-to-run experiment input.
+pub struct Scenario {
+    /// Human-readable scenario name (appears in experiment tables).
+    pub name: String,
+    /// The metric, shared so baselines can build their projections.
+    pub metric: Arc<dyn Metric>,
+    /// The cost model (cloneable; baselines take copies).
+    pub cost: CostModel,
+    /// The online request sequence.
+    pub requests: Vec<Request>,
+    instance: Instance,
+}
+
+impl Scenario {
+    /// Assembles a scenario, building the instance from the shared parts.
+    pub fn new(
+        name: impl Into<String>,
+        metric: Arc<dyn Metric>,
+        cost: CostModel,
+        requests: Vec<Request>,
+    ) -> Result<Self, CoreError> {
+        let instance = Instance::with_cost_fn(
+            Box::new(SharedMetric(Arc::clone(&metric))),
+            Box::new(cost.clone()),
+        )?;
+        for r in &requests {
+            r.validate(&instance)?;
+        }
+        Ok(Self {
+            name: name.into(),
+            metric,
+            cost,
+            requests,
+            instance,
+        })
+    }
+
+    /// The assembled instance.
+    pub fn instance(&self) -> &Instance {
+        &self.instance
+    }
+
+    /// Number of requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// `true` when the request sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// A copy of this scenario with the requests reordered.
+    pub fn with_requests(&self, requests: Vec<Request>) -> Result<Self, CoreError> {
+        Self::new(
+            self.name.clone(),
+            Arc::clone(&self.metric),
+            self.cost.clone(),
+            requests,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omfl_commodity::CommoditySet;
+    use omfl_metric::line::LineMetric;
+    use omfl_metric::PointId;
+
+    #[test]
+    fn scenario_assembles_and_validates() {
+        let metric: Arc<dyn Metric> = Arc::new(LineMetric::new(vec![0.0, 1.0]).unwrap());
+        let cost = CostModel::power(3, 1.0, 1.0);
+        let u = cost_universe(&cost);
+        let reqs = vec![Request::new(
+            PointId(1),
+            CommoditySet::from_ids(u, &[0, 2]).unwrap(),
+        )];
+        let s = Scenario::new("test", metric, cost, reqs).unwrap();
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+        assert_eq!(s.instance().num_points(), 2);
+    }
+
+    #[test]
+    fn invalid_request_rejected() {
+        let metric: Arc<dyn Metric> = Arc::new(LineMetric::single_point());
+        let cost = CostModel::power(2, 1.0, 1.0);
+        let u = cost_universe(&cost);
+        let reqs = vec![Request::new(
+            PointId(5),
+            CommoditySet::from_ids(u, &[0]).unwrap(),
+        )];
+        assert!(Scenario::new("bad", metric, cost, reqs).is_err());
+    }
+
+    fn cost_universe(cost: &CostModel) -> omfl_commodity::Universe {
+        use omfl_commodity::cost::FacilityCostFn;
+        cost.universe()
+    }
+}

@@ -1,0 +1,178 @@
+//! Spatial generators: where points live and where requests appear.
+
+use omfl_metric::euclidean::EuclideanMetric;
+use omfl_metric::graph::{Graph, GraphMetric};
+use omfl_metric::line::LineMetric;
+use omfl_metric::{Metric, MetricError};
+use rand::Rng;
+use std::sync::Arc;
+
+/// `n` points uniform on `[0, span]` (sorted, so point ids are spatial).
+pub fn random_line<R: Rng>(n: usize, span: f64, rng: &mut R) -> Result<Arc<dyn Metric>, MetricError> {
+    let mut xs: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() * span).collect();
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    Ok(Arc::new(LineMetric::new(xs)?))
+}
+
+/// `clusters` Gaussian-ish clusters of `per_cluster` points each in the
+/// unit square scaled by `span`; cluster centres uniform, offsets
+/// triangular-distributed with width `spread`.
+pub fn clustered_plane<R: Rng>(
+    clusters: usize,
+    per_cluster: usize,
+    span: f64,
+    spread: f64,
+    rng: &mut R,
+) -> Result<Arc<dyn Metric>, MetricError> {
+    let mut pts = Vec::with_capacity(clusters * per_cluster);
+    for _ in 0..clusters {
+        let cx = rng.gen::<f64>() * span;
+        let cy = rng.gen::<f64>() * span;
+        for _ in 0..per_cluster {
+            // Triangular offset: sum of two uniforms, centered.
+            let dx = (rng.gen::<f64>() + rng.gen::<f64>() - 1.0) * spread;
+            let dy = (rng.gen::<f64>() + rng.gen::<f64>() - 1.0) * spread;
+            pts.push((cx + dx, cy + dy));
+        }
+    }
+    Ok(Arc::new(EuclideanMetric::plane(&pts)?))
+}
+
+/// A connected random network: a uniform spanning chain (shuffled order)
+/// plus `extra_edges` random chords; edge weights uniform in
+/// `[0.5, 1.5) · base_weight`. This is the "network infrastructure" of the
+/// paper's motivating scenario.
+pub fn random_network<R: Rng>(
+    nodes: usize,
+    extra_edges: usize,
+    base_weight: f64,
+    rng: &mut R,
+) -> Result<Arc<dyn Metric>, MetricError> {
+    if nodes == 0 {
+        return Err(MetricError::Empty);
+    }
+    let mut order: Vec<u32> = (0..nodes as u32).collect();
+    // Fisher–Yates with the caller's RNG for reproducibility.
+    for i in (1..order.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+    let mut edges: Vec<(u32, u32, f64)> = Vec::with_capacity(nodes - 1 + extra_edges);
+    for w in order.windows(2) {
+        edges.push((w[0], w[1], (0.5 + rng.gen::<f64>()) * base_weight));
+    }
+    let mut added = 0;
+    let mut guard = 0;
+    while added < extra_edges && guard < extra_edges * 20 + 16 {
+        guard += 1;
+        let a = rng.gen_range(0..nodes as u32);
+        let b = rng.gen_range(0..nodes as u32);
+        if a != b {
+            edges.push((a, b, (0.5 + rng.gen::<f64>()) * base_weight));
+            added += 1;
+        }
+    }
+    let g = Graph::from_edges(nodes, &edges)?;
+    Ok(Arc::new(GraphMetric::new(&g)?))
+}
+
+/// Samples request locations: `n` point ids, either uniform over the space
+/// or biased toward `hotspots` (Zipf over a random permutation of points).
+pub fn sample_locations<R: Rng>(
+    num_points: usize,
+    n: usize,
+    hotspot_alpha: f64,
+    rng: &mut R,
+) -> Vec<u32> {
+    if hotspot_alpha <= 0.0 {
+        return (0..n).map(|_| rng.gen_range(0..num_points as u32)).collect();
+    }
+    // Zipf over a shuffled identity so hotspots are arbitrary points.
+    let mut perm: Vec<u32> = (0..num_points as u32).collect();
+    for i in (1..perm.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        perm.swap(i, j);
+    }
+    let z: f64 = (1..=num_points).map(|i| (i as f64).powf(-hotspot_alpha)).sum();
+    (0..n)
+        .map(|_| {
+            let mut u = rng.gen::<f64>() * z;
+            for (i, &p) in perm.iter().enumerate() {
+                u -= ((i + 1) as f64).powf(-hotspot_alpha);
+                if u <= 0.0 {
+                    return p;
+                }
+            }
+            perm[num_points - 1]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omfl_metric::validate::check_axioms_sampled;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_line_is_sorted_and_valid() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = random_line(50, 100.0, &mut rng).unwrap();
+        assert_eq!(m.len(), 50);
+        check_axioms_sampled(m.as_ref(), 2_000, 9).unwrap();
+    }
+
+    #[test]
+    fn clustered_plane_has_expected_count() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = clustered_plane(4, 10, 100.0, 2.0, &mut rng).unwrap();
+        assert_eq!(m.len(), 40);
+        check_axioms_sampled(m.as_ref(), 2_000, 9).unwrap();
+    }
+
+    #[test]
+    fn random_network_is_connected_metric() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = random_network(30, 20, 1.0, &mut rng).unwrap();
+        assert_eq!(m.len(), 30);
+        check_axioms_sampled(m.as_ref(), 2_000, 9).unwrap();
+    }
+
+    #[test]
+    fn random_network_single_node() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let m = random_network(1, 0, 1.0, &mut rng).unwrap();
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn locations_in_range_and_hotspots_bias() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let uniform = sample_locations(100, 500, 0.0, &mut rng);
+        assert!(uniform.iter().all(|&p| p < 100));
+        let hot = sample_locations(100, 500, 1.5, &mut rng);
+        assert!(hot.iter().all(|&p| p < 100));
+        // Hotspot sampling concentrates: the most common point should
+        // appear much more often than 1% of the time.
+        let mut counts = [0u32; 100];
+        for &p in &hot {
+            counts[p as usize] += 1;
+        }
+        let max = counts.iter().max().copied().unwrap();
+        assert!(max >= 25, "hotspot concentration too weak: max count {max}/500");
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        let a = {
+            let mut rng = StdRng::seed_from_u64(7);
+            sample_locations(50, 100, 1.0, &mut rng)
+        };
+        let b = {
+            let mut rng = StdRng::seed_from_u64(7);
+            sample_locations(50, 100, 1.0, &mut rng)
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,78 @@
+//! Quickstart: build an instance, serve a handful of online requests with
+//! both paper algorithms, and inspect the solutions.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use omfl::prelude::*;
+
+fn main() {
+    // A small city: six sites on a line, five services, and a facility cost
+    // that grows with the square root of the configuration size (class C,
+    // x = 1 — the hardest exponent of Theorem 18).
+    let metric = LineMetric::new(vec![0.0, 1.0, 2.0, 7.0, 8.0, 9.0]).unwrap();
+    let cost = CostModel::power(5, 1.0, 3.0);
+    let instance = Instance::new(Box::new(metric), 5, cost).unwrap();
+    let u = instance.universe();
+
+    // Clients arrive online: two neighbourhoods, overlapping demands.
+    let requests = vec![
+        Request::new(PointId(0), CommoditySet::from_ids(u, &[0, 1]).unwrap()),
+        Request::new(PointId(1), CommoditySet::from_ids(u, &[1, 2]).unwrap()),
+        Request::new(PointId(2), CommoditySet::from_ids(u, &[0, 2]).unwrap()),
+        Request::new(PointId(3), CommoditySet::from_ids(u, &[3, 4]).unwrap()),
+        Request::new(PointId(4), CommoditySet::from_ids(u, &[2, 3, 4]).unwrap()),
+        Request::new(PointId(5), CommoditySet::from_ids(u, &[0, 1, 2, 3, 4]).unwrap()),
+    ];
+
+    // Deterministic primal–dual algorithm (Theorem 4: O(√|S|·log n)).
+    let mut pd = PdOmflp::new(&instance);
+    for r in &requests {
+        let out = pd.serve(r).unwrap();
+        println!(
+            "PD   serve @{:<3} demand {:?}: opened {} facility(ies), connection cost {:.3}{}",
+            r.location().to_string(),
+            r.demand(),
+            out.opened.len(),
+            out.connection_cost,
+            if out.served_by_large { "  [served by a large facility]" } else { "" },
+        );
+    }
+    let sol = pd.solution();
+    sol.verify(&instance).expect("PD solutions are always feasible");
+    println!(
+        "PD   total: {:.3} (construction {:.3} + connection {:.3}), {} facilities ({} large)\n",
+        sol.total_cost(),
+        sol.construction_cost(),
+        sol.connection_cost(),
+        sol.facilities().len(),
+        sol.num_large_facilities(),
+    );
+
+    // Randomized algorithm (Theorem 19: O(√|S|·log n / log log n) expected).
+    let mut rand = RandOmflp::new(&instance, 42);
+    for r in &requests {
+        rand.serve(r).unwrap();
+    }
+    let rsol = rand.solution();
+    rsol.verify(&instance).expect("RAND solutions are always feasible");
+    println!(
+        "RAND total: {:.3} with seed 42 ({} facilities, {} large)",
+        rsol.total_cost(),
+        rsol.facilities().len(),
+        rsol.num_large_facilities(),
+    );
+
+    // How good is that? Bracket OPT with the offline solvers.
+    let greedy = GreedyOffline::new().solve(&instance, &requests).unwrap();
+    let tightened = LocalSearch::new().improve(&instance, &greedy, &requests).unwrap();
+    let dual_lb = DualLowerBound::compute(&instance, &requests).unwrap();
+    println!(
+        "\nOPT bracket: [{:.3}, {:.3}]  →  PD ratio ≤ {:.2}, RAND ratio ≤ {:.2}",
+        dual_lb,
+        tightened.total_cost(),
+        sol.total_cost() / dual_lb,
+        rsol.total_cost() / dual_lb,
+    );
+}

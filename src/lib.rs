@@ -1,0 +1,67 @@
+//! # omfl — Online Multi-Commodity Facility Location
+//!
+//! A faithful, from-scratch Rust implementation of the algorithms and lower
+//! bounds from *"The Online Multi-Commodity Facility Location Problem"*
+//! (Castenow, Feldkord, Knollmann, Malatyali, Meyer auf der Heide — SPAA
+//! 2020), together with every substrate the paper depends on: finite metric
+//! spaces, commodity-set cost functions, single-commodity online facility
+//! location baselines, offline solvers, adversarial workload generators, and
+//! a network service-placement simulator.
+//!
+//! This crate is a facade that re-exports the workspace crates under stable
+//! module names. Start with the quickstart below, the `examples/` directory,
+//! or the experiment harness (`cargo run -p omfl-bench --release --bin
+//! experiments -- --list`).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use omfl::prelude::*;
+//!
+//! // Four points on a line; three commodities; power-law facility costs.
+//! let metric = LineMetric::new(vec![0.0, 1.0, 2.0, 10.0]).unwrap();
+//! let costs = CostModel::power(3, 1.0, 4.0); // g(sigma) = 4*|sigma|^{1/2}
+//! let instance = Instance::new(Box::new(metric), 3, costs).unwrap();
+//!
+//! let mut alg = PdOmflp::new(&instance);
+//! let universe = instance.universe();
+//! let req = Request::new(PointId(0), CommoditySet::from_ids(universe, &[0, 2]).unwrap());
+//! alg.serve(&req).unwrap();
+//! let sol = alg.solution();
+//! assert!(sol.verify(&instance).is_ok());
+//! assert!(sol.total_cost() > 0.0);
+//! ```
+
+pub use omfl_baselines as baselines;
+pub use omfl_commodity as commodity;
+pub use omfl_core as core;
+pub use omfl_metric as metric;
+pub use omfl_par as par;
+pub use omfl_sim as sim;
+pub use omfl_workload as workload;
+
+/// Convenience prelude: the types most programs need.
+pub mod prelude {
+    pub use omfl_baselines::{
+        meyerson::MeyersonOfl,
+        offline::{DualLowerBound, ExactSolver, GreedyOffline, LocalSearch, OptBracket},
+        per_commodity::PerCommodity,
+    };
+    pub use omfl_commodity::{
+        cost::{CostModel, FacilityCostFn},
+        CommoditySet, Universe,
+    };
+    pub use omfl_core::{
+        algorithm::{OnlineAlgorithm, ServeOutcome},
+        instance::Instance,
+        pd::PdOmflp,
+        randalg::RandOmflp,
+        request::Request,
+        solution::Solution,
+    };
+    pub use omfl_metric::{
+        dense::DenseMetric, euclidean::EuclideanMetric, graph::GraphMetric, line::LineMetric,
+        Metric, PointId,
+    };
+    pub use omfl_workload::scenario::Scenario;
+}

@@ -1,0 +1,1 @@
+// Integration-test support helpers live in tests/tests/*.rs; this lib is intentionally small.

@@ -1,0 +1,160 @@
+//! Differential tests between independent implementations of the same
+//! mathematics — the strongest correctness signal this repository has.
+
+use omfl_baselines::fotakis::FotakisOfl;
+use omfl_baselines::project::single_commodity_instance;
+use omfl_commodity::cost::CostModel;
+use omfl_commodity::{CommodityId, CommoditySet};
+use omfl_core::algorithm::run_online_verified;
+use omfl_core::heavy::{HeavyExclusion, HeavyInstances};
+use omfl_core::pd::PdOmflp;
+use omfl_core::request::Request;
+use omfl_metric::line::LineMetric;
+use omfl_metric::{Metric, PointId};
+use std::sync::Arc;
+
+/// PD-OMFLP restricted to one commodity runs the same primal–dual process
+/// as the standalone Fotakis engine, except that PD tracks *two* facility
+/// families (small and large, identical configurations when |S| = 1) whose
+/// bid pools differ slightly — small-facility openings do not shrink the
+/// large-facility caps. Costs therefore agree up to a small constant, not
+/// exactly.
+#[test]
+fn pd_close_to_fotakis_on_single_commodity_instances() {
+    for seed in 0..5u64 {
+        let positions: Vec<f64> = (0..8)
+            .map(|i| ((seed.wrapping_mul(2654435761).wrapping_add(i * 37) % 97) as f64) / 7.0)
+            .collect();
+        let metric: Arc<dyn Metric> = Arc::new(LineMetric::new(positions).unwrap());
+        let inst = single_commodity_instance(
+            metric,
+            CostModel::power(1, 2.0, 2.0 + seed as f64),
+            CommodityId(0),
+        )
+        .unwrap();
+        let reqs: Vec<Request> = (0..30u32)
+            .map(|i| {
+                Request::new(
+                    PointId((i * 5 + seed as u32) % 8),
+                    CommoditySet::full(inst.universe()),
+                )
+            })
+            .collect();
+
+        let mut pd = PdOmflp::new(&inst);
+        let pd_cost = run_online_verified(&mut pd, &inst, &reqs).unwrap();
+        let mut fo = FotakisOfl::new(&inst).unwrap();
+        let fo_cost = run_online_verified(&mut fo, &inst, &reqs).unwrap();
+        let rel = (pd_cost - fo_cost).abs() / fo_cost.max(1e-9);
+        assert!(
+            rel < 0.25,
+            "seed {seed}: PD {pd_cost} vs Fotakis {fo_cost} differ by {:.0}%",
+            rel * 100.0
+        );
+    }
+}
+
+/// With an empty heavy set, the heavy-exclusion wrapper is plain PD over a
+/// re-indexed (identical) universe — costs must match exactly.
+#[test]
+fn heavy_exclusion_with_no_heavy_commodities_is_plain_pd() {
+    let metric: Arc<dyn Metric> = Arc::new(LineMetric::new(vec![0.0, 2.0, 5.0, 9.0]).unwrap());
+    let cost = CostModel::power(5, 1.0, 2.0);
+    let parts = HeavyInstances::build(Arc::clone(&metric), cost.clone(), &[]).unwrap();
+    let inst = &parts.original;
+    let u = inst.universe();
+    let reqs: Vec<Request> = (0..25u32)
+        .map(|i| {
+            Request::new(
+                PointId(i % 4),
+                CommoditySet::from_ids(u, &[(i % 5) as u16, ((i * 2 + 1) % 5) as u16]).unwrap(),
+            )
+        })
+        .collect();
+
+    let mut wrapped = HeavyExclusion::new(&parts);
+    let wrapped_cost = run_online_verified(&mut wrapped, inst, &reqs).unwrap();
+
+    let mut plain = PdOmflp::new(inst);
+    let plain_cost = run_online_verified(&mut plain, inst, &reqs).unwrap();
+
+    assert!(
+        (wrapped_cost - plain_cost).abs() < 1e-9 * (1.0 + plain_cost),
+        "wrapped {wrapped_cost} vs plain {plain_cost}"
+    );
+}
+
+/// RAND-OMFLP on a single-commodity instance uses Meyerson's classes with
+/// X = Z, but by design flips *both* the small-facility and large-facility
+/// coins (Lemma 20 equalizes the expected spend of the two families), so
+/// its expected cost sits between 1× and ≈2.5× Meyerson's.
+#[test]
+fn rand_brackets_meyerson_in_expectation_on_single_commodity() {
+    use omfl_baselines::meyerson::MeyersonOfl;
+    use omfl_core::randalg::RandOmflp;
+
+    let metric: Arc<dyn Metric> =
+        Arc::new(LineMetric::new(vec![0.0, 1.0, 3.0, 6.5, 10.0]).unwrap());
+    let inst =
+        single_commodity_instance(metric, CostModel::power(1, 2.0, 4.0), CommodityId(0)).unwrap();
+    let reqs: Vec<Request> = (0..40u32)
+        .map(|i| Request::new(PointId((i * 3) % 5), CommoditySet::full(inst.universe())))
+        .collect();
+
+    let trials = 40;
+    let mut rand_total = 0.0;
+    let mut mey_total = 0.0;
+    for seed in 0..trials {
+        let mut r = RandOmflp::new(&inst, seed);
+        rand_total += run_online_verified(&mut r, &inst, &reqs).unwrap();
+        let mut m = MeyersonOfl::new(&inst, seed ^ 0x5555).unwrap();
+        mey_total += run_online_verified(&mut m, &inst, &reqs).unwrap();
+    }
+    let (rand_mean, mey_mean) = (rand_total / trials as f64, mey_total / trials as f64);
+    let ratio = rand_mean / mey_mean;
+    assert!(
+        (0.9..=2.5).contains(&ratio),
+        "single-commodity RAND ({rand_mean}) vs Meyerson ({mey_mean}): ratio {ratio} outside \
+         the two-coin-family bracket"
+    );
+}
+
+/// The per-commodity decomposition cost equals the sum of independent
+/// single-commodity runs (by construction — this guards the mirroring).
+#[test]
+fn decomposition_cost_equals_sum_of_projections() {
+    use omfl_baselines::per_commodity::{PerCommodity, PerCommodityParts};
+
+    let metric: Arc<dyn Metric> = Arc::new(LineMetric::new(vec![0.0, 4.0, 9.0]).unwrap());
+    let cost = CostModel::power(3, 1.0, 2.0);
+    let parts = PerCommodityParts::build(Arc::clone(&metric), cost.clone()).unwrap();
+    let u = parts.original.universe();
+    let reqs: Vec<Request> = (0..18u32)
+        .map(|i| {
+            Request::new(
+                PointId(i % 3),
+                CommoditySet::from_ids(u, &[(i % 3) as u16]).unwrap(),
+            )
+        })
+        .collect();
+    let mut dec = PerCommodity::new_pd(&parts);
+    let dec_cost = run_online_verified(&mut dec, &parts.original, &reqs).unwrap();
+
+    // Independent per-commodity runs.
+    let mut sum = 0.0;
+    for e in 0..3u16 {
+        let sub =
+            single_commodity_instance(Arc::clone(&metric), cost.clone(), CommodityId(e)).unwrap();
+        let sub_reqs: Vec<Request> = reqs
+            .iter()
+            .filter(|r| r.demand().contains(CommodityId(e)))
+            .map(|r| Request::new(r.location(), CommoditySet::full(sub.universe())))
+            .collect();
+        let mut pd = PdOmflp::new(&sub);
+        sum += run_online_verified(&mut pd, &sub, &sub_reqs).unwrap();
+    }
+    assert!(
+        (dec_cost - sum).abs() < 1e-9 * (1.0 + sum),
+        "decomposition {dec_cost} vs independent sum {sum}"
+    );
+}

@@ -1,0 +1,123 @@
+//! End-to-end tests with the Svitkina–Tardos-style hierarchical cost model
+//! (related work §1.2): it is subadditive and monotone but violates
+//! Condition 1, making it the natural stress test for the §5
+//! heavy-commodity machinery.
+
+use omfl_commodity::cost::CostModel;
+use omfl_commodity::CommoditySet;
+use omfl_core::algorithm::{run_online_verified, OnlineAlgorithm};
+use omfl_core::heavy::{detect_heavy, HeavyExclusion, HeavyInstances, SharedMetric};
+use omfl_core::instance::Instance;
+use omfl_core::pd::PdOmflp;
+use omfl_core::randalg::RandOmflp;
+use omfl_core::request::Request;
+use omfl_metric::line::LineMetric;
+use omfl_metric::{Metric, PointId};
+use std::sync::Arc;
+
+/// 6 leaves; leaf 5 hides behind a private edge of weight 40.
+fn lopsided_tree_cost() -> CostModel {
+    CostModel::hierarchy(
+        6,
+        vec![
+            Some((6, 1.0)),  // 0 ─┐
+            Some((6, 1.0)),  // 1  ├─ cluster a
+            Some((6, 1.0)),  // 2 ─┘
+            Some((7, 1.5)),  // 3 ─┐
+            Some((7, 1.5)),  // 4 ─┴─ cluster b
+            Some((8, 40.0)), // 5: the heavy leaf
+            Some((8, 2.0)),  // a -> root
+            Some((8, 2.0)),  // b -> root
+            None,            // root
+        ],
+    )
+    .unwrap()
+}
+
+fn requests(inst: &Instance) -> Vec<Request> {
+    let u = inst.universe();
+    (0..40u32)
+        .map(|i| {
+            let ids: &[u16] = match i % 5 {
+                0 => &[0, 1],
+                1 => &[1, 2],
+                2 => &[3, 4],
+                3 => &[0, 3],
+                _ => &[5], // occasional heavy request
+            };
+            Request::new(
+                PointId(i % 4),
+                CommoditySet::from_ids(u, ids).unwrap(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn pd_and_rand_remain_feasible_under_hierarchy_costs() {
+    let metric: Arc<dyn Metric> = Arc::new(LineMetric::new(vec![0.0, 1.0, 2.0, 8.0]).unwrap());
+    let inst = Instance::with_cost_fn(
+        Box::new(SharedMetric(metric)),
+        Box::new(lopsided_tree_cost()),
+    )
+    .unwrap();
+    let reqs = requests(&inst);
+
+    let mut pd = PdOmflp::new(&inst);
+    let pd_cost = run_online_verified(&mut pd, &inst, &reqs).unwrap();
+    assert!(pd_cost > 0.0);
+    // Corollary 8's accounting holds regardless of Condition 1 (it only
+    // needs the constraint mechanics, not the scaling lemma).
+    assert!(pd_cost <= 3.0 * pd.dual_sum() + 1e-6);
+
+    let mut rn = RandOmflp::new(&inst, 5);
+    let rn_cost = run_online_verified(&mut rn, &inst, &reqs).unwrap();
+    assert!(rn_cost > 0.0);
+}
+
+#[test]
+fn detect_heavy_finds_the_lopsided_leaf() {
+    let metric: Arc<dyn Metric> = Arc::new(LineMetric::single_point());
+    let inst = Instance::with_cost_fn(
+        Box::new(SharedMetric(metric)),
+        Box::new(lopsided_tree_cost()),
+    )
+    .unwrap();
+    let heavy = detect_heavy(&inst, 4.0);
+    assert_eq!(
+        heavy,
+        vec![omfl_commodity::CommodityId(5)],
+        "the private-edge leaf must be flagged heavy"
+    );
+}
+
+#[test]
+fn heavy_exclusion_beats_plain_pd_on_hierarchy_costs() {
+    let metric: Arc<dyn Metric> = Arc::new(LineMetric::new(vec![0.0, 1.0, 2.0, 8.0]).unwrap());
+    let cost = lopsided_tree_cost();
+    let parts = HeavyInstances::build(
+        Arc::clone(&metric),
+        cost.clone(),
+        &[omfl_commodity::CommodityId(5)],
+    )
+    .unwrap();
+    let reqs = requests(&parts.original);
+
+    let mut plain = PdOmflp::new(&parts.original);
+    let plain_cost = run_online_verified(&mut plain, &parts.original, &reqs).unwrap();
+
+    let mut excl = HeavyExclusion::new(&parts);
+    let excl_cost = run_online_verified(&mut excl, &parts.original, &reqs).unwrap();
+
+    assert!(
+        excl_cost <= plain_cost * 1.05,
+        "exclusion ({excl_cost}) should not lose to plain PD ({plain_cost}) when a heavy \
+         leaf poisons every large facility"
+    );
+    // And the wrapper must never bundle the heavy commodity with others.
+    for f in excl.solution().facilities() {
+        if f.config.contains(omfl_commodity::CommodityId(5)) {
+            assert_eq!(f.config.len(), 1);
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Optimality relations: exact OPT vs bounds vs online costs, on a family
+//! of randomized tiny instances where the exact solver is feasible.
+
+use omfl_baselines::offline::{
+    serve_alone_lower_bound, DualLowerBound, ExactSolver, GreedyOffline, LocalSearch,
+};
+use omfl_commodity::cost::CostModel;
+use omfl_commodity::CommoditySet;
+use omfl_core::algorithm::run_online_verified;
+use omfl_core::instance::Instance;
+use omfl_core::pd::PdOmflp;
+use omfl_core::randalg::RandOmflp;
+use omfl_core::request::Request;
+use omfl_metric::line::LineMetric;
+use omfl_metric::PointId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn tiny_instance(seed: u64) -> (Instance, Vec<Request>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let m = rng.gen_range(2..=4usize);
+    let positions: Vec<f64> = (0..m).map(|_| rng.gen::<f64>() * 6.0).collect();
+    let s = rng.gen_range(2..=3u16);
+    let x = [0.5, 1.0, 1.5][rng.gen_range(0..3)];
+    let inst = Instance::new(
+        Box::new(LineMetric::new(positions).unwrap()),
+        s,
+        CostModel::power(s, x, 1.0 + rng.gen::<f64>() * 2.0),
+    )
+    .unwrap();
+    let u = inst.universe();
+    let n = rng.gen_range(3..=7usize);
+    let reqs: Vec<Request> = (0..n)
+        .map(|_| {
+            let loc = rng.gen_range(0..m as u32);
+            let k = rng.gen_range(1..=s);
+            let mut set = CommoditySet::empty(u);
+            while set.len() < k as usize {
+                set.insert(omfl_commodity::CommodityId(rng.gen_range(0..s)))
+                    .unwrap();
+            }
+            Request::new(PointId(loc), set)
+        })
+        .collect();
+    (inst, reqs)
+}
+
+#[test]
+fn exact_opt_sits_inside_every_bound_pair() {
+    for seed in 0..12u64 {
+        let (inst, reqs) = tiny_instance(seed);
+        let opt = ExactSolver::new().solve(&inst, &reqs).unwrap().total_cost();
+
+        let dual = DualLowerBound::compute(&inst, &reqs).unwrap();
+        assert!(
+            dual <= opt + 1e-6,
+            "seed {seed}: dual LB {dual} exceeds OPT {opt}"
+        );
+        let alone = serve_alone_lower_bound(&inst, &reqs).unwrap();
+        assert!(
+            alone <= opt + 1e-6,
+            "seed {seed}: serve-alone LB {alone} exceeds OPT {opt}"
+        );
+
+        let greedy = GreedyOffline::new().solve(&inst, &reqs).unwrap();
+        assert!(
+            greedy.total_cost() >= opt - 1e-6,
+            "seed {seed}: greedy below OPT"
+        );
+        let ls = LocalSearch::new().improve(&inst, &greedy, &reqs).unwrap();
+        assert!(ls.total_cost() >= opt - 1e-6, "seed {seed}: LS below OPT");
+        assert!(
+            ls.total_cost() <= greedy.total_cost() + 1e-9,
+            "seed {seed}: LS worse than its start"
+        );
+    }
+}
+
+#[test]
+fn online_algorithms_never_beat_exact_opt() {
+    for seed in 20..30u64 {
+        let (inst, reqs) = tiny_instance(seed);
+        let opt = ExactSolver::new().solve(&inst, &reqs).unwrap().total_cost();
+
+        let mut pd = PdOmflp::new(&inst);
+        let pd_cost = run_online_verified(&mut pd, &inst, &reqs).unwrap();
+        assert!(
+            pd_cost >= opt - 1e-6,
+            "seed {seed}: online PD ({pd_cost}) below OPT ({opt})"
+        );
+
+        let mut rn = RandOmflp::new(&inst, seed);
+        let rn_cost = run_online_verified(&mut rn, &inst, &reqs).unwrap();
+        assert!(
+            rn_cost >= opt - 1e-6,
+            "seed {seed}: online RAND ({rn_cost}) below OPT ({opt})"
+        );
+    }
+}
+
+#[test]
+fn pd_respects_theorem4_bound_with_constant() {
+    // Cost ≤ 15·√S·H_n·OPT is the exact statement proven (Theorem 4's
+    // constant is 15); verify with the measured OPT.
+    for seed in 40..48u64 {
+        let (inst, reqs) = tiny_instance(seed);
+        let opt = ExactSolver::new().solve(&inst, &reqs).unwrap().total_cost();
+        let mut pd = PdOmflp::new(&inst);
+        let pd_cost = run_online_verified(&mut pd, &inst, &reqs).unwrap();
+        let s = inst.num_commodities() as f64;
+        let bound = 15.0 * s.sqrt() * omfl_core::harmonic(reqs.len()) * opt;
+        assert!(
+            pd_cost <= bound + 1e-6,
+            "seed {seed}: PD {pd_cost} exceeds the proven bound {bound}"
+        );
+    }
+}
+
+#[test]
+fn corollary8_on_random_tiny_instances() {
+    for seed in 60..70u64 {
+        let (inst, reqs) = tiny_instance(seed);
+        let mut pd = PdOmflp::new(&inst);
+        let cost = run_online_verified(&mut pd, &inst, &reqs).unwrap();
+        assert!(
+            cost <= 3.0 * pd.dual_sum() + 1e-6,
+            "seed {seed}: Corollary 8 violated"
+        );
+    }
+}

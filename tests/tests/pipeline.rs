@@ -1,0 +1,142 @@
+//! End-to-end pipelines: generate → run every algorithm → verify → compare.
+
+use omfl_baselines::all_large::{AllLarge, AllLargeParts};
+use omfl_baselines::per_commodity::{PerCommodity, PerCommodityParts};
+use omfl_commodity::cost::CostModel;
+use omfl_core::algorithm::{run_online_verified, OnlineAlgorithm};
+use omfl_core::pd::PdOmflp;
+use omfl_core::randalg::RandOmflp;
+use omfl_core::validate;
+use omfl_workload::composite::{clustered_bundles, service_network, uniform_line};
+use omfl_workload::demand::{default_bundles, DemandModel};
+use omfl_workload::Scenario;
+use std::sync::Arc;
+
+fn scenarios() -> Vec<Scenario> {
+    vec![
+        uniform_line(
+            12,
+            25.0,
+            60,
+            DemandModel::UniformK { k: 2 },
+            CostModel::power(8, 1.0, 2.0),
+            1,
+        )
+        .unwrap(),
+        clustered_bundles(
+            3,
+            4,
+            40.0,
+            2.0,
+            50,
+            DemandModel::Bundles {
+                bundles: default_bundles(8),
+                noise: 0.2,
+            },
+            CostModel::affine(8, 5.0, 0.5),
+            2,
+        )
+        .unwrap(),
+        service_network(
+            20,
+            12,
+            60,
+            DemandModel::Zipf { alpha: 1.0, k_max: 4 },
+            CostModel::power(10, 1.0, 3.0),
+            3,
+        )
+        .unwrap(),
+    ]
+}
+
+#[test]
+fn every_algorithm_serves_every_scenario_feasibly() {
+    for sc in scenarios() {
+        let inst = sc.instance();
+
+        let mut pd = PdOmflp::new(inst);
+        let pd_cost = run_online_verified(&mut pd, inst, &sc.requests).unwrap();
+        assert!(pd_cost > 0.0, "{}", sc.name);
+
+        let mut rn = RandOmflp::new(inst, 5);
+        let rn_cost = run_online_verified(&mut rn, inst, &sc.requests).unwrap();
+        assert!(rn_cost > 0.0);
+
+        let parts = PerCommodityParts::build(Arc::clone(&sc.metric), sc.cost.clone()).unwrap();
+        let mut dc = PerCommodity::new_pd(&parts);
+        let dc_cost = run_online_verified(&mut dc, &parts.original, &sc.requests).unwrap();
+        assert!(dc_cost > 0.0);
+
+        let al_parts = AllLargeParts::build(Arc::clone(&sc.metric), sc.cost.clone()).unwrap();
+        let mut al = AllLarge::new_fotakis(&al_parts).unwrap();
+        let al_cost = run_online_verified(&mut al, &al_parts.original, &sc.requests).unwrap();
+        assert!(al_cost > 0.0);
+    }
+}
+
+#[test]
+fn pd_invariants_hold_on_all_scenarios() {
+    for sc in scenarios() {
+        let inst = sc.instance();
+        let mut pd = PdOmflp::new(inst);
+        for r in &sc.requests {
+            pd.serve(r).unwrap();
+        }
+        validate::check_all(&pd).unwrap_or_else(|e| panic!("{}: {e}", sc.name));
+    }
+}
+
+#[test]
+fn pd_is_deterministic_across_runs_and_scenario_rebuilds() {
+    let build = || {
+        uniform_line(
+            10,
+            15.0,
+            40,
+            DemandModel::UniformK { k: 3 },
+            CostModel::power(6, 1.0, 1.5),
+            99,
+        )
+        .unwrap()
+    };
+    let costs: Vec<f64> = (0..3)
+        .map(|_| {
+            let sc = build();
+            let mut pd = PdOmflp::new(sc.instance());
+            run_online_verified(&mut pd, sc.instance(), &sc.requests).unwrap()
+        })
+        .collect();
+    assert_eq!(costs[0], costs[1]);
+    assert_eq!(costs[1], costs[2]);
+}
+
+#[test]
+fn rand_expectation_is_stable_across_thread_counts() {
+    // The parallel trial runner must not change results with concurrency.
+    let sc = scenarios().remove(0);
+    let run_with = |threads: usize| {
+        let seeds: Vec<u64> = (0..6).collect();
+        omfl_par::parallel_map(&seeds, threads, |_, &s| {
+            let mut alg = RandOmflp::new(sc.instance(), omfl_par::seed_for(3, s));
+            omfl_core::algorithm::run_online(&mut alg, &sc.requests).unwrap()
+        })
+    };
+    assert_eq!(run_with(1), run_with(4));
+}
+
+#[test]
+fn serve_outcome_accounting_matches_solution_totals() {
+    let sc = scenarios().remove(1);
+    let inst = sc.instance();
+    let mut pd = PdOmflp::new(inst);
+    let mut conn = 0.0;
+    let mut cons = 0.0;
+    for r in &sc.requests {
+        let out = pd.serve(r).unwrap();
+        conn += out.connection_cost;
+        cons += out.construction_cost;
+    }
+    let sol = pd.solution();
+    assert!((conn - sol.connection_cost()).abs() < 1e-9 * (1.0 + conn));
+    assert!((cons - sol.construction_cost()).abs() < 1e-9 * (1.0 + cons));
+}

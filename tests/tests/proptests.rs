@@ -1,0 +1,123 @@
+//! Property-based integration tests: random instances and request streams
+//! must uphold the paper's invariants end to end.
+
+use omfl_commodity::cost::CostModel;
+use omfl_commodity::CommoditySet;
+use omfl_core::algorithm::{run_online_verified, OnlineAlgorithm};
+use omfl_core::instance::Instance;
+use omfl_core::pd::PdOmflp;
+use omfl_core::randalg::RandOmflp;
+use omfl_core::request::Request;
+use omfl_core::{transform, validate};
+use omfl_metric::line::LineMetric;
+use omfl_metric::PointId;
+use proptest::prelude::*;
+
+/// Raw request draw: a location index and commodity indices (taken modulo
+/// the instance dimensions when built).
+type RawRequests = Vec<(u32, Vec<u16>)>;
+
+/// Strategy: a random instance (line metric, power cost) plus requests.
+fn instance_and_requests() -> impl Strategy<Value = (Vec<f64>, u16, f64, RawRequests)> {
+    (
+        prop::collection::vec(0.0..20.0f64, 1..6),   // positions
+        2..6u16,                                     // |S|
+        0.0..2.0f64,                                 // class-C exponent
+        prop::collection::vec(
+            (0u32..6, prop::collection::vec(0u16..6, 1..4)),
+            1..18,
+        ),
+    )
+}
+
+fn build(
+    positions: &[f64],
+    s: u16,
+    x: f64,
+    raw: &[(u32, Vec<u16>)],
+) -> (Instance, Vec<Request>) {
+    let inst = Instance::new(
+        Box::new(LineMetric::new(positions.to_vec()).unwrap()),
+        s,
+        CostModel::power(s, x, 1.5),
+    )
+    .unwrap();
+    let u = inst.universe();
+    let m = inst.num_points() as u32;
+    let reqs: Vec<Request> = raw
+        .iter()
+        .map(|(loc, ids)| {
+            let ids: Vec<u16> = ids.iter().map(|&e| e % s).collect();
+            Request::new(PointId(loc % m), CommoditySet::from_ids(u, &ids).unwrap())
+        })
+        .collect();
+    (inst, reqs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// PD: feasibility, Corollary 8, bid invariants and scaled-dual
+    /// feasibility on arbitrary instances.
+    #[test]
+    fn pd_invariants_on_random_instances(
+        (positions, s, x, raw) in instance_and_requests()
+    ) {
+        let (inst, reqs) = build(&positions, s, x, &raw);
+        let mut pd = PdOmflp::new(&inst);
+        run_online_verified(&mut pd, &inst, &reqs).unwrap();
+        validate::check_all(&pd).unwrap();
+    }
+
+    /// RAND: always feasible, and its cost is at least the dual lower bound
+    /// that PD's run certifies for OPT.
+    #[test]
+    fn rand_feasible_and_above_dual_lb(
+        (positions, s, x, raw) in instance_and_requests(),
+        seed in 0u64..1000,
+    ) {
+        let (inst, reqs) = build(&positions, s, x, &raw);
+        let mut rn = RandOmflp::new(&inst, seed);
+        let cost = run_online_verified(&mut rn, &inst, &reqs).unwrap();
+
+        let mut pd = PdOmflp::new(&inst);
+        run_online_verified(&mut pd, &inst, &reqs).unwrap();
+        let lb = pd.scaled_dual_lower_bound();
+        prop_assert!(cost >= lb - 1e-6, "RAND cost {} below dual LB {}", cost, lb);
+    }
+
+    /// The request-splitting transform preserves locations and multiplies
+    /// counts correctly, and serving the split sequence is feasible.
+    #[test]
+    fn split_transform_round_trip(
+        (positions, s, x, raw) in instance_and_requests()
+    ) {
+        let (inst, reqs) = build(&positions, s, x, &raw);
+        let split = transform::split_into_singletons(&reqs);
+        prop_assert_eq!(split.len(), transform::split_len(&reqs));
+        let total: usize = reqs.iter().map(|r| r.demand().len()).sum();
+        prop_assert_eq!(split.len(), total);
+        for r in &split {
+            prop_assert_eq!(r.demand().len(), 1);
+        }
+        let mut pd = PdOmflp::new(&inst);
+        run_online_verified(&mut pd, &inst, &split).unwrap();
+    }
+
+    /// Monotone loads: serving a prefix costs no more than the full run
+    /// (facilities and assignments are irrevocable, costs only accumulate).
+    #[test]
+    fn cost_is_monotone_in_the_prefix(
+        (positions, s, x, raw) in instance_and_requests()
+    ) {
+        let (inst, reqs) = build(&positions, s, x, &raw);
+        let mut pd = PdOmflp::new(&inst);
+        let mut last = 0.0;
+        for r in &reqs {
+            pd.serve(r).unwrap();
+            let c = pd.solution().total_cost();
+            prop_assert!(c >= last - 1e-9);
+            last = c;
+        }
+    }
+}
