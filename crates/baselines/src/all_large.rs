@@ -92,9 +92,9 @@ impl<'a, E: OnlineAlgorithm> OnlineAlgorithm for AllLarge<'a, E> {
         let out = self.engine.serve(&sub_req)?;
         for fid in out.opened {
             let f = &self.engine.solution().facilities()[fid.index()];
-            let own =
-                self.sol
-                    .open_facility(orig, f.location, CommoditySet::full(orig.universe()));
+            let own = self
+                .sol
+                .open_facility(orig, f.location, CommoditySet::full(orig.universe()));
             debug_assert_eq!(fid.index(), self.fmap.len());
             self.fmap.push(own);
         }

@@ -106,7 +106,10 @@ impl OnlineAlgorithm for FotakisOfl<'_> {
         let d_conn = d_open.map(|(_, d)| d).unwrap_or(f64::INFINITY);
         let mut opened = Vec::new();
         let (fid, a_r) = if d_conn <= t_open {
-            (d_open.expect("finite distance implies a facility").0, d_conn)
+            (
+                d_open.expect("finite distance implies a facility").0,
+                d_conn,
+            )
         } else {
             let fid = self.sol.open_facility(
                 self.inst,
@@ -151,8 +154,7 @@ mod tests {
 
     fn sub_instance(positions: Vec<f64>, fcost: f64) -> Instance {
         let metric: Arc<dyn Metric> = Arc::new(LineMetric::new(positions).unwrap());
-        single_commodity_instance(metric, CostModel::power(1, 2.0, fcost), CommodityId(0))
-            .unwrap()
+        single_commodity_instance(metric, CostModel::power(1, 2.0, fcost), CommodityId(0)).unwrap()
     }
 
     fn req(inst: &Instance, loc: u32) -> Request {
@@ -166,10 +168,7 @@ mod tests {
         let out = alg.serve(&req(&inst, 0)).unwrap();
         assert_eq!(out.opened.len(), 1);
         // Facility at the request point (f = 5 there vs 5 + 10 across).
-        assert_eq!(
-            alg.solution().facilities()[0].location,
-            PointId(0)
-        );
+        assert_eq!(alg.solution().facilities()[0].location, PointId(0));
         assert!((alg.solution().total_cost() - 5.0).abs() < 1e-9);
     }
 

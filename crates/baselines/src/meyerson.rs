@@ -8,12 +8,12 @@
 //! rule (up to the class rounding). The expected competitive ratio is
 //! `O(log n / log log n)`.
 
+use omfl_commodity::CommoditySet;
 use omfl_core::algorithm::{OnlineAlgorithm, ServeOutcome};
 use omfl_core::instance::Instance;
 use omfl_core::request::Request;
 use omfl_core::solution::{FacilityId, Solution};
 use omfl_core::CoreError;
-use omfl_commodity::CommoditySet;
 use omfl_metric::PointId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -168,8 +168,7 @@ mod tests {
 
     fn sub_instance(positions: Vec<f64>, fcost: f64) -> Instance {
         let metric: Arc<dyn Metric> = Arc::new(LineMetric::new(positions).unwrap());
-        single_commodity_instance(metric, CostModel::power(1, 2.0, fcost), CommodityId(0))
-            .unwrap()
+        single_commodity_instance(metric, CostModel::power(1, 2.0, fcost), CommodityId(0)).unwrap()
     }
 
     fn req(inst: &Instance, loc: u32) -> Request {

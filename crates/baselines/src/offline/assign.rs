@@ -122,10 +122,7 @@ mod tests {
             fac(u, 1, &[0]),    // distance 1
             fac(u, 2, &[1]),    // distance 3
         ];
-        let r = Request::new(
-            PointId(0),
-            CommoditySet::from_ids(u, &[0, 1]).unwrap(),
-        );
+        let r = Request::new(PointId(0), CommoditySet::from_ids(u, &[0, 1]).unwrap());
         let (used, cost) = assign_optimal(&inst, &facs, &r).unwrap();
         // 1 + 3 = 4 < 10: two near facilities beat the far full one.
         assert_eq!(used, vec![1, 2]);
@@ -140,10 +137,7 @@ mod tests {
             fac(u, 1, &[0, 1, 2]), // distance 1, covers all three
             fac(u, 0, &[0]),       // distance 0 but only commodity 0
         ];
-        let r = Request::new(
-            PointId(0),
-            CommoditySet::from_ids(u, &[0, 1, 2]).unwrap(),
-        );
+        let r = Request::new(PointId(0), CommoditySet::from_ids(u, &[0, 1, 2]).unwrap());
         let (used, cost) = assign_optimal(&inst, &facs, &r).unwrap();
         // Either {facility 0} at cost 1, or {0, 1} at cost 1 + 0 = 1; the DP
         // must find cost 1.
@@ -201,6 +195,9 @@ mod tests {
                 best = best.min(cost);
             }
         }
-        assert!((dp_cost - best).abs() < 1e-12, "dp {dp_cost} vs brute {best}");
+        assert!(
+            (dp_cost - best).abs() < 1e-12,
+            "dp {dp_cost} vs brute {best}"
+        );
     }
 }

@@ -148,9 +148,8 @@ impl ExactSolver {
             &mut best_choice,
         );
 
-        let best_choice = best_choice.ok_or_else(|| {
-            CoreError::Infeasible("no feasible facility placement exists".into())
-        })?;
+        let best_choice = best_choice
+            .ok_or_else(|| CoreError::Infeasible("no feasible facility placement exists".into()))?;
         // Materialize.
         let facs: Vec<OpenFacility> = best_choice
             .iter()

@@ -58,7 +58,9 @@ impl GreedyOffline {
         let mut configs: Vec<CommoditySet> = Vec::new();
         let mut demanded = CommoditySet::empty(inst.universe());
         for r in requests {
-            demanded.union_with(r.demand()).map_err(CoreError::Commodity)?;
+            demanded
+                .union_with(r.demand())
+                .map_err(CoreError::Commodity)?;
             if !configs.iter().any(|c| c == r.demand()) {
                 configs.push(r.demand().clone());
             }
@@ -86,7 +88,8 @@ impl GreedyOffline {
             })
             .collect();
 
-        let mut uncovered: Vec<CommoditySet> = requests.iter().map(|r| r.demand().clone()).collect();
+        let mut uncovered: Vec<CommoditySet> =
+            requests.iter().map(|r| r.demand().clone()).collect();
         let mut pairs_left: usize = uncovered.iter().map(|u| u.len()).sum();
         let mut opened: Vec<OpenFacility> = Vec::new();
         let mut connections: Vec<Vec<usize>> = vec![Vec::new(); n]; // request -> facility indices
@@ -103,7 +106,10 @@ impl GreedyOffline {
                     let mut best_here = f64::INFINITY;
                     let mut best_prefix_len = 0usize;
                     for &(ri, d) in &order_by_loc[li] {
-                        let g = uncovered[ri as usize].intersection(sigma).expect("same universe").len();
+                        let g = uncovered[ri as usize]
+                            .intersection(sigma)
+                            .expect("same universe")
+                            .len();
                         if g == 0 {
                             continue;
                         }

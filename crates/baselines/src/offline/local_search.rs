@@ -51,11 +51,7 @@ impl LocalSearch {
 
     /// Total cost of serving all requests optimally from `facilities`;
     /// `None` when some request cannot be covered.
-    fn eval(
-        inst: &Instance,
-        facilities: &[OpenFacility],
-        requests: &[Request],
-    ) -> Option<f64> {
+    fn eval(inst: &Instance, facilities: &[OpenFacility], requests: &[Request]) -> Option<f64> {
         let mut total: f64 = facilities
             .iter()
             .map(|f| inst.facility_cost(f.location, &f.config))
@@ -168,8 +164,8 @@ impl LocalSearch {
             .map(|f| sol.open_facility(inst, f.location, f.config.clone()))
             .collect();
         for r in requests {
-            let (used, _) = assign_optimal(inst, &facs, r)
-                .expect("final facility set covers all requests");
+            let (used, _) =
+                assign_optimal(inst, &facs, r).expect("final facility set covers all requests");
             let assigned: Vec<_> = used.iter().map(|&i| fids[i]).collect();
             sol.assign(inst, r.clone(), &assigned);
         }

@@ -227,8 +227,7 @@ mod tests {
 
     #[test]
     fn fotakis_and_pd_engines_agree() {
-        let metric: Arc<dyn Metric> =
-            Arc::new(LineMetric::new(vec![0.0, 2.0, 5.0, 9.0]).unwrap());
+        let metric: Arc<dyn Metric> = Arc::new(LineMetric::new(vec![0.0, 2.0, 5.0, 9.0]).unwrap());
         let parts = PerCommodityParts::build(metric, CostModel::power(4, 1.0, 2.0)).unwrap();
         let inst = &parts.original;
         let reqs: Vec<Request> = (0..16u32)

@@ -3,8 +3,7 @@
 //! never inverts.
 
 use omfl_baselines::offline::{
-    assign_optimal, serve_alone_lower_bound, ExactSolver, GreedyOffline, LocalSearch,
-    OpenFacility,
+    assign_optimal, serve_alone_lower_bound, ExactSolver, GreedyOffline, LocalSearch, OpenFacility,
 };
 use omfl_commodity::cost::CostModel;
 use omfl_commodity::CommoditySet;

@@ -38,13 +38,17 @@ fn bench_online(c: &mut Criterion) {
     for &(n, s) in &[(64usize, 8u16), (128, 32), (256, 64)] {
         let sc = scenario(n, s);
         g.throughput(criterion::Throughput::Elements(n as u64));
-        g.bench_with_input(BenchmarkId::new("pd", format!("n{n}-s{s}")), &sc, |b, sc| {
-            b.iter_batched(
-                || PdOmflp::new(sc.instance()),
-                |mut alg| run_online(&mut alg, &sc.requests).expect("serve"),
-                BatchSize::SmallInput,
-            );
-        });
+        g.bench_with_input(
+            BenchmarkId::new("pd", format!("n{n}-s{s}")),
+            &sc,
+            |b, sc| {
+                b.iter_batched(
+                    || PdOmflp::new(sc.instance()),
+                    |mut alg| run_online(&mut alg, &sc.requests).expect("serve"),
+                    BatchSize::SmallInput,
+                );
+            },
+        );
         g.bench_with_input(
             BenchmarkId::new("rand", format!("n{n}-s{s}")),
             &sc,
@@ -60,11 +64,9 @@ fn bench_online(c: &mut Criterion) {
             BenchmarkId::new("per-commodity", format!("n{n}-s{s}")),
             &sc,
             |b, sc| {
-                let parts = PerCommodityParts::build(
-                    std::sync::Arc::clone(&sc.metric),
-                    sc.cost.clone(),
-                )
-                .expect("parts");
+                let parts =
+                    PerCommodityParts::build(std::sync::Arc::clone(&sc.metric), sc.cost.clone())
+                        .expect("parts");
                 b.iter_batched(
                     || PerCommodity::new_pd(&parts),
                     |mut alg| run_online(&mut alg, &sc.requests).expect("serve"),

@@ -18,15 +18,19 @@ fn bench_bitset(c: &mut Criterion) {
         let u = Universe::new(s).unwrap();
         let a = CommoditySet::from_ids(u, &(0..s).step_by(2).collect::<Vec<_>>()).unwrap();
         let b = CommoditySet::from_ids(u, &(0..s).step_by(3).collect::<Vec<_>>()).unwrap();
-        g.bench_with_input(BenchmarkId::new("union", s), &(a.clone(), b.clone()), |bch, (a, b)| {
-            bch.iter(|| black_box(a.union(b).unwrap().len()))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("union", s),
+            &(a.clone(), b.clone()),
+            |bch, (a, b)| bch.iter(|| black_box(a.union(b).unwrap().len())),
+        );
         g.bench_with_input(BenchmarkId::new("iter-sum", s), &a, |bch, a| {
             bch.iter(|| black_box(a.iter().map(|e| e.0 as u64).sum::<u64>()))
         });
-        g.bench_with_input(BenchmarkId::new("subset", s), &(a.clone(), b.clone()), |bch, (a, b)| {
-            bch.iter(|| black_box(a.is_subset_of(b)))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("subset", s),
+            &(a.clone(), b.clone()),
+            |bch, (a, b)| bch.iter(|| black_box(a.is_subset_of(b))),
+        );
     }
     g.finish();
 }

@@ -22,7 +22,15 @@ fn main() {
     }
     let selected: Vec<&String> = args
         .iter()
-        .filter(|a| !a.starts_with("--") && Some(a.as_str()) != args.iter().position(|x| x == "--out").and_then(|i| args.get(i + 1)).map(|s| s.as_str()))
+        .filter(|a| {
+            !a.starts_with("--")
+                && Some(a.as_str())
+                    != args
+                        .iter()
+                        .position(|x| x == "--out")
+                        .and_then(|i| args.get(i + 1))
+                        .map(|s| s.as_str())
+        })
         .collect();
 
     let reg = registry();
@@ -40,7 +48,12 @@ fn main() {
         if !selected.is_empty() && !selected.iter().any(|s| s.as_str() == e.id) {
             continue;
         }
-        println!("=== {} — {} ({}) ===", e.id, e.title, if quick { "quick" } else { "full" });
+        println!(
+            "=== {} — {} ({}) ===",
+            e.id,
+            e.title,
+            if quick { "quick" } else { "full" }
+        );
         let t0 = std::time::Instant::now();
         let tables = (e.run)(quick);
         for t in &tables {

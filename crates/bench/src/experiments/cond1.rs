@@ -12,24 +12,40 @@ use crate::table::{fmt, Table};
 use omfl_commodity::cost::CostModel;
 use omfl_commodity::CommodityId;
 use omfl_core::algorithm::run_online;
-use omfl_core::heavy::{detect_heavy, HeavyExclusion, HeavyInstances};
 use omfl_core::algorithm::OnlineAlgorithm;
+use omfl_core::heavy::{detect_heavy, HeavyExclusion, HeavyInstances};
 use omfl_workload::composite::uniform_line;
 use omfl_workload::demand::DemandModel;
 
 /// Runs the experiment.
 pub fn run(quick: bool) -> Vec<Table> {
-    let surcharges: &[f64] = if quick { &[0.0, 20.0, 80.0] } else { &[0.0, 20.0, 80.0, 320.0] };
+    let surcharges: &[f64] = if quick {
+        &[0.0, 20.0, 80.0]
+    } else {
+        &[0.0, 20.0, 80.0, 320.0]
+    };
     let n = if quick { 120 } else { 300 };
     let s = 8u16;
     let mut t = Table::new(
-        format!("Condition 1 ablation: heavy surcharge on commodity {} (n = {n})", s - 1),
-        &["surcharge", "cond1 holds", "pd", "heavy-excl pd", "per-com", "excl/pd"],
+        format!(
+            "Condition 1 ablation: heavy surcharge on commodity {} (n = {n})",
+            s - 1
+        ),
+        &[
+            "surcharge",
+            "cond1 holds",
+            "pd",
+            "heavy-excl pd",
+            "per-com",
+            "excl/pd",
+        ],
     );
     for &h in surcharges {
         let mut sur = vec![0.0; s as usize];
         sur[s as usize - 1] = h;
-        let cost = CostModel::power(s, 1.0, 2.0).with_surcharges(sur).expect("cost");
+        let cost = CostModel::power(s, 1.0, 2.0)
+            .with_surcharges(sur)
+            .expect("cost");
         // Heavy commodity requested rarely (12% of requests via noise-free
         // bundles), everything else broad.
         let sc = uniform_line(
@@ -51,8 +67,7 @@ pub fn run(quick: bool) -> Vec<Table> {
             601,
         )
         .expect("scenario");
-        let cond1_ok =
-            omfl_commodity::props::condition1_exact(&cost, 0).is_ok();
+        let cond1_ok = omfl_commodity::props::condition1_exact(&cost, 0).is_ok();
         let pd = run_cost(&sc, Alg::Pd);
         let dc = run_cost(&sc, Alg::PerCommodityPd);
         // Heavy-exclusion wrapper with auto-detected heavy set.
@@ -60,12 +75,9 @@ pub fn run(quick: bool) -> Vec<Table> {
         let excl = if heavy.is_empty() {
             pd // nothing to exclude; identical to plain PD by construction
         } else {
-            let parts = HeavyInstances::build(
-                std::sync::Arc::clone(&sc.metric),
-                sc.cost.clone(),
-                &heavy,
-            )
-            .expect("split");
+            let parts =
+                HeavyInstances::build(std::sync::Arc::clone(&sc.metric), sc.cost.clone(), &heavy)
+                    .expect("split");
             let mut alg = HeavyExclusion::new(&parts);
             let c = run_online(&mut alg, &sc.requests).expect("serve");
             alg.solution().verify(&parts.original).expect("feasible");

@@ -25,7 +25,14 @@ pub fn run(quick: bool) -> Vec<Table> {
     let n = if quick { 80 } else { 200 };
     let mut t = Table::new(
         format!("Decomposition crossover in demand breadth k (|S| = {s}, √S = 8, n = {n})"),
-        &["k", "pd", "rand", "per-com", "all-large", "per-com/all-large"],
+        &[
+            "k",
+            "pd",
+            "rand",
+            "per-com",
+            "all-large",
+            "per-com/all-large",
+        ],
     );
     for &k in ks {
         let sc = uniform_line(

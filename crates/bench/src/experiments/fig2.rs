@@ -11,7 +11,11 @@ pub fn run(quick: bool) -> Vec<Table> {
     let points = if quick { 21 } else { 51 };
     let mut t = Table::new(
         format!("Figure 2 curves, |S| = {s} ({points} samples)"),
-        &["x", "upper √S^((2x-x²)/2)", "lower min(√S^((2-x)/2), √S^(x/2))"],
+        &[
+            "x",
+            "upper √S^((2x-x²)/2)",
+            "lower min(√S^((2-x)/2), √S^(x/2))",
+        ],
     );
     for (x, up, lo) in figure2_table(s, points) {
         t.row(&[fmt(x), fmt(up), fmt(lo)]);

@@ -14,11 +14,24 @@ use omfl_workload::demand::DemandModel;
 
 /// Runs the experiment.
 pub fn run(quick: bool) -> Vec<Table> {
-    let ns: &[usize] = if quick { &[48, 96] } else { &[48, 96, 192, 384] };
+    let ns: &[usize] = if quick {
+        &[48, 96]
+    } else {
+        &[48, 96, 192, 384]
+    };
     let s = 12u16;
     let mut t = Table::new(
         format!("§1.1 model split: joint vs per-commodity connection model (|S| = {s})"),
-        &["n", "n'", "pd joint", "pd split", "infl", "rand joint", "rand split", "infl"],
+        &[
+            "n",
+            "n'",
+            "pd joint",
+            "pd split",
+            "infl",
+            "rand joint",
+            "rand split",
+            "infl",
+        ],
     );
     for &n in ns {
         let sc = uniform_line(
@@ -65,7 +78,10 @@ mod tests {
                 infl <= 3.0 + 1e-9,
                 "PD split inflation {infl} should stay ≤ k = 3"
             );
-            assert!(infl >= 0.8, "split cost cannot collapse below the joint cost");
+            assert!(
+                infl >= 0.8,
+                "split cost cannot collapse below the joint cost"
+            );
         }
     }
 }

@@ -21,10 +21,7 @@ pub fn run(quick: bool) -> Vec<Table> {
         format!("Arrival-order ablation (dyadic line, n = {n}, {trials} trials)"),
         &["order", "pd", "rand mean±ci"],
     );
-    for (label, order) in [
-        ("adversarial", None),
-        ("random", Some(())),
-    ] {
+    for (label, order) in [("adversarial", None), ("random", Some(()))] {
         let seeds: Vec<u64> = (0..trials as u64).collect();
         let rand_costs = parallel_map(&seeds, threads, |_, &tr| {
             let reqs = match order {
@@ -63,9 +60,8 @@ mod tests {
     fn random_order_does_not_hurt_much() {
         let tables = super::run(true);
         let t = &tables[0];
-        let rand_of = |i: usize| -> f64 {
-            t.rows[i][2].split('±').next().unwrap().parse().unwrap()
-        };
+        let rand_of =
+            |i: usize| -> f64 { t.rows[i][2].split('±').next().unwrap().parse().unwrap() };
         let adv = rand_of(0);
         let rnd = rand_of(1);
         assert!(

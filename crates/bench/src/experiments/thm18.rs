@@ -44,8 +44,12 @@ pub fn run(quick: bool) -> Vec<Table> {
             format!("{}±{}", fmt(dc.mean), fmt(dc.ci95)),
         ]);
     }
-    t.note("expected: pd/rand peak near x = 1 (the hardest exponent) and stay near the lower curve");
-    t.note("per-com is flat ≈ √S/√S^{x/2}·√S^{x/2}... i.e. |S'| singletons / OPT — large for small x");
+    t.note(
+        "expected: pd/rand peak near x = 1 (the hardest exponent) and stay near the lower curve",
+    );
+    t.note(
+        "per-com is flat ≈ √S/√S^{x/2}·√S^{x/2}... i.e. |S'| singletons / OPT — large for small x",
+    );
     vec![t]
 }
 
@@ -55,14 +59,7 @@ mod tests {
     fn pd_peaks_at_x_equal_one() {
         let tables = super::run(true);
         let t = &tables[0];
-        let pd_at = |i: usize| -> f64 {
-            t.rows[i][3]
-                .split('±')
-                .next()
-                .unwrap()
-                .parse()
-                .unwrap()
-        };
+        let pd_at = |i: usize| -> f64 { t.rows[i][3].split('±').next().unwrap().parse().unwrap() };
         let (x0, x1, x2) = (pd_at(0), pd_at(2), pd_at(4));
         assert!(
             x1 >= x0 * 0.8 && x1 >= x2 * 0.8,

@@ -18,11 +18,21 @@ pub fn run(quick: bool) -> Vec<Table> {
 
     // Expected ratio vs n (Monte-Carlo over RAND's coins; scenario fixed).
     {
-        let ns: &[usize] = if quick { &[32, 64, 128] } else { &[32, 64, 128, 256, 512] };
+        let ns: &[usize] = if quick {
+            &[32, 64, 128]
+        } else {
+            &[32, 64, 128, 256, 512]
+        };
         let s = 16u16;
         let mut t = Table::new(
             format!("Theorem 19: RAND expected ratio vs n (|S| = {s}, {trials} trials)"),
-            &["n", "√S·lnn/lnlnn", "E[cost]±ci", "opt∈[lo,hi]", "E[ratio]/upper"],
+            &[
+                "n",
+                "√S·lnn/lnlnn",
+                "E[cost]±ci",
+                "opt∈[lo,hi]",
+                "E[ratio]/upper",
+            ],
         );
         for &n in ns {
             let sc = uniform_line(
@@ -54,11 +64,22 @@ pub fn run(quick: bool) -> Vec<Table> {
 
     // Efficiency head-to-head: per-request wall-clock, PD vs RAND.
     {
-        let ns: &[usize] = if quick { &[128, 256] } else { &[128, 256, 512, 1024] };
+        let ns: &[usize] = if quick {
+            &[128, 256]
+        } else {
+            &[128, 256, 512, 1024]
+        };
         let s = 32u16;
         let mut t = Table::new(
             format!("RAND vs PD efficiency (|S| = {s}, per-request µs)"),
-            &["n", "pd µs/req", "rand µs/req", "speedup", "pd cost", "rand cost"],
+            &[
+                "n",
+                "pd µs/req",
+                "rand µs/req",
+                "speedup",
+                "pd cost",
+                "rand cost",
+            ],
         );
         for &n in ns {
             let sc = uniform_line(

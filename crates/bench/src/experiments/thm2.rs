@@ -67,9 +67,8 @@ mod tests {
     fn shapes_match_theory_quick() {
         // Tiny inline rerun (s = 16) asserting the separation numerically.
         let trials = 4;
-        let make = |seed: u64| {
-            theorem2_gadget(16, Theorem2Phase::SPrimeThenAll, seed).expect("gadget")
-        };
+        let make =
+            |seed: u64| theorem2_gadget(16, Theorem2Phase::SPrimeThenAll, seed).expect("gadget");
         let opt = |_: &_| theorem2_opt(16, Theorem2Phase::SPrimeThenAll);
         let pd = ratio_summary(trials, 1, 2, make, |_| Alg::Pd, opt);
         let dec = ratio_summary(trials, 1, 2, make, |_| Alg::PerCommodityPd, opt);

@@ -14,11 +14,22 @@ pub fn run(quick: bool) -> Vec<Table> {
 
     // Sweep n at fixed |S| = 16.
     {
-        let ns: &[usize] = if quick { &[32, 64, 128] } else { &[32, 64, 128, 256, 512] };
+        let ns: &[usize] = if quick {
+            &[32, 64, 128]
+        } else {
+            &[32, 64, 128, 256, 512]
+        };
         let s = 16u16;
         let mut t = Table::new(
             format!("Theorem 4: PD ratio vs n (|S| = {s}, uniform line)"),
-            &["n", "√S·ln n", "pd cost", "opt∈[lo,hi]", "ratio/upper", "ratio/lower"],
+            &[
+                "n",
+                "√S·ln n",
+                "pd cost",
+                "opt∈[lo,hi]",
+                "ratio/upper",
+                "ratio/lower",
+            ],
         );
         for &n in ns {
             let sc = uniform_line(
@@ -47,11 +58,22 @@ pub fn run(quick: bool) -> Vec<Table> {
 
     // Sweep |S| at fixed n.
     {
-        let ss: &[u16] = if quick { &[4, 16, 64] } else { &[4, 16, 64, 256] };
+        let ss: &[u16] = if quick {
+            &[4, 16, 64]
+        } else {
+            &[4, 16, 64, 256]
+        };
         let n = if quick { 96 } else { 256 };
         let mut t = Table::new(
             format!("Theorem 4: PD ratio vs |S| (n = {n}, uniform line)"),
-            &["|S|", "√S·ln n", "pd cost", "opt∈[lo,hi]", "ratio/upper", "ratio/lower"],
+            &[
+                "|S|",
+                "√S·ln n",
+                "pd cost",
+                "opt∈[lo,hi]",
+                "ratio/upper",
+                "ratio/lower",
+            ],
         );
         for &s in ss {
             let k = ((s as f64).sqrt() as usize).clamp(1, 4);

@@ -61,16 +61,18 @@ pub fn run_cost(scenario: &Scenario, alg: Alg) -> f64 {
             c
         }
         Alg::PerCommodityPd => {
-            let parts = PerCommodityParts::build(Arc::clone(&scenario.metric), scenario.cost.clone())
-                .expect("parts");
+            let parts =
+                PerCommodityParts::build(Arc::clone(&scenario.metric), scenario.cost.clone())
+                    .expect("parts");
             let mut a = PerCommodity::new_pd(&parts);
             let c = run_online(&mut a, &scenario.requests).expect("serve");
             a.solution().verify(&parts.original).expect("feasible");
             c
         }
         Alg::PerCommodityMeyerson(seed) => {
-            let parts = PerCommodityParts::build(Arc::clone(&scenario.metric), scenario.cost.clone())
-                .expect("parts");
+            let parts =
+                PerCommodityParts::build(Arc::clone(&scenario.metric), scenario.cost.clone())
+                    .expect("parts");
             let mut a = PerCommodity::new_meyerson(&parts, seed).expect("engines");
             let c = run_online(&mut a, &scenario.requests).expect("serve");
             a.solution().verify(&parts.original).expect("feasible");
@@ -98,7 +100,13 @@ pub fn run_timed(scenario: &Scenario, alg: Alg) -> (f64, f64) {
 /// Monte-Carlo estimate over `trials` scenario seeds: `make(seed)` builds
 /// the (possibly random) scenario, `alg(seed)` selects the algorithm for
 /// that trial. Trials run in parallel with deterministic per-trial seeds.
-pub fn trial_summary<F, G>(trials: usize, base_seed: u64, threads: usize, make: F, alg: G) -> Summary
+pub fn trial_summary<F, G>(
+    trials: usize,
+    base_seed: u64,
+    threads: usize,
+    make: F,
+    alg: G,
+) -> Summary
 where
     F: Fn(u64) -> Scenario + Sync,
     G: Fn(u64) -> Alg + Sync,

@@ -125,7 +125,10 @@ pub enum CostModel {
 impl CostModel {
     /// Class-C power cost: `scale · |σ|^{x/2}` (validates parameters).
     pub fn power(universe_size: u16, x: f64, scale: f64) -> Self {
-        assert!(x.is_finite() && x >= 0.0, "exponent x must be finite and >= 0");
+        assert!(
+            x.is_finite() && x >= 0.0,
+            "exponent x must be finite and >= 0"
+        );
         assert!(scale.is_finite() && scale > 0.0, "scale must be positive");
         CostModel::Power {
             universe: Universe::new(universe_size).expect("universe_size >= 1"),
@@ -143,7 +146,10 @@ impl CostModel {
 
     /// Uniform linear prices `f^σ = per · |σ|`.
     pub fn linear_uniform(universe_size: u16, per: f64) -> Self {
-        assert!(per.is_finite() && per > 0.0, "per-commodity price must be positive");
+        assert!(
+            per.is_finite() && per > 0.0,
+            "per-commodity price must be positive"
+        );
         let universe = Universe::new(universe_size).expect("universe_size >= 1");
         CostModel::Linear {
             universe,
@@ -570,9 +576,7 @@ mod tests {
         // Two roots.
         assert!(CostModel::hierarchy(2, vec![None, None]).is_err());
         // No root (cycle).
-        assert!(
-            CostModel::hierarchy(2, vec![Some((1, 1.0)), Some((0, 1.0))]).is_err()
-        );
+        assert!(CostModel::hierarchy(2, vec![Some((1, 1.0)), Some((0, 1.0))]).is_err());
         // Valid trees with internal nodes are accepted.
         assert!(CostModel::hierarchy(
             2,
@@ -582,7 +586,13 @@ mod tests {
         // Cycle among internal nodes (3 <-> 4) with a separate root.
         assert!(CostModel::hierarchy(
             2,
-            vec![Some((3, 1.0)), Some((3, 1.0)), None, Some((4, 1.0)), Some((3, 1.0))]
+            vec![
+                Some((3, 1.0)),
+                Some((3, 1.0)),
+                None,
+                Some((4, 1.0)),
+                Some((3, 1.0))
+            ]
         )
         .is_err());
         // Zero-cost leaf path.

@@ -52,7 +52,11 @@ impl CommoditySet {
             let hi = (lo + 64).min(nbits);
             if hi > lo {
                 let span = hi - lo;
-                *w = if span == 64 { u64::MAX } else { (1u64 << span) - 1 };
+                *w = if span == 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << span) - 1
+                };
             }
         }
         s

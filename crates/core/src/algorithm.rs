@@ -5,7 +5,9 @@
 //! immediately and irrevocably (paper §1): it may open facilities and must
 //! connect the request to open facilities jointly covering its demand.
 
-use crate::{instance::Instance, request::Request, solution::FacilityId, solution::Solution, CoreError};
+use crate::{
+    instance::Instance, request::Request, solution::FacilityId, solution::Solution, CoreError,
+};
 
 /// How one request was served.
 #[derive(Debug, Clone)]
@@ -81,7 +83,9 @@ mod tests {
             request.validate(self.inst)?;
             let config = CommoditySet::full(self.inst.universe());
             let cost = self.inst.facility_cost(request.location(), &config);
-            let f = self.sol.open_facility(self.inst, request.location(), config);
+            let f = self
+                .sol
+                .open_facility(self.inst, request.location(), config);
             let a = self.sol.assign(self.inst, request.clone(), &[f]);
             Ok(ServeOutcome {
                 opened: vec![f],

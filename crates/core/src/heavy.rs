@@ -145,8 +145,10 @@ impl HeavyInstances {
             Universe::new(light_to_orig.len() as u16).expect("light part is non-empty");
         let single_universe = Universe::new(1).expect("1 >= 1");
 
-        let original =
-            Instance::with_cost_fn(Box::new(SharedMetric(Arc::clone(&metric))), Box::new(cost.clone()))?;
+        let original = Instance::with_cost_fn(
+            Box::new(SharedMetric(Arc::clone(&metric))),
+            Box::new(cost.clone()),
+        )?;
         let light = Instance::with_cost_fn(
             Box::new(SharedMetric(Arc::clone(&metric))),
             Box::new(LightCost {
@@ -366,9 +368,7 @@ mod tests {
     fn heavy_cost(s: u16, surcharge_on_last: f64) -> CostModel {
         let mut sur = vec![0.0; s as usize];
         sur[s as usize - 1] = surcharge_on_last;
-        CostModel::power(s, 1.0, 1.0)
-            .with_surcharges(sur)
-            .unwrap()
+        CostModel::power(s, 1.0, 1.0).with_surcharges(sur).unwrap()
     }
 
     #[test]
@@ -376,12 +376,9 @@ mod tests {
         let m = shared_line(vec![0.0]);
         let c = CostModel::power(4, 1.0, 1.0);
         assert!(HeavyInstances::build(m.clone(), c.clone(), &[CommodityId(9)]).is_err());
-        assert!(HeavyInstances::build(
-            m.clone(),
-            c.clone(),
-            &[CommodityId(1), CommodityId(1)]
-        )
-        .is_err());
+        assert!(
+            HeavyInstances::build(m.clone(), c.clone(), &[CommodityId(1), CommodityId(1)]).is_err()
+        );
         let all: Vec<CommodityId> = (0..4).map(CommodityId).collect();
         assert!(HeavyInstances::build(m, c, &all).is_err());
     }
@@ -389,8 +386,7 @@ mod tests {
     #[test]
     fn light_cost_adapter_maps_back() {
         let m = shared_line(vec![0.0]);
-        let parts =
-            HeavyInstances::build(m, heavy_cost(4, 100.0), &[CommodityId(3)]).unwrap();
+        let parts = HeavyInstances::build(m, heavy_cost(4, 100.0), &[CommodityId(3)]).unwrap();
         assert_eq!(parts.light.num_commodities(), 3);
         // The light "full" config is {0,1,2} in original ids — cost sqrt(3),
         // no surcharge.
@@ -404,18 +400,11 @@ mod tests {
     #[test]
     fn composite_solution_is_feasible_in_original_model() {
         let m = shared_line(vec![0.0, 2.0, 5.0]);
-        let parts =
-            HeavyInstances::build(m, heavy_cost(6, 50.0), &[CommodityId(5)]).unwrap();
+        let parts = HeavyInstances::build(m, heavy_cost(6, 50.0), &[CommodityId(5)]).unwrap();
         let mut alg = HeavyExclusion::new(&parts);
         let inst = &parts.original;
         let reqs: Vec<Request> = (0..20u32)
-            .map(|i| {
-                req(
-                    inst,
-                    i % 3,
-                    &[(i % 5) as u16, ((i * 2 + 1) % 6) as u16],
-                )
-            })
+            .map(|i| req(inst, i % 3, &[(i % 5) as u16, ((i * 2 + 1) % 6) as u16]))
             .collect();
         run_online_verified(&mut alg, inst, &reqs).unwrap();
         assert_eq!(alg.solution().num_requests(), 20);
@@ -431,11 +420,9 @@ mod tests {
     #[test]
     fn detect_heavy_flags_the_surcharged_commodity() {
         let m = shared_line(vec![0.0]);
-        let inst = Instance::with_cost_fn(
-            Box::new(SharedMetric(m)),
-            Box::new(heavy_cost(8, 100.0)),
-        )
-        .unwrap();
+        let inst =
+            Instance::with_cost_fn(Box::new(SharedMetric(m)), Box::new(heavy_cost(8, 100.0)))
+                .unwrap();
         let heavy = detect_heavy(&inst, 4.0);
         assert_eq!(heavy, vec![CommodityId(7)]);
     }

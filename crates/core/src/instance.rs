@@ -135,8 +135,8 @@ mod tests {
 
     #[test]
     fn construction_and_accessors() {
-        let inst = Instance::new(line(vec![0.0, 1.0, 4.0]), 4, CostModel::power(4, 1.0, 2.0))
-            .unwrap();
+        let inst =
+            Instance::new(line(vec![0.0, 1.0, 4.0]), 4, CostModel::power(4, 1.0, 2.0)).unwrap();
         assert_eq!(inst.num_points(), 3);
         assert_eq!(inst.num_commodities(), 4);
         assert_eq!(inst.distance(PointId(0), PointId(2)), 4.0);
@@ -154,8 +154,7 @@ mod tests {
 
     #[test]
     fn point_range_check() {
-        let inst =
-            Instance::new(line(vec![0.0, 1.0]), 2, CostModel::power(2, 1.0, 1.0)).unwrap();
+        let inst = Instance::new(line(vec![0.0, 1.0]), 2, CostModel::power(2, 1.0, 1.0)).unwrap();
         assert!(inst.check_point(PointId(1)).is_ok());
         assert!(inst.check_point(PointId(2)).is_err());
     }

@@ -161,11 +161,9 @@ impl<'a> PdOmflp<'a> {
     /// Nearest open facility offering commodity `e` (small-for-`e` or large).
     fn nearest_offering(&self, e: CommodityId, from: PointId) -> Option<(FacilityId, f64)> {
         let mut best: Option<(FacilityId, f64)> = None;
-        let consider = |best: &mut Option<(FacilityId, f64)>, fid: FacilityId, d: f64| {
-            match *best {
-                Some((_, bd)) if bd <= d => {}
-                _ => *best = Some((fid, d)),
-            }
+        let consider = |best: &mut Option<(FacilityId, f64)>, fid: FacilityId, d: f64| match *best {
+            Some((_, bd)) if bd <= d => {}
+            _ => *best = Some((fid, d)),
         };
         for &fid in &self.small_by_e[e.index()] {
             let d = self

@@ -332,8 +332,8 @@ impl<R: Rng> OnlineAlgorithm for RandOmflp<'_, R> {
             let (fid, _) = self
                 .nearest_offering(e, loc)
                 .expect("fallback guarantees coverage");
-            let is_large = self.sol.facilities()[fid.index()].config.len()
-                == self.inst.num_commodities();
+            let is_large =
+                self.sol.facilities()[fid.index()].config.len() == self.inst.num_commodities();
             all_via_large &= is_large;
             assigned.push(fid);
         }

@@ -1,6 +1,6 @@
 //! Requests: a location plus a demanded commodity set (paper §1.1).
 
-use crate::{CoreError, instance::Instance};
+use crate::{instance::Instance, CoreError};
 use omfl_commodity::CommoditySet;
 use omfl_metric::PointId;
 
@@ -96,8 +96,7 @@ mod tests {
         assert!(bad_point.validate(&inst).is_err());
 
         let other_u = Universe::new(4).unwrap();
-        let bad_universe =
-            Request::new(PointId(0), CommoditySet::from_ids(other_u, &[0]).unwrap());
+        let bad_universe = Request::new(PointId(0), CommoditySet::from_ids(other_u, &[0]).unwrap());
         assert!(bad_universe.validate(&inst).is_err());
     }
 

@@ -145,7 +145,10 @@ impl Solution {
 
     /// Number of *small* facilities (single-commodity configurations).
     pub fn num_small_facilities(&self) -> usize {
-        self.facilities.iter().filter(|f| f.config.len() == 1).count()
+        self.facilities
+            .iter()
+            .filter(|f| f.config.len() == 1)
+            .count()
     }
 
     /// Number of *large* facilities (full-universe configurations).
@@ -155,7 +158,11 @@ impl Solution {
             .first()
             .map(|f| f.config.universe_size() as usize);
         match s {
-            Some(full) => self.facilities.iter().filter(|f| f.config.len() == full).count(),
+            Some(full) => self
+                .facilities
+                .iter()
+                .filter(|f| f.config.len() == full)
+                .count(),
             None => 0,
         }
     }
@@ -269,7 +276,11 @@ mod tests {
         let mut sol = Solution::new();
         let u = inst.universe();
         let f0 = sol.open_facility(&inst, PointId(0), CommoditySet::from_ids(u, &[0]).unwrap());
-        let f1 = sol.open_facility(&inst, PointId(2), CommoditySet::from_ids(u, &[1, 2]).unwrap());
+        let f1 = sol.open_facility(
+            &inst,
+            PointId(2),
+            CommoditySet::from_ids(u, &[1, 2]).unwrap(),
+        );
         assert!((sol.construction_cost() - (2.0 + 2.0 * 2f64.sqrt())).abs() < 1e-12);
 
         sol.assign(&inst, req(&inst, 1, &[0, 1]), &[f0, f1]);
@@ -298,7 +309,10 @@ mod tests {
         let f0 = sol.open_facility(&inst, PointId(0), CommoditySet::from_ids(u, &[0]).unwrap());
         let f1 = sol.open_facility(&inst, PointId(0), CommoditySet::from_ids(u, &[1]).unwrap());
         let a = sol.assign(&inst, req(&inst, 1, &[0, 1]), &[f0, f1]);
-        assert!((a.connection_cost - 2.0).abs() < 1e-12, "distance paid per facility");
+        assert!(
+            (a.connection_cost - 2.0).abs() < 1e-12,
+            "distance paid per facility"
+        );
         sol.verify(&inst).unwrap();
     }
 
@@ -320,7 +334,11 @@ mod tests {
         let u = inst.universe();
         sol.open_facility(&inst, PointId(0), CommoditySet::from_ids(u, &[0]).unwrap());
         sol.open_facility(&inst, PointId(1), CommoditySet::full(u));
-        sol.open_facility(&inst, PointId(2), CommoditySet::from_ids(u, &[1, 2]).unwrap());
+        sol.open_facility(
+            &inst,
+            PointId(2),
+            CommoditySet::from_ids(u, &[1, 2]).unwrap(),
+        );
         assert_eq!(sol.num_small_facilities(), 1);
         assert_eq!(sol.num_large_facilities(), 1);
         assert_eq!(sol.facilities().len(), 3);

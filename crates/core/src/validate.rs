@@ -224,7 +224,11 @@ mod tests {
         .unwrap();
         let mut alg = PdOmflp::new(&inst);
         for i in 0..25u32 {
-            let ids = [(i % 6) as u16, ((i * 2 + 1) % 6) as u16, ((i * 5) % 6) as u16];
+            let ids = [
+                (i % 6) as u16,
+                ((i * 2 + 1) % 6) as u16,
+                ((i * 5) % 6) as u16,
+            ];
             alg.serve(&req(&inst, (i * 3) % 6, &ids)).unwrap();
         }
         check_all(&alg).unwrap();

@@ -33,7 +33,9 @@ fn full_universe_demand_goes_large_immediately() {
     )
     .unwrap();
     let mut pd = PdOmflp::new(&inst);
-    let out = pd.serve(&req(&inst, 0, &[0, 1, 2, 3, 4, 5, 6, 7, 8])).unwrap();
+    let out = pd
+        .serve(&req(&inst, 0, &[0, 1, 2, 3, 4, 5, 6, 7, 8]))
+        .unwrap();
     assert!(out.served_by_large);
     assert_eq!(pd.solution().num_large_facilities(), 1);
     // Cost = f^S = 3 (sqrt(9) · 1).
@@ -75,7 +77,11 @@ fn zero_distance_duplicate_points() {
     run_online_verified(
         &mut pd,
         &inst,
-        &[req(&inst, 0, &[0]), req(&inst, 1, &[0]), req(&inst, 0, &[1, 2])],
+        &[
+            req(&inst, 0, &[0]),
+            req(&inst, 1, &[0]),
+            req(&inst, 0, &[1, 2]),
+        ],
     )
     .unwrap();
     validate::check_all(&pd).unwrap();

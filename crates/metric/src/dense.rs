@@ -135,15 +135,14 @@ mod tests {
     #[test]
     fn triangle_violation_rejected() {
         // d(0,2) = 10 > d(0,1) + d(1,2) = 3.
-        let err = DenseMetric::new(vec![0.0, 1.0, 10.0, 1.0, 0.0, 2.0, 10.0, 2.0, 0.0], 3)
-            .unwrap_err();
+        let err =
+            DenseMetric::new(vec![0.0, 1.0, 10.0, 1.0, 0.0, 2.0, 10.0, 2.0, 0.0], 3).unwrap_err();
         assert!(matches!(err, MetricError::AxiomViolation(_)));
     }
 
     #[test]
     fn asymmetry_rejected() {
-        let err =
-            DenseMetric::new_unchecked(vec![0.0, 1.0, 2.0, 0.0], 2).unwrap_err();
+        let err = DenseMetric::new_unchecked(vec![0.0, 1.0, 2.0, 0.0], 2).unwrap_err();
         assert!(matches!(err, MetricError::AxiomViolation(_)));
     }
 

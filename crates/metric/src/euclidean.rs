@@ -36,7 +36,9 @@ impl EuclideanMetric {
         }
         let dim = points[0].len();
         if dim == 0 {
-            return Err(MetricError::Malformed("points must have at least one coordinate".into()));
+            return Err(MetricError::Malformed(
+                "points must have at least one coordinate".into(),
+            ));
         }
         let mut coords = Vec::with_capacity(points.len() * dim);
         for (i, row) in points.iter().enumerate() {

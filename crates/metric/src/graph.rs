@@ -225,11 +225,8 @@ mod tests {
 
     #[test]
     fn shortcut_beats_long_path() {
-        let g = Graph::from_edges(
-            4,
-            &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (0, 3, 1.5)],
-        )
-        .unwrap();
+        let g =
+            Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (0, 3, 1.5)]).unwrap();
         let m = GraphMetric::new(&g).unwrap();
         assert!((m.distance(PointId(0), PointId(3)) - 1.5).abs() < 1e-12);
         assert!((m.distance(PointId(0), PointId(2)) - 2.0).abs() < 1e-12);

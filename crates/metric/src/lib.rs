@@ -71,7 +71,10 @@ impl fmt::Display for MetricError {
             MetricError::InvalidValue(s) => write!(f, "invalid numeric value: {s}"),
             MetricError::AxiomViolation(s) => write!(f, "metric axiom violated: {s}"),
             MetricError::PointOutOfRange { point, len } => {
-                write!(f, "point index {point} out of range for space of {len} points")
+                write!(
+                    f,
+                    "point index {point} out of range for space of {len} points"
+                )
             }
             MetricError::Disconnected { from, to } => {
                 write!(f, "graph is disconnected: no path from {from} to {to}")
@@ -182,10 +185,14 @@ impl ExactSizeIterator for PointIter {}
 /// Checks that `v` is a finite, non-negative coordinate/weight.
 pub(crate) fn check_finite_nonneg(v: f64, what: &str) -> Result<(), MetricError> {
     if !v.is_finite() {
-        return Err(MetricError::InvalidValue(format!("{what} = {v} is not finite")));
+        return Err(MetricError::InvalidValue(format!(
+            "{what} = {v} is not finite"
+        )));
     }
     if v < 0.0 {
-        return Err(MetricError::InvalidValue(format!("{what} = {v} is negative")));
+        return Err(MetricError::InvalidValue(format!(
+            "{what} = {v} is negative"
+        )));
     }
     Ok(())
 }
@@ -193,7 +200,9 @@ pub(crate) fn check_finite_nonneg(v: f64, what: &str) -> Result<(), MetricError>
 /// Checks that `v` is a finite coordinate (may be negative, e.g. line positions).
 pub(crate) fn check_finite(v: f64, what: &str) -> Result<(), MetricError> {
     if !v.is_finite() {
-        return Err(MetricError::InvalidValue(format!("{what} = {v} is not finite")));
+        return Err(MetricError::InvalidValue(format!(
+            "{what} = {v} is not finite"
+        )));
     }
     Ok(())
 }

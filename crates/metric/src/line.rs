@@ -43,7 +43,9 @@ impl LineMetric {
         }
         check_finite(span, "span")?;
         if span < 0.0 {
-            return Err(MetricError::InvalidValue(format!("span = {span} is negative")));
+            return Err(MetricError::InvalidValue(format!(
+                "span = {span} is negative"
+            )));
         }
         let step = if n > 1 { span / (n as f64 - 1.0) } else { 0.0 };
         Self::new((0..n).map(|i| i as f64 * step).collect())

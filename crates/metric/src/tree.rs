@@ -39,7 +39,9 @@ impl TreeMetric {
                         return Err(MetricError::PointOutOfRange { point: *pv, len: n });
                     }
                     if *pv as usize == v {
-                        return Err(MetricError::Malformed(format!("node {v} is its own parent")));
+                        return Err(MetricError::Malformed(format!(
+                            "node {v} is its own parent"
+                        )));
                     }
                     check_finite_nonneg(*w, &format!("weight({v})"))?;
                 }

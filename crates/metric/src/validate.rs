@@ -17,7 +17,9 @@ pub fn check_axioms_exact(m: &dyn Metric) -> Result<(), MetricError> {
     for a in 0..n as u32 {
         let da = m.distance(PointId(a), PointId(a));
         if da != 0.0 {
-            return Err(MetricError::AxiomViolation(format!("d({a},{a}) = {da} != 0")));
+            return Err(MetricError::AxiomViolation(format!(
+                "d({a},{a}) = {da} != 0"
+            )));
         }
         for b in 0..n as u32 {
             let dab = m.distance(PointId(a), PointId(b));
@@ -59,7 +61,9 @@ pub fn check_axioms_sampled(m: &dyn Metric, samples: usize, seed: u64) -> Result
     for a in 0..n as u32 {
         let da = m.distance(PointId(a), PointId(a));
         if da != 0.0 {
-            return Err(MetricError::AxiomViolation(format!("d({a},{a}) = {da} != 0")));
+            return Err(MetricError::AxiomViolation(format!(
+                "d({a},{a}) = {da} != 0"
+            )));
         }
     }
     let mut state = seed;
@@ -128,11 +132,8 @@ mod tests {
     fn broken_matrix_fails_exact() {
         // new_unchecked skips the triangle check, so the violation survives
         // until check_axioms_exact sees it.
-        let m = DenseMetric::new_unchecked(
-            vec![0.0, 1.0, 9.0, 1.0, 0.0, 1.0, 9.0, 1.0, 0.0],
-            3,
-        )
-        .unwrap();
+        let m = DenseMetric::new_unchecked(vec![0.0, 1.0, 9.0, 1.0, 0.0, 1.0, 9.0, 1.0, 0.0], 3)
+            .unwrap();
         assert!(check_axioms_exact(&m).is_err());
     }
 
@@ -147,11 +148,8 @@ mod tests {
     fn sampled_check_catches_gross_violations() {
         // A "metric" with a hugely violating pair; with enough samples the
         // sampler must hit pair (0, 2) or a triple exposing it.
-        let m = DenseMetric::new_unchecked(
-            vec![0.0, 1.0, 50.0, 1.0, 0.0, 1.0, 50.0, 1.0, 0.0],
-            3,
-        )
-        .unwrap();
+        let m = DenseMetric::new_unchecked(vec![0.0, 1.0, 50.0, 1.0, 0.0, 1.0, 50.0, 1.0, 0.0], 3)
+            .unwrap();
         assert!(check_axioms_sampled(&m, 10_000, 7).is_err());
     }
 }

@@ -2,17 +2,20 @@
 //!
 //! Monte-Carlo estimation of RAND-OMFLP's *expected* competitive ratio needs
 //! dozens of independent trials per parameter point; this crate provides a
-//! dependency-light scoped parallel map (crossbeam scoped threads pulling
-//! indices from an atomic counter), deterministic per-task seeding
-//! (SplitMix64 — results must not depend on thread scheduling), and the
-//! mean/CI reduction the tables report.
+//! dependency-free scoped parallel map (std scoped threads over contiguous
+//! chunks), deterministic per-task seeding (SplitMix64 — results must not
+//! depend on thread scheduling), and the mean/CI reduction the tables
+//! report.
 //!
-//! Rationale for the dependencies (see DESIGN.md): `crossbeam` provides the
-//! scoped threads (rayon would also work but brings a global pool we don't
-//! need); `parking_lot` the mutex guarding the result buffer.
-
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicUsize, Ordering};
+//! # Why chunks instead of a shared result buffer
+//!
+//! An earlier version pulled indices from an atomic counter and wrote each
+//! result through a mutex-guarded `Vec<Option<R>>`; under small per-item
+//! work the lock became the bottleneck (every item paid a lock/unlock).
+//! Now each worker owns one contiguous index range, produces its results in
+//! a private `Vec`, and returns it from `spawn` — the only synchronization
+//! is the final join, and output order is index order by construction, so
+//! `parallel_map(items, 1, f) == parallel_map(items, k, f)` for every `k`.
 
 /// Applies `f` to every index/item pair, spreading work over `threads` OS
 /// threads. Results are returned in input order regardless of scheduling.
@@ -33,26 +36,26 @@ where
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
 
-    let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
-    crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let r = f(i, &items[i]);
-                results.lock()[i] = Some(r);
-            });
+    // Balanced contiguous chunks: the first `rem` workers take one extra
+    // item, so chunk sizes differ by at most one.
+    let base = n / threads;
+    let rem = n % threads;
+    let mut out = Vec::with_capacity(n);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        let mut start = 0;
+        for w in 0..threads {
+            let len = base + usize::from(w < rem);
+            let range = start..start + len;
+            start += len;
+            let f = &f;
+            handles.push(scope.spawn(move || range.map(|i| f(i, &items[i])).collect::<Vec<R>>()));
         }
-    })
-    .expect("worker threads must not panic");
-    results
-        .into_inner()
-        .into_iter()
-        .map(|r| r.expect("every index was processed"))
-        .collect()
+        for h in handles {
+            out.extend(h.join().expect("worker threads must not panic"));
+        }
+    });
+    out
 }
 
 /// A reasonable default worker count: available parallelism capped at 8
@@ -137,6 +140,36 @@ mod tests {
         let seq = parallel_map(&items, 1, |i, &x| seed_for(x, i as u64));
         let par = parallel_map(&items, 8, |i, &x| seed_for(x, i as u64));
         assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        // Regression for the chunked rewrite: every thread count must yield
+        // byte-identical output, including counts that don't divide n.
+        let items: Vec<u64> = (0..331).collect();
+        let reference = parallel_map(&items, 1, |i, &x| seed_for(x, i as u64));
+        for threads in [2, 3, 5, 8, 16, 331, 1000] {
+            let out = parallel_map(&items, threads, |i, &x| seed_for(x, i as u64));
+            assert_eq!(out, reference, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn uneven_work_still_ordered() {
+        // Later items are much heavier, so chunks finish out of order; the
+        // join must still reassemble results in index order.
+        let items: Vec<u64> = (0..64).collect();
+        let out = parallel_map(&items, 8, |_, &x| {
+            let spins = if x >= 56 { 20_000 } else { 10 };
+            let mut acc = x;
+            for _ in 0..spins {
+                acc = seed_for(acc, x);
+            }
+            (x, acc)
+        });
+        for (i, (x, _)) in out.iter().enumerate() {
+            assert_eq!(i as u64, *x);
+        }
     }
 
     #[test]

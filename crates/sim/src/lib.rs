@@ -173,8 +173,7 @@ pub fn run_engine(scenario: &Scenario, engine: Engine) -> Result<SimReport, Core
             alg.solution().clone()
         }
         Engine::AllLarge => {
-            let parts =
-                AllLargeParts::build(Arc::clone(&scenario.metric), scenario.cost.clone())?;
+            let parts = AllLargeParts::build(Arc::clone(&scenario.metric), scenario.cost.clone())?;
             let mut alg = AllLarge::new_fotakis(&parts)?;
             for r in &scenario.requests {
                 let out = alg.serve(r)?;
@@ -255,15 +254,10 @@ mod tests {
             let rep = run_engine(&scenario, engine).unwrap();
             assert_eq!(rep.cost_over_time.len(), 60);
             assert!(rep.total_cost > 0.0, "{}", rep.engine);
-            assert!(
-                (rep.total_cost - (rep.construction_cost + rep.connection_cost)).abs() < 1e-9
-            );
+            assert!((rep.total_cost - (rep.construction_cost + rep.connection_cost)).abs() < 1e-9);
             assert!(rep.facilities >= 1);
             // Cumulative cost is non-decreasing.
-            assert!(rep
-                .cost_over_time
-                .windows(2)
-                .all(|w| w[1] >= w[0] - 1e-9));
+            assert!(rep.cost_over_time.windows(2).all(|w| w[1] >= w[0] - 1e-9));
             assert!(rep.latency.max >= rep.latency.p95);
             assert!(rep.latency.p95 >= rep.latency.p50);
         }

@@ -123,8 +123,7 @@ pub fn dyadic_line(
     let positions: Vec<f64> = (0..n_pts)
         .map(|i| span * i as f64 / (n_pts - 1) as f64)
         .collect();
-    let metric: Arc<dyn Metric> =
-        Arc::new(LineMetric::new(positions).map_err(CoreError::Metric)?);
+    let metric: Arc<dyn Metric> = Arc::new(LineMetric::new(positions).map_err(CoreError::Metric)?);
 
     let mut requests = Vec::new();
     for level in 0..=levels {
@@ -132,10 +131,8 @@ pub fn dyadic_line(
         let mut idx = 0usize;
         while idx < n_pts {
             let mut ids: Vec<u16> = (0..s).collect();
-            ids.partial_shuffle(&mut rng, bundle.clamp(1, s as usize));
-            let demand =
-                CommoditySet::from_ids(universe, &ids[..bundle.clamp(1, s as usize)])
-                    .map_err(CoreError::Commodity)?;
+            let (chosen, _) = ids.partial_shuffle(&mut rng, bundle.clamp(1, s as usize));
+            let demand = CommoditySet::from_ids(universe, chosen).map_err(CoreError::Commodity)?;
             requests.push(Request::new(PointId(idx as u32), demand));
             idx += step;
         }
@@ -151,11 +148,7 @@ pub fn dyadic_line(
 /// Repeats each commodity of the gadget `reps` times (with replacement,
 /// shuffled) — used by the arrival-order ablation where a single pass hides
 /// the effect of randomization.
-pub fn theorem2_gadget_repeated(
-    s: u16,
-    reps: usize,
-    seed: u64,
-) -> Result<Scenario, CoreError> {
+pub fn theorem2_gadget_repeated(s: u16, reps: usize, seed: u64) -> Result<Scenario, CoreError> {
     let base = theorem2_gadget(s, Theorem2Phase::SPrimeOnly, seed)?;
     let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
     let mut requests = Vec::with_capacity(base.requests.len() * reps);
@@ -205,13 +198,25 @@ mod tests {
         let a = theorem2_gadget(64, Theorem2Phase::SPrimeOnly, 3).unwrap();
         let b = theorem2_gadget(64, Theorem2Phase::SPrimeOnly, 3).unwrap();
         assert_eq!(
-            a.requests.iter().map(|r| r.demand().first().unwrap().0).collect::<Vec<_>>(),
-            b.requests.iter().map(|r| r.demand().first().unwrap().0).collect::<Vec<_>>()
+            a.requests
+                .iter()
+                .map(|r| r.demand().first().unwrap().0)
+                .collect::<Vec<_>>(),
+            b.requests
+                .iter()
+                .map(|r| r.demand().first().unwrap().0)
+                .collect::<Vec<_>>()
         );
         let c = theorem2_gadget(64, Theorem2Phase::SPrimeOnly, 4).unwrap();
         assert_ne!(
-            a.requests.iter().map(|r| r.demand().first().unwrap().0).collect::<Vec<_>>(),
-            c.requests.iter().map(|r| r.demand().first().unwrap().0).collect::<Vec<_>>()
+            a.requests
+                .iter()
+                .map(|r| r.demand().first().unwrap().0)
+                .collect::<Vec<_>>(),
+            c.requests
+                .iter()
+                .map(|r| r.demand().first().unwrap().0)
+                .collect::<Vec<_>>()
         );
     }
 

@@ -40,8 +40,8 @@ impl DemandModel {
             DemandModel::UniformK { k } => {
                 let k = (*k).clamp(1, universe.len());
                 let mut ids: Vec<u16> = (0..universe.size()).collect();
-                ids.partial_shuffle(rng, k);
-                CommoditySet::from_ids(universe, &ids[..k]).expect("ids in range")
+                let (chosen, _) = ids.partial_shuffle(rng, k);
+                CommoditySet::from_ids(universe, chosen).expect("ids in range")
             }
             DemandModel::Zipf { alpha, k_max } => {
                 let k = rng.gen_range(1..=(*k_max).clamp(1, universe.len()));
@@ -92,11 +92,11 @@ fn zipf_draw<R: Rng>(n: usize, alpha: f64, rng: &mut R) -> usize {
 pub fn default_bundles(s: u16) -> Vec<Vec<u16>> {
     assert!(s >= 8, "default bundles need |S| >= 8");
     vec![
-        vec![0, 1, 2],        // web: LB + app + cache
-        vec![1, 3, 4],        // data: app + db + queue
-        vec![5, 6],           // media: transcode + store
-        vec![2, 7],           // monitoring: cache + metrics
-        vec![0, 1, 2, 3, 4],  // full web+data suite
+        vec![0, 1, 2],       // web: LB + app + cache
+        vec![1, 3, 4],       // data: app + db + queue
+        vec![5, 6],          // media: transcode + store
+        vec![2, 7],          // monitoring: cache + metrics
+        vec![0, 1, 2, 3, 4], // full web+data suite
     ]
 }
 
@@ -179,7 +179,10 @@ mod tests {
         }
         // With noise = 1.0, the extra draw only fails to grow the set when
         // it hits commodity 0 itself (1/8 chance).
-        assert!(grew > 30, "noise=1 should usually add a commodity, got {grew}/50");
+        assert!(
+            grew > 30,
+            "noise=1 should usually add a commodity, got {grew}/50"
+        );
     }
 
     #[test]

@@ -8,7 +8,11 @@ use rand::Rng;
 use std::sync::Arc;
 
 /// `n` points uniform on `[0, span]` (sorted, so point ids are spatial).
-pub fn random_line<R: Rng>(n: usize, span: f64, rng: &mut R) -> Result<Arc<dyn Metric>, MetricError> {
+pub fn random_line<R: Rng>(
+    n: usize,
+    span: f64,
+    rng: &mut R,
+) -> Result<Arc<dyn Metric>, MetricError> {
     let mut xs: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() * span).collect();
     xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     Ok(Arc::new(LineMetric::new(xs)?))
@@ -85,7 +89,9 @@ pub fn sample_locations<R: Rng>(
     rng: &mut R,
 ) -> Vec<u32> {
     if hotspot_alpha <= 0.0 {
-        return (0..n).map(|_| rng.gen_range(0..num_points as u32)).collect();
+        return (0..n)
+            .map(|_| rng.gen_range(0..num_points as u32))
+            .collect();
     }
     // Zipf over a shuffled identity so hotspots are arbitrary points.
     let mut perm: Vec<u32> = (0..num_points as u32).collect();
@@ -93,7 +99,9 @@ pub fn sample_locations<R: Rng>(
         let j = rng.gen_range(0..=i);
         perm.swap(i, j);
     }
-    let z: f64 = (1..=num_points).map(|i| (i as f64).powf(-hotspot_alpha)).sum();
+    let z: f64 = (1..=num_points)
+        .map(|i| (i as f64).powf(-hotspot_alpha))
+        .sum();
     (0..n)
         .map(|_| {
             let mut u = rng.gen::<f64>() * z;
@@ -160,7 +168,10 @@ mod tests {
             counts[p as usize] += 1;
         }
         let max = counts.iter().max().copied().unwrap();
-        assert!(max >= 25, "hotspot concentration too weak: max count {max}/500");
+        assert!(
+            max >= 25,
+            "hotspot concentration too weak: max count {max}/500"
+        );
     }
 
     #[test]

@@ -51,5 +51,7 @@ fn main() {
         }
     }
     println!("\nReading: in phase S' everyone pays Θ(√S)·OPT — that is the lower bound binding.");
-    println!("In phase S'+S, PD/RAND converge to O(1)·OPT (they predicted), per-commodity stays at √S.");
+    println!(
+        "In phase S'+S, PD/RAND converge to O(1)·OPT (they predicted), per-commodity stays at √S."
+    );
 }

@@ -67,7 +67,10 @@ fn main() {
              heavy-exclusion = {excl_cost:>8.2}  ({})",
             heavy.iter().map(|h| h.0).collect::<Vec<_>>(),
             if excl_cost < plain_cost * 0.99 {
-                format!("exclusion saves {:.0}%", 100.0 * (1.0 - excl_cost / plain_cost))
+                format!(
+                    "exclusion saves {:.0}%",
+                    100.0 * (1.0 - excl_cost / plain_cost)
+                )
             } else {
                 "no benefit (Condition 1 holds)".to_string()
             },

@@ -23,7 +23,10 @@ fn main() {
         Request::new(PointId(2), CommoditySet::from_ids(u, &[0, 2]).unwrap()),
         Request::new(PointId(3), CommoditySet::from_ids(u, &[3, 4]).unwrap()),
         Request::new(PointId(4), CommoditySet::from_ids(u, &[2, 3, 4]).unwrap()),
-        Request::new(PointId(5), CommoditySet::from_ids(u, &[0, 1, 2, 3, 4]).unwrap()),
+        Request::new(
+            PointId(5),
+            CommoditySet::from_ids(u, &[0, 1, 2, 3, 4]).unwrap(),
+        ),
     ];
 
     // Deterministic primal–dual algorithm (Theorem 4: O(√|S|·log n)).
@@ -36,11 +39,16 @@ fn main() {
             r.demand(),
             out.opened.len(),
             out.connection_cost,
-            if out.served_by_large { "  [served by a large facility]" } else { "" },
+            if out.served_by_large {
+                "  [served by a large facility]"
+            } else {
+                ""
+            },
         );
     }
     let sol = pd.solution();
-    sol.verify(&instance).expect("PD solutions are always feasible");
+    sol.verify(&instance)
+        .expect("PD solutions are always feasible");
     println!(
         "PD   total: {:.3} (construction {:.3} + connection {:.3}), {} facilities ({} large)\n",
         sol.total_cost(),
@@ -56,7 +64,8 @@ fn main() {
         rand.serve(r).unwrap();
     }
     let rsol = rand.solution();
-    rsol.verify(&instance).expect("RAND solutions are always feasible");
+    rsol.verify(&instance)
+        .expect("RAND solutions are always feasible");
     println!(
         "RAND total: {:.3} with seed 42 ({} facilities, {} large)",
         rsol.total_cost(),
@@ -66,7 +75,9 @@ fn main() {
 
     // How good is that? Bracket OPT with the offline solvers.
     let greedy = GreedyOffline::new().solve(&instance, &requests).unwrap();
-    let tightened = LocalSearch::new().improve(&instance, &greedy, &requests).unwrap();
+    let tightened = LocalSearch::new()
+        .improve(&instance, &greedy, &requests)
+        .unwrap();
     let dual_lb = DualLowerBound::compute(&instance, &requests).unwrap();
     println!(
         "\nOPT bracket: [{:.3}, {:.3}]  →  PD ratio ≤ {:.2}, RAND ratio ≤ {:.2}",

@@ -45,10 +45,7 @@ fn requests(inst: &Instance) -> Vec<Request> {
                 3 => &[0, 3],
                 _ => &[5], // occasional heavy request
             };
-            Request::new(
-                PointId(i % 4),
-                CommoditySet::from_ids(u, ids).unwrap(),
-            )
+            Request::new(PointId(i % 4), CommoditySet::from_ids(u, ids).unwrap())
         })
         .collect()
 }

@@ -21,7 +21,7 @@ fn tiny_instance(seed: u64) -> (Instance, Vec<Request>) {
     let m = rng.gen_range(2..=4usize);
     let positions: Vec<f64> = (0..m).map(|_| rng.gen::<f64>() * 6.0).collect();
     let s = rng.gen_range(2..=3u16);
-    let x = [0.5, 1.0, 1.5][rng.gen_range(0..3)];
+    let x = [0.5, 1.0, 1.5][rng.gen_range(0..3usize)];
     let inst = Instance::new(
         Box::new(LineMetric::new(positions).unwrap()),
         s,

@@ -41,7 +41,10 @@ fn scenarios() -> Vec<Scenario> {
             20,
             12,
             60,
-            DemandModel::Zipf { alpha: 1.0, k_max: 4 },
+            DemandModel::Zipf {
+                alpha: 1.0,
+                k_max: 4,
+            },
             CostModel::power(10, 1.0, 3.0),
             3,
         )

@@ -20,22 +20,14 @@ type RawRequests = Vec<(u32, Vec<u16>)>;
 /// Strategy: a random instance (line metric, power cost) plus requests.
 fn instance_and_requests() -> impl Strategy<Value = (Vec<f64>, u16, f64, RawRequests)> {
     (
-        prop::collection::vec(0.0..20.0f64, 1..6),   // positions
-        2..6u16,                                     // |S|
-        0.0..2.0f64,                                 // class-C exponent
-        prop::collection::vec(
-            (0u32..6, prop::collection::vec(0u16..6, 1..4)),
-            1..18,
-        ),
+        prop::collection::vec(0.0..20.0f64, 1..6), // positions
+        2..6u16,                                   // |S|
+        0.0..2.0f64,                               // class-C exponent
+        prop::collection::vec((0u32..6, prop::collection::vec(0u16..6, 1..4)), 1..18),
     )
 }
 
-fn build(
-    positions: &[f64],
-    s: u16,
-    x: f64,
-    raw: &[(u32, Vec<u16>)],
-) -> (Instance, Vec<Request>) {
+fn build(positions: &[f64], s: u16, x: f64, raw: &[(u32, Vec<u16>)]) -> (Instance, Vec<Request>) {
     let inst = Instance::new(
         Box::new(LineMetric::new(positions.to_vec()).unwrap()),
         s,

@@ -1,0 +1,112 @@
+//! Cross-crate smoke test: the fastest end-to-end exercise of the workspace.
+//!
+//! Runs PD-OMFLP and the per-commodity decomposition on a small line-metric
+//! instance and on the Theorem 2 adversary gadget, and checks PD's measured
+//! cost against the closed-form bound curves in `omfl_core::bounds`:
+//! Theorem 2 says *every* online algorithm pays Ω(√|S|)·OPT on the gadget's
+//! first phase, and Theorem 4 caps PD at O(√|S|·log n)·OPT everywhere.
+
+use omfl_baselines::offline::ExactSolver;
+use omfl_baselines::per_commodity::{PerCommodity, PerCommodityParts};
+use omfl_commodity::cost::CostModel;
+use omfl_commodity::CommoditySet;
+use omfl_core::algorithm::run_online_verified;
+use omfl_core::bounds;
+use omfl_core::instance::Instance;
+use omfl_core::pd::PdOmflp;
+use omfl_core::request::Request;
+use omfl_metric::line::LineMetric;
+use omfl_metric::PointId;
+use omfl_workload::adversarial::{theorem2_gadget, theorem2_opt, Theorem2Phase};
+use std::sync::Arc;
+
+/// A 4-point line, 3 commodities, a short request stream touching every
+/// point — small enough for the exact solver.
+fn small_line() -> (Instance, Vec<Request>) {
+    let inst = Instance::new(
+        Box::new(LineMetric::new(vec![0.0, 1.0, 3.0, 7.0]).unwrap()),
+        3,
+        CostModel::power(3, 1.0, 2.0),
+    )
+    .unwrap();
+    let u = inst.universe();
+    let reqs: Vec<Request> = [
+        (0u32, vec![0u16]),
+        (1, vec![0, 1]),
+        (2, vec![2]),
+        (3, vec![0, 1, 2]),
+        (0, vec![1, 2]),
+        (2, vec![0]),
+    ]
+    .iter()
+    .map(|(loc, ids)| Request::new(PointId(*loc), CommoditySet::from_ids(u, ids).unwrap()))
+    .collect();
+    (inst, reqs)
+}
+
+#[test]
+fn pd_and_per_commodity_serve_a_small_line_instance() {
+    let (inst, reqs) = small_line();
+
+    let mut pd = PdOmflp::new(&inst);
+    let pd_cost = run_online_verified(&mut pd, &inst, &reqs).unwrap();
+    assert!(pd_cost > 0.0);
+
+    let metric: Arc<dyn omfl_metric::Metric> =
+        Arc::new(LineMetric::new(vec![0.0, 1.0, 3.0, 7.0]).unwrap());
+    let parts = PerCommodityParts::build(metric, CostModel::power(3, 1.0, 2.0)).unwrap();
+    let mut dc = PerCommodity::new_pd(&parts);
+    let dc_cost = run_online_verified(&mut dc, &parts.original, &reqs).unwrap();
+    assert!(dc_cost > 0.0);
+
+    // Theorem 4 shape as a sanity ceiling: PD within O(√|S|·ln n)·OPT,
+    // with a generous constant (the paper's hidden constant is small).
+    let opt = ExactSolver::new().solve(&inst, &reqs).unwrap().total_cost();
+    assert!(opt > 0.0);
+    let ceiling = 8.0 * bounds::pd_upper(3, inst.num_points()) * opt;
+    assert!(
+        pd_cost <= ceiling,
+        "PD cost {pd_cost} exceeds Theorem 4 ceiling {ceiling} (OPT = {opt})"
+    );
+    assert!(pd_cost >= opt - 1e-9, "online cannot beat OPT");
+}
+
+#[test]
+fn pd_respects_theorem2_bound_curve_on_the_gadget() {
+    // Phase 1 (S' only): OPT = 1 and Theorem 2 forces EVERY algorithm to
+    // pay Ω(√|S|) — PD's cost must sit on that curve (≈ 2√S for PD),
+    // bracketed here with factor-4 slack on both sides.
+    let s: u16 = 64;
+    let sc = theorem2_gadget(s, Theorem2Phase::SPrimeOnly, 11).unwrap();
+    let mut pd = PdOmflp::new(sc.instance());
+    let cost = run_online_verified(&mut pd, sc.instance(), &sc.requests).unwrap();
+    let opt = theorem2_opt(s, Theorem2Phase::SPrimeOnly);
+    let ratio = cost / opt;
+    let curve = bounds::sqrt_s(s as usize);
+    assert!(
+        ratio >= curve / 4.0,
+        "PD ratio {ratio} below the Theorem 2 lower-bound curve √S = {curve}"
+    );
+    assert!(
+        ratio <= 4.0 * curve,
+        "PD ratio {ratio} far above the √S curve {curve}: prediction is broken"
+    );
+
+    // Phase 2 (S' then all of S): prediction pays off — PD converges to
+    // O(1)·OPT while the never-predicting decomposition stays near √S·OPT.
+    let sc2 = theorem2_gadget(s, Theorem2Phase::SPrimeThenAll, 11).unwrap();
+    let mut pd2 = PdOmflp::new(sc2.instance());
+    let pd2_cost = run_online_verified(&mut pd2, sc2.instance(), &sc2.requests).unwrap();
+
+    let parts = PerCommodityParts::build(Arc::clone(&sc2.metric), sc2.cost.clone()).unwrap();
+    let mut dc = PerCommodity::new_pd(&parts);
+    let dc_cost = run_online_verified(&mut dc, &parts.original, &sc2.requests).unwrap();
+
+    let opt2 = theorem2_opt(s, Theorem2Phase::SPrimeThenAll);
+    assert!(
+        pd2_cost / opt2 < dc_cost / opt2,
+        "PD ({}) must beat the never-predict decomposition ({}) once prediction pays",
+        pd2_cost / opt2,
+        dc_cost / opt2
+    );
+}
