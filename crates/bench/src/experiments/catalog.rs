@@ -1,0 +1,54 @@
+//! `catalog-sweep` — the scenario catalog: every workload family against
+//! all four engines through the sharded sweep harness (`omfl_sim::sweep`).
+//!
+//! Where the per-theorem experiments isolate one regime each, this table is
+//! the cross-regime comparison: which engine wins on which workload shape,
+//! and how far PD sits from both baselines away from the adversarial
+//! gadgets.
+
+use crate::table::Table;
+use omfl_par::default_threads;
+use omfl_sim::sweep::sweep_catalog;
+use omfl_workload::catalog::{registry, CatalogProfile};
+
+/// Runs the experiment.
+pub fn run(quick: bool) -> Vec<Table> {
+    let (profile, trials) = if quick {
+        (CatalogProfile::small(), 2)
+    } else {
+        (CatalogProfile::default(), 8)
+    };
+    let sweep = sweep_catalog(&profile, 2020, trials, default_threads()).expect("sweep");
+
+    let mut t = Table::new(
+        "Scenario catalog: engine comparison across workload families",
+        &[
+            "family",
+            "engine",
+            "trials",
+            "mean cost",
+            "ci95",
+            "facs",
+            "large",
+            "lg-serve",
+            "p95 lat",
+        ],
+    );
+    for r in &sweep.rows {
+        t.row(&[
+            r.family.to_string(),
+            r.engine.to_string(),
+            r.cost.n.to_string(),
+            crate::table::fmt(r.cost.mean),
+            crate::table::fmt(r.cost.ci95),
+            crate::table::fmt(r.mean_facilities),
+            crate::table::fmt(r.mean_large),
+            crate::table::fmt(r.large_serve_share),
+            crate::table::fmt(r.mean_p95_latency),
+        ]);
+    }
+    for fam in registry() {
+        t.note(format!("{}: {}", fam.name, fam.regime));
+    }
+    vec![t]
+}

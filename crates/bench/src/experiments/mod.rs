@@ -1,5 +1,6 @@
 //! One module per experiment; ids and scope are indexed in DESIGN.md §2.
 
+pub mod catalog;
 pub mod cond1;
 pub mod cor3;
 pub mod decomp;

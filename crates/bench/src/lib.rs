@@ -78,5 +78,10 @@ pub fn registry() -> Vec<Experiment> {
             title: "§5: Condition 1 violation and heavy-commodity exclusion",
             run: experiments::cond1::run,
         },
+        Experiment {
+            id: "catalog-sweep",
+            title: "Scenario catalog: every workload family × all four engines",
+            run: experiments::catalog::run,
+        },
     ]
 }

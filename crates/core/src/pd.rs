@@ -146,6 +146,15 @@ impl<'a> PdOmflp<'a> {
         self.dual_sum
     }
 
+    /// The incrementally maintained bid matrices `(B, B̂)` — `B[m][e]` flat
+    /// at `m·|S| + e`, `B̂[m]` per point. Exposed for invariant tests: both
+    /// must stay non-negative (up to float noise) and below `f^{e}_m` /
+    /// `f^{S}_m`; the independent recomputation lives in
+    /// [`crate::validate::check_bid_feasibility`].
+    pub fn bids(&self) -> (&[f64], &[f64]) {
+        (&self.b_small, &self.b_large)
+    }
+
     /// The dual-feasibility lower bound on OPT from Corollary 17: the duals
     /// scaled by `γ = 1 / (5 √|S| H_n)` are dual-feasible, so
     /// `γ · Σ a ≤ OPT`.

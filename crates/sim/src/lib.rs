@@ -4,16 +4,25 @@
 //! clients appearing online.
 //!
 //! The simulator wires together the workload generators, any of the online
-//! placement engines, and latency/cost reporting, so downstream users can
-//! evaluate placement policies on their own topologies. See
-//! `examples/service_placement.rs` for a complete run.
+//! placement engines, and latency/cost reporting. The run loop is a single
+//! generic stream over a `&mut dyn OnlineAlgorithm` trait object
+//! ([`with_engine`] builds the engine and its projections on the stack, so
+//! no per-engine match duplicates the loop), with per-request metrics
+//! accumulated incrementally by [`StreamingMetrics`].
+//!
+//! [`sweep`] fans a (scenario-family × engine × seed) matrix across worker
+//! threads and aggregates comparison tables; see
+//! `examples/scenario_sweep.rs` for a complete run.
+
+pub mod sweep;
 
 use omfl_baselines::all_large::{AllLarge, AllLargeParts};
 use omfl_baselines::per_commodity::{PerCommodity, PerCommodityParts};
 use omfl_commodity::cost::CostModel;
-use omfl_core::algorithm::OnlineAlgorithm;
+use omfl_core::algorithm::{OnlineAlgorithm, ServeOutcome};
 use omfl_core::pd::PdOmflp;
 use omfl_core::randalg::RandOmflp;
+use omfl_core::solution::Solution;
 use omfl_core::CoreError;
 use omfl_workload::composite::service_network;
 use omfl_workload::demand::{default_bundles, DemandModel};
@@ -45,6 +54,17 @@ impl Engine {
             Engine::PerCommodity => "per-commodity",
             Engine::AllLarge => "all-large",
         }
+    }
+
+    /// The four engines, in report order, with a shared seed for the
+    /// randomized one.
+    pub fn all(rand_seed: u64) -> [Engine; 4] {
+        [
+            Engine::Pd,
+            Engine::Rand { seed: rand_seed },
+            Engine::PerCommodity,
+            Engine::AllLarge,
+        ]
     }
 }
 
@@ -82,7 +102,7 @@ impl Default for SimConfig {
 }
 
 /// Per-request latency (connection cost) statistics.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LatencyStats {
     /// Mean connection cost per request.
     pub mean: f64,
@@ -95,12 +115,14 @@ pub struct LatencyStats {
 }
 
 /// The outcome of one simulation run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
     /// Engine used.
     pub engine: &'static str,
     /// Scenario name.
     pub scenario: String,
+    /// Requests served.
+    pub requests: usize,
     /// Total cost (construction + connection).
     pub total_cost: f64,
     /// Construction part.
@@ -111,10 +133,62 @@ pub struct SimReport {
     pub facilities: usize,
     /// Facilities offering every service.
     pub large_facilities: usize,
+    /// Requests served by a single large facility (the paper's "large"
+    /// serve mode — Figure 3 tracks this over time).
+    pub large_serves: usize,
     /// Client latency statistics.
     pub latency: LatencyStats,
     /// Cumulative total cost after each request (for cost-over-time plots).
     pub cost_over_time: Vec<f64>,
+}
+
+/// Incrementally accumulated per-request metrics: one [`observe`] per
+/// served request (O(1) amortized), one [`finish`] at the end.
+///
+/// [`observe`]: StreamingMetrics::observe
+/// [`finish`]: StreamingMetrics::finish
+#[derive(Debug, Default)]
+pub struct StreamingMetrics {
+    latencies: Vec<f64>,
+    cost_over_time: Vec<f64>,
+    large_serves: usize,
+}
+
+impl StreamingMetrics {
+    /// Preallocates for a stream of `n` requests.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            latencies: Vec::with_capacity(n),
+            cost_over_time: Vec::with_capacity(n),
+            large_serves: 0,
+        }
+    }
+
+    /// Records one served request, given its outcome and the running total
+    /// cost after it.
+    pub fn observe(&mut self, out: &ServeOutcome, total_cost_after: f64) {
+        self.latencies.push(out.connection_cost);
+        self.cost_over_time.push(total_cost_after);
+        self.large_serves += usize::from(out.served_by_large);
+    }
+
+    /// Assembles the final report from the accumulated stream and the
+    /// engine's finished solution.
+    pub fn finish(mut self, engine: Engine, scenario: &Scenario, sol: &Solution) -> SimReport {
+        SimReport {
+            engine: engine.name(),
+            scenario: scenario.name.clone(),
+            requests: self.cost_over_time.len(),
+            total_cost: sol.total_cost(),
+            construction_cost: sol.construction_cost(),
+            connection_cost: sol.connection_cost(),
+            facilities: sol.facilities().len(),
+            large_facilities: sol.num_large_facilities(),
+            large_serves: self.large_serves,
+            latency: latency_stats(&mut self.latencies),
+            cost_over_time: self.cost_over_time,
+        }
+    }
 }
 
 /// Builds the scenario described by a [`SimConfig`].
@@ -134,67 +208,45 @@ pub fn build_scenario(cfg: &SimConfig) -> Result<Scenario, CoreError> {
     )
 }
 
-/// Runs one engine over a scenario and collects the report.
-pub fn run_engine(scenario: &Scenario, engine: Engine) -> Result<SimReport, CoreError> {
-    let inst = scenario.instance();
-    let mut latencies = Vec::with_capacity(scenario.len());
-    let mut cost_over_time = Vec::with_capacity(scenario.len());
-
-    // Each arm owns its algorithm (and, for the baselines, the projected
-    // sub-instances), so the match drives the whole run.
-    let sol = match engine {
-        Engine::Pd => {
-            let mut alg = PdOmflp::new(inst);
-            for r in &scenario.requests {
-                let out = alg.serve(r)?;
-                latencies.push(out.connection_cost);
-                cost_over_time.push(alg.solution().total_cost());
-            }
-            alg.solution().clone()
-        }
-        Engine::Rand { seed } => {
-            let mut alg = RandOmflp::new(inst, seed);
-            for r in &scenario.requests {
-                let out = alg.serve(r)?;
-                latencies.push(out.connection_cost);
-                cost_over_time.push(alg.solution().total_cost());
-            }
-            alg.solution().clone()
-        }
+/// Builds the engine (and, for the baselines, its projected sub-instances)
+/// for a scenario and hands it to `f` as a trait object.
+///
+/// This is the only place that knows how to construct each engine; every
+/// consumer — the streaming run loop, the sweep harness, ad-hoc drivers —
+/// shares one generic loop over `&mut dyn OnlineAlgorithm` instead of
+/// duplicating a per-engine match.
+pub fn with_engine<R>(
+    scenario: &Scenario,
+    engine: Engine,
+    f: impl FnOnce(&mut dyn OnlineAlgorithm) -> Result<R, CoreError>,
+) -> Result<R, CoreError> {
+    match engine {
+        Engine::Pd => f(&mut PdOmflp::new(scenario.instance())),
+        Engine::Rand { seed } => f(&mut RandOmflp::new(scenario.instance(), seed)),
         Engine::PerCommodity => {
             let parts =
                 PerCommodityParts::build(Arc::clone(&scenario.metric), scenario.cost.clone())?;
-            let mut alg = PerCommodity::new_pd(&parts);
-            for r in &scenario.requests {
-                let out = alg.serve(r)?;
-                latencies.push(out.connection_cost);
-                cost_over_time.push(alg.solution().total_cost());
-            }
-            alg.solution().clone()
+            f(&mut PerCommodity::new_pd(&parts))
         }
         Engine::AllLarge => {
             let parts = AllLargeParts::build(Arc::clone(&scenario.metric), scenario.cost.clone())?;
-            let mut alg = AllLarge::new_fotakis(&parts)?;
-            for r in &scenario.requests {
-                let out = alg.serve(r)?;
-                latencies.push(out.connection_cost);
-                cost_over_time.push(alg.solution().total_cost());
-            }
-            alg.solution().clone()
+            f(&mut AllLarge::new_fotakis(&parts)?)
         }
-    };
-    sol.verify(inst)?;
+    }
+}
 
-    Ok(SimReport {
-        engine: engine.name(),
-        scenario: scenario.name.clone(),
-        total_cost: sol.total_cost(),
-        construction_cost: sol.construction_cost(),
-        connection_cost: sol.connection_cost(),
-        facilities: sol.facilities().len(),
-        large_facilities: sol.num_large_facilities(),
-        latency: latency_stats(&mut latencies),
-        cost_over_time,
+/// Runs one engine over a scenario and collects the report. The finished
+/// solution is verified against the instance — an infeasible run surfaces
+/// as an error, never as a silently wrong table row.
+pub fn run_engine(scenario: &Scenario, engine: Engine) -> Result<SimReport, CoreError> {
+    with_engine(scenario, engine, |alg| {
+        let mut metrics = StreamingMetrics::with_capacity(scenario.len());
+        for r in &scenario.requests {
+            let out = alg.serve(r)?;
+            metrics.observe(&out, alg.solution().total_cost());
+        }
+        alg.solution().verify(scenario.instance())?;
+        Ok(metrics.finish(engine, scenario, alg.solution()))
     })
 }
 
@@ -245,22 +297,48 @@ mod tests {
     fn all_engines_produce_feasible_reports() {
         let cfg = small_cfg();
         let scenario = build_scenario(&cfg).unwrap();
-        for engine in [
-            Engine::Pd,
-            Engine::Rand { seed: 1 },
-            Engine::PerCommodity,
-            Engine::AllLarge,
-        ] {
+        for engine in Engine::all(1) {
             let rep = run_engine(&scenario, engine).unwrap();
             assert_eq!(rep.cost_over_time.len(), 60);
+            assert_eq!(rep.requests, 60);
             assert!(rep.total_cost > 0.0, "{}", rep.engine);
             assert!((rep.total_cost - (rep.construction_cost + rep.connection_cost)).abs() < 1e-9);
             assert!(rep.facilities >= 1);
+            assert!(rep.large_serves <= rep.requests);
             // Cumulative cost is non-decreasing.
             assert!(rep.cost_over_time.windows(2).all(|w| w[1] >= w[0] - 1e-9));
             assert!(rep.latency.max >= rep.latency.p95);
             assert!(rep.latency.p95 >= rep.latency.p50);
         }
+    }
+
+    #[test]
+    fn serve_mode_extremes_match_their_engines() {
+        let scenario = build_scenario(&small_cfg()).unwrap();
+        let all_large = run_engine(&scenario, Engine::AllLarge).unwrap();
+        assert_eq!(
+            all_large.large_serves, all_large.requests,
+            "all-large always predicts"
+        );
+        let per_com = run_engine(&scenario, Engine::PerCommodity).unwrap();
+        assert_eq!(per_com.large_serves, 0, "per-commodity never predicts");
+        assert_eq!(per_com.large_facilities, 0);
+    }
+
+    #[test]
+    fn with_engine_streams_through_a_trait_object() {
+        // The generic loop sees only `dyn OnlineAlgorithm`; drive a partial
+        // stream manually and check the engine identity comes through.
+        let scenario = build_scenario(&small_cfg()).unwrap();
+        let name = with_engine(&scenario, Engine::Pd, |alg| {
+            for r in scenario.requests.iter().take(5) {
+                alg.serve(r)?;
+            }
+            assert_eq!(alg.solution().num_requests(), 5);
+            Ok(alg.name())
+        })
+        .unwrap();
+        assert_eq!(name, "pd-omflp");
     }
 
     #[test]
@@ -288,8 +366,7 @@ mod tests {
         let cfg = small_cfg();
         let a = run_simulation(&cfg, Engine::Pd).unwrap();
         let b = run_simulation(&cfg, Engine::Pd).unwrap();
-        assert_eq!(a.total_cost, b.total_cost);
-        assert_eq!(a.facilities, b.facilities);
+        assert_eq!(a, b, "same config must reproduce the identical report");
     }
 
     #[test]

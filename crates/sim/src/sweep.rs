@@ -1,0 +1,315 @@
+//! Sharded (scenario-family × engine × seed) sweeps.
+//!
+//! [`sweep`] flattens the full matrix into independent cells, fans them
+//! across worker threads with `omfl_par::parallel_map` (order-preserving,
+//! chunk-static — results never depend on thread scheduling), and
+//! [`aggregate`]s the cells into a per-(family, engine) comparison table.
+//! Scenario seeds derive from `(base_seed, family, trial)` via
+//! `omfl_par::seed_for`, so every engine sees the *same* instance in trial
+//! `t` and the whole table is bit-identical across runs and thread counts.
+//!
+//! The table's text and CSV renderings are consumed by the `catalog-sweep`
+//! experiment in `omfl-bench` and by `examples/scenario_sweep.rs` (which
+//! commits the canonical CSV under `results/`).
+
+use crate::{run_engine, Engine, SimReport};
+use omfl_core::CoreError;
+use omfl_par::{parallel_map, seed_for, summarize, Summary};
+use omfl_workload::catalog;
+use omfl_workload::catalog::{CatalogProfile, Family};
+
+/// One completed cell of the sweep matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepCell {
+    /// Family name (stable across parameterizations).
+    pub family: &'static str,
+    /// Engine name.
+    pub engine: &'static str,
+    /// The scenario seed this cell was built with.
+    pub seed: u64,
+    /// The full simulation report.
+    pub report: SimReport,
+}
+
+/// A (family, engine) row aggregated over its trials.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRow {
+    /// Family name.
+    pub family: &'static str,
+    /// Engine name.
+    pub engine: &'static str,
+    /// Total-cost statistics over the trials.
+    pub cost: Summary,
+    /// Mean number of facilities opened.
+    pub mean_facilities: f64,
+    /// Mean number of large facilities.
+    pub mean_large: f64,
+    /// Mean fraction of requests served by a large facility.
+    pub large_serve_share: f64,
+    /// Mean p95 connection latency.
+    pub mean_p95_latency: f64,
+}
+
+/// The aggregated sweep: rows in (family, engine) first-seen order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepTable {
+    /// Aggregated rows.
+    pub rows: Vec<SweepRow>,
+}
+
+/// Runs the full matrix: every family × every engine × `trials` seeds,
+/// sharded over `threads` worker threads.
+///
+/// Cell order is the deterministic matrix order (family-major, then engine,
+/// then trial) regardless of thread count. The scenario seed for trial `t`
+/// of family `i` is `seed_for(base_seed, i·2³² + t)` — independent of the
+/// engine, so all engines compete on identical instances.
+pub fn sweep(
+    families: &[Family],
+    profile: &CatalogProfile,
+    engines: &[Engine],
+    base_seed: u64,
+    trials: usize,
+    threads: usize,
+) -> Result<Vec<SweepCell>, CoreError> {
+    // One task per (family, trial): the scenario is engine-independent, so
+    // each worker builds it once and streams every engine through it.
+    let mut tasks = Vec::with_capacity(families.len() * trials);
+    for fi in 0..families.len() {
+        for t in 0..trials as u64 {
+            tasks.push((fi, t));
+        }
+    }
+    let groups = parallel_map(&tasks, threads, |_, &(fi, t)| {
+        let seed = seed_for(base_seed, ((fi as u64) << 32) | t);
+        let scenario = families[fi].build(profile, seed)?;
+        engines
+            .iter()
+            .map(|&engine| {
+                Ok(SweepCell {
+                    family: families[fi].name,
+                    engine: engine.name(),
+                    seed,
+                    report: run_engine(&scenario, engine)?,
+                })
+            })
+            .collect::<Result<Vec<SweepCell>, CoreError>>()
+    });
+    let groups = groups.into_iter().collect::<Result<Vec<_>, _>>()?;
+    // Reassemble in matrix order (family, engine, trial) from the
+    // (family, trial)-major worker output.
+    let mut cells = Vec::with_capacity(families.len() * engines.len() * trials);
+    for fi in 0..families.len() {
+        for (ei, _) in engines.iter().enumerate() {
+            for t in 0..trials {
+                cells.push(groups[fi * trials + t][ei].clone());
+            }
+        }
+    }
+    Ok(cells)
+}
+
+/// Groups cells into per-(family, engine) rows, preserving first-seen order.
+pub fn aggregate(cells: &[SweepCell]) -> SweepTable {
+    let mut keys: Vec<(&'static str, &'static str)> = Vec::new();
+    for c in cells {
+        let k = (c.family, c.engine);
+        if !keys.contains(&k) {
+            keys.push(k);
+        }
+    }
+    let rows = keys
+        .into_iter()
+        .map(|(family, engine)| {
+            let group: Vec<&SweepCell> = cells
+                .iter()
+                .filter(|c| c.family == family && c.engine == engine)
+                .collect();
+            let costs: Vec<f64> = group.iter().map(|c| c.report.total_cost).collect();
+            let n = group.len() as f64;
+            let mean = |f: &dyn Fn(&SimReport) -> f64| -> f64 {
+                group.iter().map(|c| f(&c.report)).sum::<f64>() / n
+            };
+            SweepRow {
+                family,
+                engine,
+                cost: summarize(&costs),
+                mean_facilities: mean(&|r| r.facilities as f64),
+                mean_large: mean(&|r| r.large_facilities as f64),
+                large_serve_share: mean(&|r| r.large_serves as f64 / (r.requests.max(1)) as f64),
+                mean_p95_latency: mean(&|r| r.latency.p95),
+            }
+        })
+        .collect();
+    SweepTable { rows }
+}
+
+/// Convenience: the whole catalog against all four engines, aggregated.
+pub fn sweep_catalog(
+    profile: &CatalogProfile,
+    base_seed: u64,
+    trials: usize,
+    threads: usize,
+) -> Result<SweepTable, CoreError> {
+    let families = catalog::registry();
+    let engines = Engine::all(seed_for(base_seed, u64::MAX));
+    let cells = sweep(&families, profile, &engines, base_seed, trials, threads)?;
+    Ok(aggregate(&cells))
+}
+
+impl SweepTable {
+    /// Renders an aligned text table.
+    pub fn render(&self) -> String {
+        let headers = [
+            "family",
+            "engine",
+            "trials",
+            "mean cost",
+            "ci95",
+            "min",
+            "max",
+            "facs",
+            "large",
+            "lg-serve",
+            "p95 lat",
+        ];
+        let cells: Vec<Vec<String>> = self.rows.iter().map(row_cells).collect();
+        let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+        for row in &cells {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let line = |row: &[String]| -> String {
+            row.iter()
+                .enumerate()
+                .map(|(i, c)| {
+                    if i == 0 {
+                        format!("{:<width$}", c, width = widths[i])
+                    } else {
+                        format!("{:>width$}", c, width = widths[i])
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("  ")
+                + "\n"
+        };
+        let mut out = line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &cells {
+            out.push_str(&line(row));
+        }
+        out
+    }
+
+    /// CSV form with a stable schema (the committed canonical results file
+    /// under `results/` uses exactly this).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "family,engine,trials,mean_cost,ci95,min_cost,max_cost,\
+             mean_facilities,mean_large,large_serve_share,mean_p95_latency\n",
+        );
+        for row in self.rows.iter().map(row_cells) {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn row_cells(r: &SweepRow) -> Vec<String> {
+    vec![
+        r.family.to_string(),
+        r.engine.to_string(),
+        r.cost.n.to_string(),
+        fmt(r.cost.mean),
+        fmt(r.cost.ci95),
+        fmt(r.cost.min),
+        fmt(r.cost.max),
+        fmt(r.mean_facilities),
+        fmt(r.mean_large),
+        fmt(r.large_serve_share),
+        fmt(r.mean_p95_latency),
+    ]
+}
+
+/// Compact fixed formatting for the committed CSV. The canonical platform
+/// is the CI runner (linux); last-ulp libm differences on another OS can in
+/// principle flip the 4th decimal, so regenerate the committed file there
+/// (the CI examples job checks exactly this).
+fn fmt(x: f64) -> String {
+    if !x.is_finite() {
+        return format!("{x}");
+    }
+    format!("{x:.4}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_profile() -> CatalogProfile {
+        CatalogProfile {
+            points: 8,
+            services: 8,
+            requests: 20,
+        }
+    }
+
+    #[test]
+    fn sweep_covers_the_full_matrix_in_order() {
+        let families = catalog::registry();
+        let engines = [Engine::Pd, Engine::PerCommodity];
+        let cells = sweep(&families, &tiny_profile(), &engines, 1, 2, 2).unwrap();
+        assert_eq!(cells.len(), families.len() * engines.len() * 2);
+        // Family-major, then engine, then trial.
+        assert_eq!(cells[0].family, families[0].name);
+        assert_eq!(cells[0].engine, "pd-omflp");
+        assert_eq!(cells[1].engine, "pd-omflp");
+        assert_eq!(cells[2].engine, "per-commodity");
+        // Same trial index ⇒ same scenario seed for every engine.
+        assert_eq!(cells[0].seed, cells[2].seed);
+    }
+
+    #[test]
+    fn sweep_is_thread_count_independent() {
+        let families = catalog::registry();
+        let engines = Engine::all(9);
+        let reference = sweep(&families, &tiny_profile(), &engines, 7, 2, 1).unwrap();
+        for threads in [2, 5, 16] {
+            let out = sweep(&families, &tiny_profile(), &engines, 7, 2, threads).unwrap();
+            assert_eq!(out, reference, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn aggregate_groups_and_averages() {
+        let families: Vec<_> = catalog::registry().into_iter().take(2).collect();
+        let engines = [Engine::Pd];
+        let cells = sweep(&families, &tiny_profile(), &engines, 3, 3, 2).unwrap();
+        let table = aggregate(&cells);
+        assert_eq!(table.rows.len(), 2);
+        for row in &table.rows {
+            assert_eq!(row.cost.n, 3);
+            assert!(row.cost.mean > 0.0);
+            assert!(row.cost.min <= row.cost.mean && row.cost.mean <= row.cost.max);
+            assert!(row.mean_facilities >= 1.0);
+            assert!((0.0..=1.0).contains(&row.large_serve_share));
+        }
+    }
+
+    #[test]
+    fn renderings_are_stable_and_parse() {
+        let table = sweep_catalog(&tiny_profile(), 5, 1, 2).unwrap();
+        let csv = table.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 1 + table.rows.len());
+        let cols = lines[0].split(',').count();
+        for l in &lines[1..] {
+            assert_eq!(l.split(',').count(), cols, "ragged CSV row: {l}");
+        }
+        let text = table.render();
+        assert!(text.contains("pd-omflp") && text.contains("all-large"));
+    }
+}

@@ -13,12 +13,18 @@
 //!
 //! The remaining generators model the paper's motivating scenario (§1):
 //! clients appearing in a network and requesting service bundles.
+//!
+//! [`catalog`] assembles both kinds into a registry of named, seedable
+//! scenario *families* — the corpus driven by the conformance test suite and
+//! the sharded sweep harness in `omfl_sim`.
 
 pub mod adversarial;
 pub mod arrival;
+pub mod catalog;
 pub mod composite;
 pub mod demand;
 pub mod scenario;
 pub mod spatial;
 
+pub use catalog::{CatalogProfile, Family};
 pub use scenario::Scenario;

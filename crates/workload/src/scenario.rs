@@ -19,7 +19,9 @@ pub struct Scenario {
     pub cost: CostModel,
     /// The online request sequence.
     pub requests: Vec<Request>,
-    instance: Instance,
+    /// Shared so request-sequence variants ([`Scenario::with_requests`])
+    /// reuse the assembled instance instead of rebuilding it.
+    instance: Arc<Instance>,
 }
 
 impl Scenario {
@@ -42,7 +44,7 @@ impl Scenario {
             metric,
             cost,
             requests,
-            instance,
+            instance: Arc::new(instance),
         })
     }
 
@@ -61,14 +63,27 @@ impl Scenario {
         self.requests.is_empty()
     }
 
-    /// A copy of this scenario with the requests reordered.
+    /// A copy of this scenario with the requests reordered (or repeated).
+    ///
+    /// The requests must be valid against this scenario's instance —
+    /// typically a reordering or repetition of the already-validated
+    /// sequence — so the shared instance is reused and no per-request
+    /// revalidation happens (debug builds still validate). Arrival-order
+    /// ablations call this in a hot loop; every engine additionally
+    /// validates each request as it is served, so a foreign, malformed
+    /// request still surfaces as a serve-time error.
     pub fn with_requests(&self, requests: Vec<Request>) -> Result<Self, CoreError> {
-        Self::new(
-            self.name.clone(),
-            Arc::clone(&self.metric),
-            self.cost.clone(),
+        #[cfg(debug_assertions)]
+        for r in &requests {
+            r.validate(&self.instance)?;
+        }
+        Ok(Self {
+            name: self.name.clone(),
+            metric: Arc::clone(&self.metric),
+            cost: self.cost.clone(),
             requests,
-        )
+            instance: Arc::clone(&self.instance),
+        })
     }
 }
 
@@ -109,5 +124,29 @@ mod tests {
     fn cost_universe(cost: &CostModel) -> omfl_commodity::Universe {
         use omfl_commodity::cost::FacilityCostFn;
         cost.universe()
+    }
+
+    #[test]
+    fn with_requests_shares_the_instance() {
+        let metric: Arc<dyn Metric> = Arc::new(LineMetric::new(vec![0.0, 1.0, 2.0]).unwrap());
+        let cost = CostModel::power(3, 1.0, 1.0);
+        let u = cost_universe(&cost);
+        let reqs: Vec<Request> = (0..3u32)
+            .map(|i| {
+                Request::new(
+                    PointId(i),
+                    CommoditySet::from_ids(u, &[(i % 3) as u16]).unwrap(),
+                )
+            })
+            .collect();
+        let s = Scenario::new("share", metric, cost, reqs).unwrap();
+        let mut reordered = s.requests.clone();
+        reordered.reverse();
+        let s2 = s.with_requests(reordered).unwrap();
+        assert_eq!(s2.len(), 3);
+        assert!(
+            std::ptr::eq(s.instance(), s2.instance()),
+            "reordering must not rebuild the instance"
+        );
     }
 }

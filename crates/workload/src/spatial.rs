@@ -42,6 +42,18 @@ pub fn clustered_plane<R: Rng>(
     Ok(Arc::new(EuclideanMetric::plane(&pts)?))
 }
 
+/// A `w × h` Euclidean grid with the given spacing — the regular data-center
+/// / city-block topology (point id = row-major cell index).
+pub fn grid_plane(w: usize, h: usize, spacing: f64) -> Result<Arc<dyn Metric>, MetricError> {
+    let mut pts = Vec::with_capacity(w * h);
+    for r in 0..h {
+        for c in 0..w {
+            pts.push((c as f64 * spacing, r as f64 * spacing));
+        }
+    }
+    Ok(Arc::new(EuclideanMetric::plane(&pts)?))
+}
+
 /// A connected random network: a uniform spanning chain (shuffled order)
 /// plus `extra_edges` random chords; edge weights uniform in
 /// `[0.5, 1.5) · base_weight`. This is the "network infrastructure" of the
@@ -116,6 +128,34 @@ pub fn sample_locations<R: Rng>(
         .collect()
 }
 
+/// Locations for a *drifting* hotspot: request `i` is drawn near an anchor
+/// that moves linearly across the point-id range over the sequence, with a
+/// triangular spread of relative width `width` (fraction of the id range).
+///
+/// On metrics whose point ids are spatially ordered (sorted lines, grids,
+/// dyadic lines) this models a demand distribution whose mode migrates —
+/// the non-stationary regime where early facility commitments go stale.
+pub fn sample_locations_drift<R: Rng>(
+    num_points: usize,
+    n: usize,
+    width: f64,
+    rng: &mut R,
+) -> Vec<u32> {
+    let top = (num_points - 1) as f64;
+    (0..n)
+        .map(|i| {
+            let anchor = if n <= 1 {
+                0.0
+            } else {
+                top * i as f64 / (n - 1) as f64
+            };
+            // Triangular offset: sum of two uniforms, centered.
+            let off = (rng.gen::<f64>() + rng.gen::<f64>() - 1.0) * width * num_points as f64;
+            (anchor + off).round().clamp(0.0, top) as u32
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -171,6 +211,32 @@ mod tests {
         assert!(
             max >= 25,
             "hotspot concentration too weak: max count {max}/500"
+        );
+    }
+
+    #[test]
+    fn grid_plane_is_a_valid_metric() {
+        let m = grid_plane(4, 3, 2.0).unwrap();
+        assert_eq!(m.len(), 12);
+        // Row-major ids: neighbours in a row are `spacing` apart.
+        use omfl_metric::PointId;
+        assert!((m.distance(PointId(0), PointId(1)) - 2.0).abs() < 1e-12);
+        assert!((m.distance(PointId(0), PointId(4)) - 2.0).abs() < 1e-12);
+        check_axioms_sampled(m.as_ref(), 1_000, 9).unwrap();
+    }
+
+    #[test]
+    fn drift_locations_migrate_across_the_range() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let locs = sample_locations_drift(100, 400, 0.05, &mut rng);
+        assert!(locs.iter().all(|&p| p < 100));
+        // The first quarter of the stream should live near the low ids and
+        // the last quarter near the high ids.
+        let head: f64 = locs[..100].iter().map(|&p| p as f64).sum::<f64>() / 100.0;
+        let tail: f64 = locs[300..].iter().map(|&p| p as f64).sum::<f64>() / 100.0;
+        assert!(
+            head < 35.0 && tail > 65.0,
+            "drift not visible: head mean {head}, tail mean {tail}"
         );
     }
 

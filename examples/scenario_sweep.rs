@@ -1,0 +1,46 @@
+//! Sweeps the whole scenario catalog — every workload family × all four
+//! placement engines × several seeds — sharded across worker threads, and
+//! prints the aggregated comparison table.
+//!
+//! The CSV written to `results/scenario_sweep.csv` is the repo's canonical
+//! sweep artifact: it is committed, bit-reproducible (deterministic seeds,
+//! thread-count-independent sharding), and diffed when engines change.
+//!
+//! ```sh
+//! cargo run --release --example scenario_sweep
+//! ```
+
+use omfl::par::default_threads;
+use omfl::sim::sweep::sweep_catalog;
+use omfl::workload::catalog::{registry, CatalogProfile};
+use std::path::Path;
+
+fn main() {
+    let profile = CatalogProfile::small();
+    let trials = 3;
+    let threads = default_threads();
+    println!(
+        "scenario catalog: {} families x 4 engines x {trials} seeds ({} points, |S| = {}, {} requests; {threads} threads)\n",
+        registry().len(),
+        profile.points,
+        profile.services,
+        profile.requests,
+    );
+
+    let table = sweep_catalog(&profile, 2020, trials, threads).expect("sweep");
+    print!("{}", table.render());
+
+    println!("\nfamilies and the regimes they probe:");
+    for fam in registry() {
+        println!("  {:<15} {}", fam.name, fam.regime.replace('\n', " "));
+    }
+
+    // Anchor at the workspace root so the tracked file is updated no matter
+    // which directory the example is invoked from.
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("results");
+    let dir = dir.as_path();
+    std::fs::create_dir_all(dir).expect("results dir");
+    let path = dir.join("scenario_sweep.csv");
+    std::fs::write(&path, table.to_csv()).expect("write csv");
+    println!("\ncanonical csv: {}", path.display());
+}

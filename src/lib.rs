@@ -63,5 +63,7 @@ pub mod prelude {
         dense::DenseMetric, euclidean::EuclideanMetric, graph::GraphMetric, line::LineMetric,
         Metric, PointId,
     };
+    pub use omfl_sim::{Engine, SimReport};
+    pub use omfl_workload::catalog::CatalogProfile;
     pub use omfl_workload::scenario::Scenario;
 }

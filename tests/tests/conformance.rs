@@ -1,0 +1,183 @@
+//! Engine-conformance suite: every catalog scenario family through all four
+//! engines, checked against the paper's bound curves.
+//!
+//! For each family the suite asserts:
+//!
+//! * feasibility everywhere — `run_engine` verifies `Solution::verify` and
+//!   any infeasibility surfaces as an error;
+//! * no engine beats the certified lower bound on OPT (dual LB of
+//!   Corollary 17 + the serve-alone bound);
+//! * PD stays under the Theorem 4 curve `O(√|S|·ln n)` measured against the
+//!   offline greedy upper bound on OPT;
+//! * the per-commodity decomposition respects its §1.3 shape
+//!   `O(|S|·ln n / ln ln n)` and *never* predicts (no large facilities, no
+//!   large serves — the structure behind the Theorem 2 separation);
+//! * the all-large baseline *always* predicts (every request served large)
+//!   and stays `O(log n)`-competitive against the greedy upper bound of its
+//!   collapsed single-commodity instance (the projection its Fotakis engine
+//!   actually runs on).
+
+use omfl_baselines::all_large::AllLargeParts;
+use omfl_baselines::offline::{serve_alone_lower_bound, DualLowerBound, GreedyOffline};
+use omfl_commodity::CommoditySet;
+use omfl_core::bounds;
+use omfl_core::request::Request;
+use omfl_sim::{run_engine, Engine};
+use omfl_workload::catalog::{registry, CatalogProfile};
+use omfl_workload::Scenario;
+use std::sync::Arc;
+
+/// Generous slack on the bound curves: the theorems hide small constants,
+/// and these are sanity ceilings, not tightness measurements.
+const CURVE_SLACK: f64 = 8.0;
+
+fn profile() -> CatalogProfile {
+    CatalogProfile::small()
+}
+
+/// Greedy upper bound on OPT for the scenario's own instance.
+fn greedy_upper(sc: &Scenario) -> f64 {
+    GreedyOffline::new()
+        .solve(sc.instance(), &sc.requests)
+        .expect("greedy")
+        .total_cost()
+}
+
+/// Certified lower bound on OPT (max of dual LB and serve-alone LB).
+fn opt_lower(sc: &Scenario) -> f64 {
+    let dual = DualLowerBound::compute(sc.instance(), &sc.requests).expect("dual LB");
+    let alone = serve_alone_lower_bound(sc.instance(), &sc.requests).expect("serve-alone LB");
+    dual.max(alone)
+}
+
+#[test]
+fn all_families_feasible_on_all_engines() {
+    for fam in registry() {
+        let sc = fam.build(&profile(), 11).expect(fam.name);
+        let lower = opt_lower(&sc);
+        for engine in Engine::all(23) {
+            let rep = run_engine(&sc, engine)
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", engine.name(), fam.name));
+            assert_eq!(rep.requests, sc.len(), "{} on {}", rep.engine, fam.name);
+            assert!(
+                (rep.total_cost - (rep.construction_cost + rep.connection_cost)).abs()
+                    < 1e-9 * (1.0 + rep.total_cost),
+                "{} on {}: cost parts do not add up",
+                rep.engine,
+                fam.name
+            );
+            // A feasible online solution can never undercut OPT's lower bound.
+            assert!(
+                rep.total_cost >= lower - 1e-6,
+                "{} on {}: cost {} below OPT lower bound {lower}",
+                rep.engine,
+                fam.name,
+                rep.total_cost
+            );
+            assert!(
+                rep.cost_over_time.windows(2).all(|w| w[1] >= w[0] - 1e-9),
+                "{} on {}: cumulative cost decreased",
+                rep.engine,
+                fam.name
+            );
+        }
+    }
+}
+
+#[test]
+fn pd_stays_under_the_theorem4_curve_on_every_family() {
+    for fam in registry() {
+        let sc = fam.build(&profile(), 11).expect(fam.name);
+        let s = sc.instance().num_commodities();
+        let n = sc.instance().num_points();
+        let upper = greedy_upper(&sc);
+        let pd = run_engine(&sc, Engine::Pd).expect(fam.name);
+        let ceiling = CURVE_SLACK * bounds::pd_upper(s, n) * upper;
+        assert!(
+            pd.total_cost <= ceiling,
+            "{}: PD cost {} exceeds Theorem 4 ceiling {ceiling} \
+             (√S·ln n = {}, greedy OPT upper = {upper})",
+            fam.name,
+            pd.total_cost,
+            bounds::pd_upper(s, n)
+        );
+    }
+}
+
+#[test]
+fn per_commodity_respects_its_decomposition_bound_and_never_predicts() {
+    for fam in registry() {
+        let sc = fam.build(&profile(), 11).expect(fam.name);
+        let s = sc.instance().num_commodities();
+        let n = sc.instance().num_points();
+        let upper = greedy_upper(&sc);
+        let rep = run_engine(&sc, Engine::PerCommodity).expect(fam.name);
+        // §1.3 shape: O(|S| · ln n / ln ln n) against OPT.
+        let ceiling = CURVE_SLACK * bounds::decomposition_upper(s, n) * upper;
+        assert!(
+            rep.total_cost <= ceiling,
+            "{}: per-commodity cost {} exceeds decomposition ceiling {ceiling}",
+            fam.name,
+            rep.total_cost
+        );
+        // Structural half of the separation: the decomposition never opens a
+        // large facility and never serves a request in large mode.
+        assert_eq!(rep.large_facilities, 0, "{}", fam.name);
+        assert_eq!(rep.large_serves, 0, "{}", fam.name);
+    }
+}
+
+#[test]
+fn all_large_always_predicts_and_tracks_its_collapsed_instance() {
+    for fam in registry() {
+        let sc = fam.build(&profile(), 11).expect(fam.name);
+        let n = sc.instance().num_points();
+        let rep = run_engine(&sc, Engine::AllLarge).expect(fam.name);
+        // Structural: every request is served by a single large facility and
+        // every opened facility is large.
+        assert_eq!(rep.large_serves, rep.requests, "{}", fam.name);
+        assert_eq!(rep.large_facilities, rep.facilities, "{}", fam.name);
+
+        // Cost: the engine is a single-commodity OFL on the collapsed
+        // instance (every demand widened to S, facilities priced f^S), so it
+        // must stay O(ln n)-competitive against that instance's greedy OPT
+        // upper bound.
+        let parts = AllLargeParts::build(Arc::clone(&sc.metric), sc.cost.clone()).expect("parts");
+        let collapsed_reqs: Vec<Request> = sc
+            .requests
+            .iter()
+            .map(|r| Request::new(r.location(), CommoditySet::full(parts.collapsed.universe())))
+            .collect();
+        let collapsed_upper = GreedyOffline::new()
+            .solve(&parts.collapsed, &collapsed_reqs)
+            .expect("collapsed greedy")
+            .total_cost();
+        let ceiling = CURVE_SLACK * (1.0 + (n.max(2) as f64).ln()) * collapsed_upper;
+        assert!(
+            rep.total_cost <= ceiling,
+            "{}: all-large cost {} exceeds collapsed-instance ceiling {ceiling}",
+            fam.name,
+            rep.total_cost
+        );
+    }
+}
+
+#[test]
+fn rand_stays_under_the_theorem19_curve_on_every_family() {
+    for fam in registry() {
+        let sc = fam.build(&profile(), 11).expect(fam.name);
+        let s = sc.instance().num_commodities();
+        let n = sc.instance().num_points();
+        let upper = greedy_upper(&sc);
+        // One seed per family is a smoke bound, not an expectation estimate;
+        // Theorem 19's curve is checked with the same generous slack.
+        let rep = run_engine(&sc, Engine::Rand { seed: 23 }).expect(fam.name);
+        let ceiling = CURVE_SLACK * bounds::pd_upper(s, n).max(bounds::rand_upper(s, n)) * upper;
+        assert!(
+            rep.total_cost <= ceiling,
+            "{}: RAND cost {} exceeds curve ceiling {ceiling}",
+            fam.name,
+            rep.total_cost
+        );
+    }
+}

@@ -1,0 +1,83 @@
+//! Determinism guarantees the sweep harness and the committed canonical CSV
+//! rely on: identical configs produce bit-identical `SimReport`s, and the
+//! sharded sweep produces the identical table at every thread count.
+
+use omfl_sim::sweep::{aggregate, sweep, sweep_catalog};
+use omfl_sim::{run_engine, Engine};
+use omfl_workload::catalog::{registry, CatalogProfile};
+
+fn profile() -> CatalogProfile {
+    CatalogProfile {
+        points: 10,
+        services: 8,
+        requests: 30,
+    }
+}
+
+#[test]
+fn pd_and_rand_reports_are_bit_identical_across_repeat_runs() {
+    for fam in registry() {
+        let sc = fam.build(&profile(), 5).expect(fam.name);
+        for engine in [Engine::Pd, Engine::Rand { seed: 77 }] {
+            let a = run_engine(&sc, engine).expect(fam.name);
+            let b = run_engine(&sc, engine).expect(fam.name);
+            // PartialEq over every field, including the f64 latency stats
+            // and the full cost-over-time trace — bit-identical, not "close".
+            assert_eq!(a, b, "{} on {} not reproducible", engine.name(), fam.name);
+        }
+    }
+}
+
+#[test]
+fn rand_seed_actually_changes_the_run() {
+    // Guards against a silently ignored seed, which would make the
+    // determinism assertions above vacuous.
+    let fam = registry().into_iter().next().unwrap();
+    let sc = fam.build(&profile(), 5).unwrap();
+    let a = run_engine(&sc, Engine::Rand { seed: 1 }).unwrap();
+    let b = run_engine(&sc, Engine::Rand { seed: 2 }).unwrap();
+    assert_ne!(
+        a.cost_over_time, b.cost_over_time,
+        "different RAND seeds should diverge on this workload"
+    );
+}
+
+#[test]
+fn sweep_cells_are_identical_across_thread_counts() {
+    let families = registry();
+    let engines = [Engine::Pd, Engine::Rand { seed: 9 }];
+    let reference = sweep(&families, &profile(), &engines, 42, 2, 1).unwrap();
+    for threads in [2, 3, 7, 64] {
+        let cells = sweep(&families, &profile(), &engines, 42, 2, threads).unwrap();
+        assert_eq!(cells, reference, "threads = {threads}");
+    }
+}
+
+#[test]
+fn aggregated_table_and_csv_are_thread_count_independent() {
+    let a = sweep_catalog(&profile(), 7, 2, 1).unwrap();
+    let b = sweep_catalog(&profile(), 7, 2, 6).unwrap();
+    assert_eq!(a, b);
+    assert_eq!(a.to_csv(), b.to_csv());
+    assert_eq!(a.render(), b.render());
+    // The table covers the full (family × engine) matrix.
+    assert_eq!(a.rows.len(), registry().len() * 4);
+}
+
+#[test]
+fn sweep_cells_aggregate_consistently() {
+    let families = registry();
+    let engines = [Engine::Pd];
+    let cells = sweep(&families, &profile(), &engines, 3, 3, 2).unwrap();
+    let table = aggregate(&cells);
+    for row in &table.rows {
+        let group: Vec<f64> = cells
+            .iter()
+            .filter(|c| c.family == row.family && c.engine == row.engine)
+            .map(|c| c.report.total_cost)
+            .collect();
+        assert_eq!(group.len(), row.cost.n);
+        let mean = group.iter().sum::<f64>() / group.len() as f64;
+        assert!((mean - row.cost.mean).abs() < 1e-12 * (1.0 + mean));
+    }
+}

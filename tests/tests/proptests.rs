@@ -11,6 +11,7 @@ use omfl_core::request::Request;
 use omfl_core::{transform, validate};
 use omfl_metric::line::LineMetric;
 use omfl_metric::PointId;
+use omfl_workload::catalog::{registry, CatalogProfile};
 use proptest::prelude::*;
 
 /// Raw request draw: a location index and commodity indices (taken modulo
@@ -111,5 +112,70 @@ proptest! {
             prop_assert!(c >= last - 1e-9);
             last = c;
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// PD dual feasibility on catalog-generated instances, checked after
+    /// EVERY arrival (not just at the end):
+    ///
+    /// * every cap `c_{re} = min(a_{re}, d(F(e), r))` never exceeds its dual
+    ///   `a_{re}` (and the joint cap never exceeds `Σ_e a_{re}`);
+    /// * the incrementally maintained bid matrices `B`/`B̂` stay
+    ///   non-negative — the cap-shrinkage subtractions in `post_open_*`
+    ///   must never overshoot the additions.
+    ///
+    /// The final state additionally passes the full independent validator
+    /// (bid feasibility, Corollary 8, scaled dual feasibility).
+    #[test]
+    fn pd_dual_feasibility_on_catalog_instances(
+        family_idx in 0usize..64,
+        seed in 0u64..500,
+        requests in 6usize..26,
+    ) {
+        let families = registry();
+        let fam = families[family_idx % families.len()];
+        let profile = CatalogProfile { points: 8, services: 8, requests };
+        let sc = fam.build(&profile, seed).unwrap();
+        let inst = sc.instance();
+        let mut pd = PdOmflp::new(inst);
+        for (step, r) in sc.requests.iter().enumerate() {
+            pd.serve(r).unwrap();
+            for (ri, pr) in pd.past_requests().iter().enumerate() {
+                let mut dual_sum = 0.0;
+                for (slot, (&cap, &dual)) in pr.caps.iter().zip(&pr.duals).enumerate() {
+                    prop_assert!(
+                        cap <= dual + 1e-9,
+                        "{}: step {step}, request {ri}, slot {slot}: cap {cap} > dual {dual}",
+                        fam.name
+                    );
+                    dual_sum += dual;
+                }
+                prop_assert!(
+                    pr.cap_total <= dual_sum + 1e-9,
+                    "{}: step {step}, request {ri}: joint cap {} > Σa = {dual_sum}",
+                    fam.name,
+                    pr.cap_total
+                );
+            }
+            let (b_small, b_large) = pd.bids();
+            for (i, &b) in b_small.iter().enumerate() {
+                prop_assert!(
+                    b >= -1e-7,
+                    "{}: step {step}: B[{i}] went negative: {b}",
+                    fam.name
+                );
+            }
+            for (m, &b) in b_large.iter().enumerate() {
+                prop_assert!(
+                    b >= -1e-7,
+                    "{}: step {step}: B̂[{m}] went negative: {b}",
+                    fam.name
+                );
+            }
+        }
+        validate::check_all(&pd).unwrap();
     }
 }
