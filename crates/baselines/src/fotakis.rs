@@ -12,9 +12,16 @@
 //! (bids are recomputed from scratch each arrival instead of maintained
 //! incrementally), so it doubles as a differential-testing oracle:
 //! PD-OMFLP restricted to `|S| = 1` must produce the same costs.
+//!
+//! The nearest-open-facility queries do share the
+//! [`omfl_core::index::FacilityIndex`] cache (the per-arrival cap
+//! recomputation asks `d(F, j)` for *every* past request, which the old
+//! linear scan made `O(n·|F|)` per arrival); the cache returns bit-identical
+//! distances and winners, so the oracle property is unaffected.
 
 use omfl_commodity::CommoditySet;
 use omfl_core::algorithm::{OnlineAlgorithm, ServeOutcome};
+use omfl_core::index::FacilityIndex;
 use omfl_core::instance::Instance;
 use omfl_core::request::Request;
 use omfl_core::solution::{FacilityId, Solution};
@@ -25,7 +32,9 @@ use omfl_metric::PointId;
 pub struct FotakisOfl<'a> {
     inst: &'a Instance,
     sol: Solution,
-    open: Vec<FacilityId>,
+    /// Nearest-open-facility cache; every facility here is full-universe
+    /// (`|S| = 1`), so only the large side of the index is used.
+    index: FacilityIndex,
     /// Frozen duals `a_j` in arrival order, with request locations.
     duals: Vec<(PointId, f64)>,
 }
@@ -42,7 +51,7 @@ impl<'a> FotakisOfl<'a> {
         Ok(Self {
             inst,
             sol: Solution::new(),
-            open: Vec::new(),
+            index: FacilityIndex::for_instance(inst),
             duals: Vec::new(),
         })
     }
@@ -53,17 +62,7 @@ impl<'a> FotakisOfl<'a> {
     }
 
     fn nearest_open(&self, from: PointId) -> Option<(FacilityId, f64)> {
-        let mut best: Option<(FacilityId, f64)> = None;
-        for &fid in &self.open {
-            let d = self
-                .inst
-                .distance(from, self.sol.facilities()[fid.index()].location);
-            match best {
-                Some((_, bd)) if bd <= d => {}
-                _ => best = Some((fid, d)),
-            }
-        }
-        best
+        self.index.nearest_large(from)
     }
 }
 
@@ -116,7 +115,7 @@ impl OnlineAlgorithm for FotakisOfl<'_> {
                 open_at,
                 CommoditySet::full(self.inst.universe()),
             );
-            self.open.push(fid);
+            self.index.note_large_opening(self.inst, open_at, fid);
             opened.push(fid);
             (fid, t_open)
         };

@@ -10,6 +10,7 @@
 
 use omfl_commodity::CommoditySet;
 use omfl_core::algorithm::{OnlineAlgorithm, ServeOutcome};
+use omfl_core::index::FacilityIndex;
 use omfl_core::instance::Instance;
 use omfl_core::request::Request;
 use omfl_core::solution::{FacilityId, Solution};
@@ -27,7 +28,9 @@ pub struct MeyersonOfl<'a, R: Rng = StdRng> {
     sol: Solution,
     /// Ascending (rounded cost, members) classes over `f_m`.
     classes: Vec<(f64, Vec<PointId>)>,
-    open: Vec<FacilityId>,
+    /// Nearest-open-facility cache (all facilities are full-universe here,
+    /// so only the large side is used).
+    index: FacilityIndex,
 }
 
 impl<'a> MeyersonOfl<'a, StdRng> {
@@ -67,29 +70,19 @@ impl<'a, R: Rng> MeyersonOfl<'a, R> {
             rng,
             sol: Solution::new(),
             classes,
-            open: Vec::new(),
+            index: FacilityIndex::for_instance(inst),
         })
     }
 
     fn nearest_open(&self, from: PointId) -> Option<(FacilityId, f64)> {
-        let mut best: Option<(FacilityId, f64)> = None;
-        for &fid in &self.open {
-            let d = self
-                .inst
-                .distance(from, self.sol.facilities()[fid.index()].location);
-            match best {
-                Some((_, bd)) if bd <= d => {}
-                _ => best = Some((fid, d)),
-            }
-        }
-        best
+        self.index.nearest_large(from)
     }
 
     fn open_at(&mut self, at: PointId, opened: &mut Vec<FacilityId>) {
         let fid = self
             .sol
             .open_facility(self.inst, at, CommoditySet::full(self.inst.universe()));
-        self.open.push(fid);
+        self.index.note_large_opening(self.inst, at, fid);
         opened.push(fid);
     }
 }
@@ -132,7 +125,7 @@ impl<R: Rng> OnlineAlgorithm for MeyersonOfl<'_, R> {
         }
 
         // Guarantee service (Meyerson's first-request rule generalized).
-        if self.open.is_empty() {
+        if self.index.openings() == 0 {
             self.open_at(best_open_at, &mut opened);
         }
         let (fid, _) = self.nearest_open(loc).expect("at least one open facility");

@@ -5,15 +5,86 @@
 //! experiments                      run all (quick mode)
 //! experiments --full thm2-lb ...   run selected experiments at full size
 //! experiments --out results/       also write CSVs (default: results/)
+//! experiments --emit-json [dir]    write BENCH_pd.json / BENCH_sweep.json
+//! experiments --check-json [dir]   re-run the smoke profile and fail on
+//!                                  missing keys or a >2x perf regression
+//!                                  against the committed baselines
 //! ```
 
-use omfl_bench::registry;
-use std::path::PathBuf;
+use omfl_bench::{perfjson, registry};
+use std::path::{Path, PathBuf};
+
+/// Runs the bench smoke profile and either writes (`emit`) or verifies
+/// (`check`) the `BENCH_*.json` artifacts in `dir`.
+fn run_json_mode(dir: &Path, emit: bool) {
+    let (pd_doc, sweep_doc) = match perfjson::smoke_profile_json() {
+        Ok(docs) => docs,
+        Err(e) => {
+            eprintln!("bench smoke profile failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let pd_path = dir.join("BENCH_pd.json");
+    let sweep_path = dir.join("BENCH_sweep.json");
+    if emit {
+        std::fs::create_dir_all(dir).expect("bench output dir");
+        std::fs::write(&pd_path, &pd_doc).expect("write BENCH_pd.json");
+        std::fs::write(&sweep_path, &sweep_doc).expect("write BENCH_sweep.json");
+        println!("wrote {}", pd_path.display());
+        println!("wrote {}", sweep_path.display());
+        print!("{pd_doc}");
+        return;
+    }
+    let mut failed = false;
+    for (path, fresh, label) in [
+        (&pd_path, &pd_doc, "BENCH_pd.json"),
+        (&sweep_path, &sweep_doc, "BENCH_sweep.json"),
+    ] {
+        let committed = match std::fs::read_to_string(path) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!(
+                    "FAIL {label}: committed baseline unreadable at {}: {e}",
+                    path.display()
+                );
+                failed = true;
+                continue;
+            }
+        };
+        match perfjson::check(fresh, &committed, label) {
+            Ok(notes) => {
+                for n in notes {
+                    println!("ok   {n}");
+                }
+            }
+            Err(errors) => {
+                for e in errors {
+                    eprintln!("FAIL {e}");
+                }
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("bench JSON check passed");
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let list = args.iter().any(|a| a == "--list");
     let full = args.iter().any(|a| a == "--full");
+    for (flag, emit) in [("--emit-json", true), ("--check-json", false)] {
+        if let Some(i) = args.iter().position(|a| a == flag) {
+            let dir = args
+                .get(i + 1)
+                .filter(|d| !d.starts_with("--"))
+                .map_or_else(|| PathBuf::from("."), PathBuf::from);
+            run_json_mode(&dir, emit);
+            return;
+        }
+    }
     let mut out_dir = PathBuf::from("results");
     if let Some(i) = args.iter().position(|a| a == "--out") {
         if let Some(d) = args.get(i + 1) {

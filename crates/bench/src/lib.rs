@@ -5,6 +5,7 @@
 //! one or more aligned tables (and CSV files under `results/`).
 
 pub mod experiments;
+pub mod perfjson;
 pub mod runner;
 pub mod table;
 

@@ -1,0 +1,471 @@
+//! The `--emit-json` perf-regression path: machine-readable benchmark
+//! baselines in `BENCH_pd.json` / `BENCH_sweep.json`.
+//!
+//! The ROADMAP's "measurably faster" PRs need numbers to beat; this module
+//! produces them. Two artifacts:
+//!
+//! * **`BENCH_pd.json`** — the PD serve hot path on the `zipf-services`
+//!   family at 4096 requests, indexed engine vs the retained linear-scan
+//!   reference (`omfl_core::naive::NaivePd`), with the speedup ratio the
+//!   index layer buys;
+//! * **`BENCH_sweep.json`** — per (engine × family) serve wall-clock
+//!   (mean/min/max over trials) for the whole catalog under the
+//!   work-stealing sweep.
+//!
+//! The committed files at the repo root are the baseline; CI re-runs the
+//! smoke profile and [`check`]s the fresh numbers against them: missing
+//! keys fail, a `secs.mean` with a baseline of at least [`MIN_GATED_SECS`]
+//! regressing by more than [`REGRESSION_FACTOR`] fails, and the PD speedup
+//! dropping below [`MIN_PD_SPEEDUP`] fails. Wall-clock comparisons across
+//! machines are inherently noisy — hence the 2× factor, the sub-millisecond
+//! exemption, and the emphasis on the machine-independent *ratio*.
+//!
+//! JSON is written and parsed by hand (the workspace vendors no serde): the
+//! emitter produces a two-level object tree of numbers/strings, and the
+//! parser below reads exactly that shape back as flattened dotted keys.
+
+use omfl_core::algorithm::OnlineAlgorithm;
+use omfl_core::naive::NaivePd;
+use omfl_core::pd::PdOmflp;
+use omfl_core::CoreError;
+use omfl_par::{summarize, Summary};
+use omfl_sim::sweep::timed_sweep;
+use omfl_sim::Engine;
+use omfl_workload::catalog::{self, CatalogProfile};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Fresh `secs.mean` may be at most this factor above the committed
+/// baseline before the check fails.
+pub const REGRESSION_FACTOR: f64 = 2.0;
+
+/// Absolute-seconds regression gating only applies to keys whose committed
+/// baseline is at least this long. Sub-millisecond cells (the per-family
+/// sweep timings) jitter far beyond 2× between a dev box and a shared CI
+/// runner — for those the check verifies key presence and reports the ratio
+/// as a note instead of failing the job; the machine-independent `speedup`
+/// ratio and the millisecond-scale PD/sweep-wall means stay hard-gated.
+pub const MIN_GATED_SECS: f64 = 1e-3;
+
+/// The indexed-vs-naive PD speedup must stay at least this high. The
+/// acceptance bar when the index landed was 3×; CI machines are slower and
+/// noisier than the dev box, so the hard floor leaves headroom.
+pub const MIN_PD_SPEEDUP: f64 = 2.0;
+
+/// The PD hot-path bench profile: `zipf-services` at 4096 requests with a
+/// service-heavy shape — the regime the index layer targets, where the
+/// naive path's per-request facility scans and history re-walks dominate.
+pub fn pd_profile() -> CatalogProfile {
+    CatalogProfile {
+        points: 48,
+        services: 64,
+        requests: 4096,
+    }
+}
+
+/// The sweep smoke profile: small enough for CI, large enough that per-cell
+/// times are above timer noise.
+pub fn sweep_profile() -> CatalogProfile {
+    CatalogProfile::default()
+}
+
+/// PD hot-path measurement: indexed vs linear-scan reference.
+#[derive(Debug, Clone)]
+pub struct PdBench {
+    /// Workload family name.
+    pub family: &'static str,
+    /// Requests served per run.
+    pub requests: usize,
+    /// Metric size / commodity count of the profile.
+    pub points: usize,
+    /// Commodity count.
+    pub services: u16,
+    /// Indexed engine wall-clock seconds over the repeats.
+    pub indexed: Summary,
+    /// Linear-scan reference wall-clock seconds.
+    pub naive: Summary,
+}
+
+impl PdBench {
+    /// `naive.mean / indexed.mean` — what the index layer buys.
+    pub fn speedup(&self) -> f64 {
+        self.naive.mean / self.indexed.mean
+    }
+}
+
+/// Times the PD serve hot path (indexed and naive) on `zipf-services`.
+///
+/// One untimed warm-up pair runs first — the very first run pays allocator
+/// and page-fault warm-up that would otherwise skew a small repeat count.
+pub fn pd_bench(profile: &CatalogProfile, repeats: usize) -> Result<PdBench, CoreError> {
+    let family = catalog::by_name("zipf-services").expect("catalog family");
+    let scenario = family.build(profile, 0x0B5E55ED)?;
+    let inst = scenario.instance();
+
+    {
+        let mut warm_fast = PdOmflp::new(inst);
+        let mut warm_slow = NaivePd::new(inst);
+        for r in &scenario.requests {
+            warm_fast.serve(r)?;
+            warm_slow.serve(r)?;
+        }
+    }
+
+    let mut indexed = Vec::with_capacity(repeats);
+    let mut naive = Vec::with_capacity(repeats);
+    for _ in 0..repeats {
+        let t0 = Instant::now();
+        let mut fast = PdOmflp::new(inst);
+        for r in &scenario.requests {
+            fast.serve(r)?;
+        }
+        indexed.push(t0.elapsed().as_secs_f64());
+
+        let t0 = Instant::now();
+        let mut slow = NaivePd::new(inst);
+        for r in &scenario.requests {
+            slow.serve(r)?;
+        }
+        naive.push(t0.elapsed().as_secs_f64());
+
+        // Timing a divergent run would be meaningless; the differential
+        // suite proves this in depth, the bench just refuses to lie.
+        assert_eq!(
+            fast.solution().total_cost().to_bits(),
+            slow.solution().total_cost().to_bits(),
+            "indexed and naive PD diverged — bench numbers would be invalid"
+        );
+    }
+    Ok(PdBench {
+        family: family.name,
+        requests: scenario.len(),
+        points: profile.points,
+        services: profile.services,
+        indexed: summarize(&indexed),
+        naive: summarize(&naive),
+    })
+}
+
+fn summary_json(out: &mut String, key: &str, s: &Summary, indent: &str) {
+    let _ = write!(
+        out,
+        "{indent}\"{key}\": {{ \"n\": {}, \"mean\": {:.9}, \"min\": {:.9}, \"max\": {:.9} }}",
+        s.n, s.mean, s.min, s.max
+    );
+}
+
+/// Renders `BENCH_pd.json`.
+pub fn pd_json(b: &PdBench) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"family\": \"{}\",", b.family);
+    let _ = writeln!(out, "  \"requests\": {},", b.requests);
+    let _ = writeln!(out, "  \"points\": {},", b.points);
+    let _ = writeln!(out, "  \"services\": {},", b.services);
+    summary_json(&mut out, "indexed_secs", &b.indexed, "  ");
+    out.push_str(",\n");
+    summary_json(&mut out, "naive_secs", &b.naive, "  ");
+    out.push_str(",\n");
+    let _ = writeln!(out, "  \"speedup\": {:.4}", b.speedup());
+    out.push_str("}\n");
+    out
+}
+
+/// Times every catalog family × engine and renders `BENCH_sweep.json`.
+pub fn sweep_json(
+    profile: &CatalogProfile,
+    base_seed: u64,
+    trials: usize,
+    threads: usize,
+) -> Result<String, CoreError> {
+    let families = catalog::registry();
+    let engines = Engine::all(omfl_par::seed_for(base_seed, u64::MAX));
+    let t0 = Instant::now();
+    let cells = timed_sweep(&families, profile, &engines, base_seed, trials, threads)?;
+    let wall = t0.elapsed().as_secs_f64();
+
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"threads\": {threads},");
+    let _ = writeln!(out, "  \"trials\": {trials},");
+    let _ = writeln!(out, "  \"points\": {},", profile.points);
+    let _ = writeln!(out, "  \"services\": {},", profile.services);
+    let _ = writeln!(out, "  \"requests\": {},", profile.requests);
+    let _ = writeln!(out, "  \"sweep_wall_secs\": {wall:.9},");
+    let mut first = true;
+    for engine in &engines {
+        for fam in &families {
+            let secs: Vec<f64> = cells
+                .iter()
+                .filter(|c| c.family == fam.name && c.engine == engine.name())
+                .map(|c| c.secs)
+                .collect();
+            if secs.is_empty() {
+                continue;
+            }
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            let key = format!("{}/{}", engine.name(), fam.name);
+            let mut obj = String::new();
+            summary_json(&mut obj, "secs", &summarize(&secs), "");
+            let _ = write!(out, "  \"{key}\": {{ {} }}", obj.trim_start());
+        }
+    }
+    out.push_str("\n}\n");
+    Ok(out)
+}
+
+// --- minimal JSON reading (the emitter's shape only) ----------------------
+
+/// Flattened dotted-key views of a parsed document: numbers and strings.
+pub type FlatJson = (BTreeMap<String, f64>, BTreeMap<String, String>);
+
+/// Parses the subset of JSON the emitters above produce — objects, strings,
+/// and numbers — into flattened `"a.b.c" → value` maps. Numbers land in the
+/// first map, strings in the second.
+pub fn parse_flat(text: &str) -> Result<FlatJson, String> {
+    let mut nums = BTreeMap::new();
+    let mut strs = BTreeMap::new();
+    let chars: Vec<char> = text.chars().collect();
+    let mut pos = 0usize;
+    parse_object(&chars, &mut pos, "", &mut nums, &mut strs)?;
+    skip_ws(&chars, &mut pos);
+    if pos != chars.len() {
+        return Err(format!("trailing content at offset {pos}"));
+    }
+    Ok((nums, strs))
+}
+
+fn skip_ws(c: &[char], pos: &mut usize) {
+    while *pos < c.len() && c[*pos].is_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn expect(c: &[char], pos: &mut usize, ch: char) -> Result<(), String> {
+    skip_ws(c, pos);
+    if *pos < c.len() && c[*pos] == ch {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{ch}' at offset {pos}", pos = *pos))
+    }
+}
+
+fn parse_string(c: &[char], pos: &mut usize) -> Result<String, String> {
+    expect(c, pos, '"')?;
+    let mut s = String::new();
+    while *pos < c.len() && c[*pos] != '"' {
+        // The emitter never escapes anything; reject rather than mis-parse.
+        if c[*pos] == '\\' {
+            return Err("escape sequences are not supported".into());
+        }
+        s.push(c[*pos]);
+        *pos += 1;
+    }
+    expect(c, pos, '"')?;
+    Ok(s)
+}
+
+fn parse_object(
+    c: &[char],
+    pos: &mut usize,
+    prefix: &str,
+    nums: &mut BTreeMap<String, f64>,
+    strs: &mut BTreeMap<String, String>,
+) -> Result<(), String> {
+    expect(c, pos, '{')?;
+    skip_ws(c, pos);
+    if *pos < c.len() && c[*pos] == '}' {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        let key = parse_string(c, pos)?;
+        let full = if prefix.is_empty() {
+            key
+        } else {
+            format!("{prefix}.{key}")
+        };
+        expect(c, pos, ':')?;
+        skip_ws(c, pos);
+        match c.get(*pos) {
+            Some('{') => parse_object(c, pos, &full, nums, strs)?,
+            Some('"') => {
+                let v = parse_string(c, pos)?;
+                strs.insert(full, v);
+            }
+            Some(_) => {
+                let start = *pos;
+                while *pos < c.len()
+                    && !matches!(c[*pos], ',' | '}' | ']')
+                    && !c[*pos].is_whitespace()
+                {
+                    *pos += 1;
+                }
+                let raw: String = c[start..*pos].iter().collect();
+                let v: f64 = raw
+                    .parse()
+                    .map_err(|_| format!("bad number '{raw}' for key {full}"))?;
+                nums.insert(full, v);
+            }
+            None => return Err("unexpected end of input".into()),
+        }
+        skip_ws(c, pos);
+        match c.get(*pos) {
+            Some(',') => {
+                *pos += 1;
+                skip_ws(c, pos);
+            }
+            Some('}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or '}}' at offset {pos}", pos = *pos)),
+        }
+    }
+}
+
+/// Compares a freshly generated JSON document against a committed baseline.
+///
+/// Failure modes, in the order they are reported:
+/// * a key present in the baseline but missing from the fresh run;
+/// * a fresh `*.secs.mean` / `*_secs.mean` more than [`REGRESSION_FACTOR`]
+///   above the committed value;
+/// * a fresh `speedup` below [`MIN_PD_SPEEDUP`].
+pub fn check(fresh: &str, committed: &str, label: &str) -> Result<Vec<String>, Vec<String>> {
+    let (f_nums, f_strs) =
+        parse_flat(fresh).map_err(|e| vec![format!("{label}: fresh JSON unreadable: {e}")])?;
+    let (c_nums, c_strs) = parse_flat(committed)
+        .map_err(|e| vec![format!("{label}: committed JSON unreadable: {e}")])?;
+
+    let mut errors = Vec::new();
+    let mut notes = Vec::new();
+    for key in c_nums.keys() {
+        if !f_nums.contains_key(key) {
+            errors.push(format!("{label}: key '{key}' missing from fresh run"));
+        }
+    }
+    for key in c_strs.keys() {
+        if !f_strs.contains_key(key) {
+            errors.push(format!("{label}: key '{key}' missing from fresh run"));
+        }
+    }
+    for (key, &base) in &c_nums {
+        let Some(&now) = f_nums.get(key) else {
+            continue;
+        };
+        if key.ends_with("secs.mean") && base > 0.0 {
+            let ratio = now / base;
+            if ratio > REGRESSION_FACTOR && base >= MIN_GATED_SECS {
+                errors.push(format!(
+                    "{label}: '{key}' regressed {ratio:.2}x ({base:.6}s -> {now:.6}s)"
+                ));
+            } else {
+                let gated = if base >= MIN_GATED_SECS {
+                    ""
+                } else {
+                    " (ungated: sub-ms baseline)"
+                };
+                notes.push(format!("{label}: '{key}' {ratio:.2}x of baseline{gated}"));
+            }
+        }
+        if key == "speedup" && now < MIN_PD_SPEEDUP {
+            errors.push(format!(
+                "{label}: PD index speedup {now:.2}x below the {MIN_PD_SPEEDUP}x floor \
+                 (baseline {base:.2}x)"
+            ));
+        }
+    }
+    if errors.is_empty() {
+        Ok(notes)
+    } else {
+        Err(errors)
+    }
+}
+
+/// The smoke profile both `--emit-json` and `--check-json` run: PD hot path
+/// plus catalog sweep timings. Returns `(BENCH_pd.json, BENCH_sweep.json)`
+/// contents.
+pub fn smoke_profile_json() -> Result<(String, String), CoreError> {
+    let pd = pd_bench(&pd_profile(), 5)?;
+    let pd_doc = pd_json(&pd);
+    // Cells are timed serially: under a parallel sweep, co-scheduled cells
+    // contend for cores and per-cell wall-clock becomes too noisy to gate a
+    // 2x regression check on.
+    let sweep_doc = sweep_json(&sweep_profile(), 2020, 3, 1)?;
+    Ok((pd_doc, sweep_doc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emitted_pd_json_round_trips() {
+        let b = pd_bench(
+            &CatalogProfile {
+                points: 8,
+                services: 8,
+                requests: 64,
+            },
+            2,
+        )
+        .unwrap();
+        let doc = pd_json(&b);
+        let (nums, strs) = parse_flat(&doc).unwrap();
+        assert_eq!(strs["family"], "zipf-services");
+        assert_eq!(nums["requests"], 64.0);
+        assert!(nums["indexed_secs.mean"] > 0.0);
+        assert!(nums["naive_secs.mean"] > 0.0);
+        assert!(nums.contains_key("speedup"));
+    }
+
+    #[test]
+    fn emitted_sweep_json_round_trips() {
+        let doc = sweep_json(
+            &CatalogProfile {
+                points: 8,
+                services: 8,
+                requests: 16,
+            },
+            7,
+            1,
+            2,
+        )
+        .unwrap();
+        let (nums, _) = parse_flat(&doc).unwrap();
+        assert!(nums["sweep_wall_secs"] > 0.0);
+        // 8 families × 4 engines, each with a 4-field summary.
+        assert!(nums.keys().any(|k| k == "pd-omflp/zipf-services.secs.mean"));
+        assert!(nums.keys().any(|k| k == "all-large/dyadic-mix.secs.max"));
+    }
+
+    #[test]
+    fn check_flags_missing_keys_and_regressions() {
+        let base = r#"{ "a": { "secs": { "mean": 1.0 } }, "speedup": 4.0 }"#;
+        // Identical: passes.
+        assert!(check(base, base, "t").is_ok());
+        // 3x slower: regression.
+        let slow = r#"{ "a": { "secs": { "mean": 3.0 } }, "speedup": 4.0 }"#;
+        let errs = check(slow, base, "t").unwrap_err();
+        assert!(errs[0].contains("regressed"));
+        // Missing key: fails.
+        let missing = r#"{ "speedup": 4.0 }"#;
+        let errs = check(missing, base, "t").unwrap_err();
+        assert!(errs[0].contains("missing"));
+        // Speedup collapse: fails.
+        let collapsed = r#"{ "a": { "secs": { "mean": 1.0 } }, "speedup": 1.1 }"#;
+        let errs = check(collapsed, base, "t").unwrap_err();
+        assert!(errs[0].contains("below"));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        assert!(parse_flat("{").is_err());
+        assert!(parse_flat(r#"{ "a": }"#).is_err());
+        assert!(parse_flat(r#"{ "a": 1 } trailing"#).is_err());
+        assert!(parse_flat(r#"{ "a": "b\"c" }"#).is_err());
+    }
+}

@@ -10,7 +10,11 @@ use crate::{
 };
 
 /// How one request was served.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares costs as exact `f64` values — the differential suite
+/// relies on this to assert *bit-identical* behavior between the indexed and
+/// the linear-scan PD serve paths, not merely "close" costs.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServeOutcome {
     /// Facilities opened while serving this request.
     pub opened: Vec<FacilityId>,

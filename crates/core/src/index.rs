@@ -1,0 +1,409 @@
+//! Incremental nearest-open-facility indexing — the serve-path hot layer.
+//!
+//! Every online engine in this workspace repeatedly asks the same two
+//! questions per arrival: "what is the nearest open facility offering
+//! commodity `e`?" and "what is the nearest open *large* facility?". The
+//! naive answer scans every open facility per query, so a request stream of
+//! length `n` pays `O(n · |F|)` distance evaluations — quadratic once `|F|`
+//! grows with `n` (cf. the incremental potential maintenance in
+//! Fotakis-style online facility location implementations).
+//!
+//! [`FacilityIndex`] inverts the maintenance: facilities open rarely, so on
+//! each opening we spend `O(|M|)` once to refresh a per-point cache of
+//! `(nearest facility, distance)` and every subsequent query is `O(1)`.
+//!
+//! # Bit-identical tie-breaking (the index invariant)
+//!
+//! The linear scans this index replaces resolve distance ties by *scan
+//! order*: small facilities offering `e` in opening order, then large
+//! facilities in opening order, keeping the first minimum (strict `<` to
+//! replace). The cache reproduces that exactly:
+//!
+//! * updates apply openings in opening order and replace only on a strictly
+//!   smaller distance, so within each class the earliest-opened minimum wins;
+//! * small and large caches are kept separate and combined at query time
+//!   with `small wins ties`, mirroring the smalls-then-larges scan order;
+//! * cached distances are produced by the *same* `distance(query, location)`
+//!   call the scan would make, so the floats are identical, not just close.
+//!
+//! The differential suite (`tests/tests/differential.rs`) pins this down by
+//! comparing the indexed PD against the retained linear-scan reference
+//! engine bit for bit.
+
+use crate::instance::Instance;
+use crate::solution::FacilityId;
+use omfl_commodity::CommodityId;
+use omfl_metric::PointId;
+
+const NO_FACILITY: u32 = u32::MAX;
+
+/// Per-point nearest-open-facility caches, maintained on facility openings.
+///
+/// Memory is `O(|M|·|S|)` — the same order as the PD bid matrix the analysis
+/// already requires.
+#[derive(Debug, Clone)]
+pub struct FacilityIndex {
+    points: usize,
+    services: usize,
+    /// `d(F(e) ∩ smalls, p)`, flat `p·|S| + e`; `INFINITY` when empty.
+    small_d: Vec<f64>,
+    /// Matching facility ids, flat `p·|S| + e`; `NO_FACILITY` when empty.
+    small_f: Vec<u32>,
+    /// `d(F̂, p)`; `INFINITY` when empty.
+    large_d: Vec<f64>,
+    /// Matching facility ids; `NO_FACILITY` when empty.
+    large_f: Vec<u32>,
+    /// Openings folded in so far (for diagnostics and refresh-boundary tests).
+    openings: usize,
+}
+
+impl FacilityIndex {
+    /// An empty index over `points × services`.
+    pub fn new(points: usize, services: usize) -> Self {
+        Self {
+            points,
+            services,
+            small_d: vec![f64::INFINITY; points * services],
+            small_f: vec![NO_FACILITY; points * services],
+            large_d: vec![f64::INFINITY; points],
+            large_f: vec![NO_FACILITY; points],
+            openings: 0,
+        }
+    }
+
+    /// An empty index sized for an instance.
+    pub fn for_instance(inst: &Instance) -> Self {
+        Self::new(inst.num_points(), inst.num_commodities())
+    }
+
+    /// Number of openings folded into the caches so far.
+    pub fn openings(&self) -> usize {
+        self.openings
+    }
+
+    /// Folds a newly opened *small* facility for `e` at `at` into the cache:
+    /// `O(|M|)` distance evaluations, once per opening.
+    pub fn note_small_opening(
+        &mut self,
+        inst: &Instance,
+        e: CommodityId,
+        at: PointId,
+        fid: FacilityId,
+    ) {
+        let s = self.services;
+        for p in 0..self.points {
+            // Same argument order as the scan it replaces: d(query, location).
+            let d = inst.distance(PointId(p as u32), at);
+            let idx = p * s + e.index();
+            if d < self.small_d[idx] {
+                self.small_d[idx] = d;
+                self.small_f[idx] = fid.0;
+            }
+        }
+        self.openings += 1;
+    }
+
+    /// Folds a newly opened *large* facility at `at` into the cache.
+    pub fn note_large_opening(&mut self, inst: &Instance, at: PointId, fid: FacilityId) {
+        for p in 0..self.points {
+            let d = inst.distance(PointId(p as u32), at);
+            if d < self.large_d[p] {
+                self.large_d[p] = d;
+                self.large_f[p] = fid.0;
+            }
+        }
+        self.openings += 1;
+    }
+
+    /// Nearest open facility offering `e` (small-for-`e` or large), `O(1)`.
+    ///
+    /// Ties between a small and a large facility go to the small one — the
+    /// scan order of the linear search this replaces.
+    #[inline]
+    pub fn nearest_offering(&self, e: CommodityId, from: PointId) -> Option<(FacilityId, f64)> {
+        let idx = from.index() * self.services + e.index();
+        let (sd, ld) = (self.small_d[idx], self.large_d[from.index()]);
+        if sd.is_infinite() && ld.is_infinite() {
+            return None;
+        }
+        if sd <= ld {
+            Some((FacilityId(self.small_f[idx]), sd))
+        } else {
+            Some((FacilityId(self.large_f[from.index()]), ld))
+        }
+    }
+
+    /// Nearest open *large* facility, `O(1)`.
+    #[inline]
+    pub fn nearest_large(&self, from: PointId) -> Option<(FacilityId, f64)> {
+        let d = self.large_d[from.index()];
+        if d.is_infinite() {
+            None
+        } else {
+            Some((FacilityId(self.large_f[from.index()]), d))
+        }
+    }
+
+    /// Nearest open small facility offering `e` (larges excluded), `O(1)`.
+    #[inline]
+    pub fn nearest_small(&self, e: CommodityId, from: PointId) -> Option<(FacilityId, f64)> {
+        let idx = from.index() * self.services + e.index();
+        let d = self.small_d[idx];
+        if d.is_infinite() {
+            None
+        } else {
+            Some((FacilityId(self.small_f[idx]), d))
+        }
+    }
+}
+
+/// Location-bucketed view of frozen per-request state, used by the PD
+/// engine's cap-shrink passes.
+///
+/// `post_open_small` / `post_open_large` must decide, per past request,
+/// whether a new facility lowered its bid cap. Requests sharing a location
+/// share that decision's distance, and caps only ever shrink — so per
+/// `(location, commodity)` bucket we keep the member list plus an upper
+/// bound on the members' caps. A whole bucket is skipped in `O(1)` when
+/// `d(new facility, location)` is at least the bound, turning the
+/// per-opening walk from `O(history)` into `O(|M| + actually-shrinking)`.
+///
+/// Bounds are allowed to go stale *high* (a skipped shrink elsewhere never
+/// lowers them); they are never stale low, so skipping is always sound.
+#[derive(Debug, Clone, Default)]
+pub struct PastIndex {
+    services: usize,
+    /// Members demanding `e` located at `ℓ`, flat `ℓ·|S| + e`, in
+    /// `(past index, slot)` push order (ascending — freeze appends).
+    by_loc_e: Vec<Vec<(u32, u16)>>,
+    /// Upper bound on `caps[slot]` over the matching bucket.
+    max_cap_e: Vec<f64>,
+    /// Past-request indices located at `ℓ`, ascending.
+    by_loc: Vec<Vec<u32>>,
+    /// Upper bound on `max(cap_total, caps[..])` over requests at `ℓ`.
+    max_cap_any: Vec<f64>,
+}
+
+impl PastIndex {
+    /// An empty past-request index over `points × services`.
+    pub fn new(points: usize, services: usize) -> Self {
+        Self {
+            services,
+            by_loc_e: vec![Vec::new(); points * services],
+            max_cap_e: vec![0.0; points * services],
+            by_loc: vec![Vec::new(); points],
+            max_cap_any: vec![0.0; points],
+        }
+    }
+
+    /// Registers a freshly frozen request: its location, per-slot
+    /// commodities and caps, and the total cap.
+    pub fn push_request(
+        &mut self,
+        pi: u32,
+        loc: PointId,
+        commodities: &[CommodityId],
+        caps: &[f64],
+        cap_total: f64,
+    ) {
+        let l = loc.index();
+        let mut any = cap_total;
+        for (slot, (&e, &cap)) in commodities.iter().zip(caps).enumerate() {
+            let idx = l * self.services + e.index();
+            self.by_loc_e[idx].push((pi, slot as u16));
+            if cap > self.max_cap_e[idx] {
+                self.max_cap_e[idx] = cap;
+            }
+            if cap > any {
+                any = cap;
+            }
+        }
+        self.by_loc[l].push(pi);
+        if any > self.max_cap_any[l] {
+            self.max_cap_any[l] = any;
+        }
+    }
+
+    /// Candidate `(past index, slot)` members whose commodity-`e` cap *may*
+    /// shrink when a small facility for `e` opens at `at` — every member at
+    /// a location whose cap bound exceeds `d(at, location)`. Returned sorted
+    /// ascending, i.e. the exact order the linear history walk would visit
+    /// them in. Buckets that qualify have their bound clamped to the new
+    /// distance (all surviving caps are at most that).
+    pub fn small_shrink_candidates(
+        &mut self,
+        inst: &Instance,
+        e: CommodityId,
+        at: PointId,
+    ) -> Vec<(u32, u16)> {
+        let s = self.services;
+        let mut out = Vec::new();
+        for l in 0..self.by_loc.len() {
+            let idx = l * s + e.index();
+            if self.by_loc_e[idx].is_empty() {
+                continue;
+            }
+            let dj = inst.distance(at, PointId(l as u32));
+            if dj < self.max_cap_e[idx] {
+                out.extend_from_slice(&self.by_loc_e[idx]);
+                self.max_cap_e[idx] = dj;
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Candidate past-request indices for a *large* opening at `at` (any cap
+    /// at the location may shrink). Sorted ascending — the history-walk
+    /// order. Qualifying buckets have their bound clamped to `d(at, ℓ)`.
+    pub fn large_shrink_candidates(&mut self, inst: &Instance, at: PointId) -> Vec<u32> {
+        let mut out = Vec::new();
+        for l in 0..self.by_loc.len() {
+            if self.by_loc[l].is_empty() {
+                continue;
+            }
+            let dj = inst.distance(at, PointId(l as u32));
+            if dj < self.max_cap_any[l] {
+                out.extend_from_slice(&self.by_loc[l]);
+                self.max_cap_any[l] = dj;
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solution::Solution;
+    use omfl_commodity::cost::CostModel;
+    use omfl_commodity::CommoditySet;
+    use omfl_metric::line::LineMetric;
+
+    fn inst(positions: Vec<f64>, s: u16) -> Instance {
+        Instance::new(
+            Box::new(LineMetric::new(positions).unwrap()),
+            s,
+            CostModel::power(s, 1.0, 2.0),
+        )
+        .unwrap()
+    }
+
+    /// Reference linear scan with the exact tie-breaking the index must
+    /// reproduce: smalls (opening order) then larges (opening order), first
+    /// minimum wins.
+    fn scan_nearest(
+        inst: &Instance,
+        sol: &Solution,
+        smalls: &[FacilityId],
+        larges: &[FacilityId],
+        from: PointId,
+    ) -> Option<(FacilityId, f64)> {
+        let mut best: Option<(FacilityId, f64)> = None;
+        for &fid in smalls.iter().chain(larges) {
+            let d = inst.distance(from, sol.facilities()[fid.index()].location);
+            match best {
+                Some((_, bd)) if bd <= d => {}
+                _ => best = Some((fid, d)),
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn empty_index_answers_none() {
+        let inst = inst(vec![0.0, 1.0], 3);
+        let idx = FacilityIndex::for_instance(&inst);
+        assert!(idx.nearest_offering(CommodityId(0), PointId(0)).is_none());
+        assert!(idx.nearest_large(PointId(1)).is_none());
+        assert!(idx.nearest_small(CommodityId(2), PointId(0)).is_none());
+        assert_eq!(idx.openings(), 0);
+    }
+
+    #[test]
+    fn matches_linear_scan_including_ties() {
+        // Facilities engineered so several are equidistant from the query
+        // point; the index must pick the same winner as the scan.
+        let inst = inst(vec![0.0, 1.0, 2.0, 3.0, 4.0], 2);
+        let mut sol = Solution::new();
+        let mut idx = FacilityIndex::for_instance(&inst);
+        let u = inst.universe();
+        let e = CommodityId(0);
+        let mut smalls = Vec::new();
+        let mut larges = Vec::new();
+
+        // Two smalls equidistant from point 2 (at 1 and 3), then a large at
+        // the same distance (at 3) — scan order says the first small wins.
+        for &(p, large) in &[(1u32, false), (3, false), (3, true)] {
+            let config = if large {
+                CommoditySet::full(u)
+            } else {
+                CommoditySet::singleton(u, e).unwrap()
+            };
+            let fid = sol.open_facility(&inst, PointId(p), config);
+            if large {
+                idx.note_large_opening(&inst, PointId(p), fid);
+                larges.push(fid);
+            } else {
+                idx.note_small_opening(&inst, e, PointId(p), fid);
+                smalls.push(fid);
+            }
+            for q in 0..inst.num_points() as u32 {
+                let want = scan_nearest(&inst, &sol, &smalls, &larges, PointId(q));
+                let got = idx.nearest_offering(e, PointId(q));
+                assert_eq!(
+                    got.map(|(f, d)| (f, d.to_bits())),
+                    want.map(|(f, d)| (f, d.to_bits())),
+                    "query at {q} after opening at {p}"
+                );
+            }
+        }
+        assert_eq!(idx.openings(), 3);
+    }
+
+    #[test]
+    fn large_openings_serve_every_commodity() {
+        let inst = inst(vec![0.0, 5.0], 4);
+        let mut sol = Solution::new();
+        let mut idx = FacilityIndex::for_instance(&inst);
+        let fid = sol.open_facility(&inst, PointId(1), CommoditySet::full(inst.universe()));
+        idx.note_large_opening(&inst, PointId(1), fid);
+        for e in 0..4u16 {
+            let (f, d) = idx.nearest_offering(CommodityId(e), PointId(0)).unwrap();
+            assert_eq!(f, fid);
+            assert_eq!(d, 5.0);
+        }
+        assert_eq!(idx.nearest_large(PointId(1)).unwrap().1, 0.0);
+        assert!(idx.nearest_small(CommodityId(0), PointId(0)).is_none());
+    }
+
+    #[test]
+    fn past_index_buckets_skip_and_sort() {
+        let inst = inst(vec![0.0, 10.0, 20.0], 2);
+        let mut past = PastIndex::new(3, 2);
+        let e = CommodityId(0);
+        // Requests at points 0 and 2 with caps 4.0; request 1 interleaved at
+        // point 2 so candidate order must be re-sorted.
+        past.push_request(0, PointId(0), &[e], &[4.0], 4.0);
+        past.push_request(1, PointId(2), &[e], &[4.0], 4.0);
+        past.push_request(2, PointId(0), &[e], &[4.0], 4.0);
+
+        // A facility at point 1 is 10 away from both buckets: no candidates.
+        assert!(past
+            .small_shrink_candidates(&inst, e, PointId(1))
+            .is_empty());
+        // A facility at point 0 shrinks the point-0 bucket only, in
+        // ascending (pi, slot) order.
+        let c = past.small_shrink_candidates(&inst, e, PointId(0));
+        assert_eq!(c, vec![(0, 0), (2, 0)]);
+        // The bucket bound was clamped: a second opening at the same point
+        // finds nothing left to shrink.
+        assert!(past
+            .small_shrink_candidates(&inst, e, PointId(0))
+            .is_empty());
+        // Large candidates cover every member at a qualifying location.
+        let l = past.large_shrink_candidates(&inst, PointId(2));
+        assert_eq!(l, vec![1]);
+    }
+}

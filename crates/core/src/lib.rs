@@ -29,7 +29,10 @@
 pub mod algorithm;
 pub mod bounds;
 pub mod heavy;
+pub mod index;
 pub mod instance;
+#[cfg(feature = "naive-ref")]
+pub mod naive;
 pub mod pd;
 pub mod randalg;
 pub mod request;

@@ -32,8 +32,29 @@
 //! large-open before small-connect before small-open; among commodities,
 //! ascending id; among locations, ascending point id (via strict `<` when
 //! scanning minima).
+//!
+//! # The incremental index layer
+//!
+//! The serve hot path is built on [`crate::index`]:
+//!
+//! * `d(F(e), r)` / `d(F̂, r)` come from a [`FacilityIndex`] — per-point
+//!   nearest-open-facility caches refreshed in `O(|M|)` *once per opening*
+//!   instead of scanned per request (openings are rare; requests are not);
+//! * the cap-shrink passes after an opening consult a [`PastIndex`] —
+//!   past requests bucketed by location with per-bucket cap bounds — so the
+//!   walk is over locations (`O(|M|)`), not over the whole request history.
+//!
+//! Both structures reproduce the retired linear scans **bit for bit**: cache
+//! updates use the same `distance(query, location)` call and strict-`<`
+//! tie-breaking as the scans, and shrink candidates are applied in the exact
+//! `(past index, slot)` order the history walk used, so every float in `B`,
+//! `B̂`, the caps and the outcomes is identical. The pre-index path survives
+//! as `naive::NaivePd` (feature `naive-ref`) and
+//! `tests/tests/differential.rs` asserts the equivalence across the whole
+//! scenario catalog.
 
 use crate::algorithm::{OnlineAlgorithm, ServeOutcome};
+use crate::index::{FacilityIndex, PastIndex};
 use crate::instance::Instance;
 use crate::request::Request;
 use crate::solution::{FacilityId, Solution};
@@ -69,23 +90,30 @@ pub struct PdOmflp<'a> {
     inst: &'a Instance,
     sol: Solution,
     past: Vec<PastRequest>,
-    /// For each commodity, `(past request index, member slot)` of earlier
-    /// requests demanding it — the update set when a small facility opens.
-    past_by_e: Vec<Vec<(u32, u16)>>,
-    /// Open small facilities offering commodity `e`.
-    small_by_e: Vec<Vec<FacilityId>>,
-    /// Open large facilities.
-    large_facs: Vec<FacilityId>,
-    /// `B[m][e]`, flat `m * |S| + e`.
+    /// Nearest-open-facility caches, refreshed once per opening.
+    index: FacilityIndex,
+    /// Past requests bucketed by location for the cap-shrink passes.
+    past_index: PastIndex,
+    /// `B[m][e]`, flat `e * |M| + m` (commodity-major: the t3 scan, the
+    /// freeze additions and the cap-shrink subtractions all walk `m` for a
+    /// fixed `e`, so this layout keeps the hot loops on contiguous memory).
     b_small: Vec<f64>,
     /// `B̂[m]`.
     b_large: Vec<f64>,
-    /// Cached `f^{e}_m`, flat `m * |S| + e`.
+    /// Cached `f^{e}_m`, flat `e * |M| + m` (commodity-major, like `b_small`).
     f_small: Vec<f64>,
     /// Cached `f^{S}_m`.
     f_full: Vec<f64>,
+    /// Dense distance cache, `dmat[q·|M| + p] = d(p, q)` — row `q` holds the
+    /// distances *to* `q`, contiguous in `p`. Empty when the metric is too
+    /// large to cache (see [`DENSE_DISTANCE_CAP`]); entries are the verbatim
+    /// `distance(p, q)` call results, so reads are bit-identical to calling
+    /// the metric.
+    dmat: Vec<f64>,
     /// Scratch: `d(m, r)` for the current arrival.
     dist_row: Vec<f64>,
+    /// Reusable per-arrival buffers (see [`ServeScratch`]).
+    scratch: ServeScratch,
     /// Running `Σ_r Σ_e a_{re}` for the Corollary 8 check.
     dual_sum: f64,
 }
@@ -99,10 +127,44 @@ enum MemberServe {
     Temp(PointId),
 }
 
+/// Per-arrival working memory, reused across requests.
+///
+/// With the index layer in place, a serve on a quiet arrival (no openings)
+/// does only `O(k + |M|)` arithmetic — at that scale the eight `Vec`
+/// allocations the old serve made per request were a measurable fraction of
+/// the hot path. The buffers are cleared and refilled per arrival; the
+/// values flowing through them are identical to the allocate-per-request
+/// version (the differential suite checks this, like everything else here).
+#[derive(Debug, Default)]
+struct ServeScratch {
+    /// Demanded commodities, ascending.
+    members: Vec<CommodityId>,
+    /// Constraint-1 targets `t1[i] = d(F(e_i), r)`.
+    t1: Vec<f64>,
+    /// The facility realizing `t1[i]`.
+    t1_fac: Vec<Option<FacilityId>>,
+    /// Constraint-3 targets (cheapest temp-open for `e_i`).
+    t3: Vec<f64>,
+    /// The location realizing `t3[i]`.
+    t3_loc: Vec<PointId>,
+    /// Dual values `a_{re}` being raised.
+    a: Vec<f64>,
+    /// Per-member serve decision.
+    outcome: Vec<Option<MemberServe>>,
+    /// Facilities the request connects to (small mode).
+    fids: Vec<FacilityId>,
+}
+
+/// Metrics up to this many points get a dense per-pair distance cache in
+/// [`PdOmflp`] (`|M|² · 8` bytes — 8 MiB at the cap). Beyond it, the hot
+/// path falls back to calling the metric object per distance.
+pub const DENSE_DISTANCE_CAP: usize = 1024;
+
 impl<'a> PdOmflp<'a> {
     /// Creates the algorithm over an instance. Precomputes the per-location
     /// small and large facility costs (`O(|M|·|S|)` memory — the same order
-    /// as the bid matrix the analysis requires).
+    /// as the bid matrix the analysis requires) and, for metrics up to
+    /// [`DENSE_DISTANCE_CAP`] points, the dense distance cache.
     pub fn new(inst: &'a Instance) -> Self {
         let m = inst.num_points();
         let s = inst.num_commodities();
@@ -110,23 +172,44 @@ impl<'a> PdOmflp<'a> {
         let mut f_full = vec![0.0; m];
         for p in 0..m {
             for e in 0..s {
-                f_small[p * s + e] = inst.small_cost(PointId(p as u32), CommodityId(e as u16));
+                f_small[e * m + p] = inst.small_cost(PointId(p as u32), CommodityId(e as u16));
             }
             f_full[p] = inst.large_cost(PointId(p as u32));
+        }
+        let mut dmat = Vec::new();
+        if m <= DENSE_DISTANCE_CAP {
+            dmat.reserve_exact(m * m);
+            for q in 0..m {
+                for p in 0..m {
+                    dmat.push(inst.distance(PointId(p as u32), PointId(q as u32)));
+                }
+            }
         }
         Self {
             inst,
             sol: Solution::new(),
             past: Vec::new(),
-            past_by_e: vec![Vec::new(); s],
-            small_by_e: vec![Vec::new(); s],
-            large_facs: Vec::new(),
+            index: FacilityIndex::new(m, s),
+            past_index: PastIndex::new(m, s),
             b_small: vec![0.0; m * s],
             b_large: vec![0.0; m],
             f_small,
             f_full,
+            dmat,
             dist_row: vec![0.0; m],
+            scratch: ServeScratch::default(),
             dual_sum: 0.0,
+        }
+    }
+
+    /// `d(p, q)` through the dense cache when present (bit-identical to the
+    /// metric call it replaces — the cache stores verbatim call results).
+    #[inline]
+    fn dist(&self, p: PointId, q: PointId) -> f64 {
+        if self.dmat.is_empty() {
+            self.inst.distance(p, q)
+        } else {
+            self.dmat[q.index() * self.dist_row.len() + p.index()]
         }
     }
 
@@ -147,7 +230,8 @@ impl<'a> PdOmflp<'a> {
     }
 
     /// The incrementally maintained bid matrices `(B, B̂)` — `B[m][e]` flat
-    /// at `m·|S| + e`, `B̂[m]` per point. Exposed for invariant tests: both
+    /// at `e·|M| + m` (commodity-major), `B̂[m]` per point. Exposed for
+    /// invariant tests: both
     /// must stay non-negative (up to float noise) and below `f^{e}_m` /
     /// `f^{S}_m`; the independent recomputation lives in
     /// [`crate::validate::check_bid_feasibility`].
@@ -167,58 +251,46 @@ impl<'a> PdOmflp<'a> {
         gamma * self.dual_sum
     }
 
-    /// Nearest open facility offering commodity `e` (small-for-`e` or large).
-    fn nearest_offering(&self, e: CommodityId, from: PointId) -> Option<(FacilityId, f64)> {
-        let mut best: Option<(FacilityId, f64)> = None;
-        let consider = |best: &mut Option<(FacilityId, f64)>, fid: FacilityId, d: f64| match *best {
-            Some((_, bd)) if bd <= d => {}
-            _ => *best = Some((fid, d)),
-        };
-        for &fid in &self.small_by_e[e.index()] {
-            let d = self
-                .inst
-                .distance(from, self.sol.facilities()[fid.index()].location);
-            consider(&mut best, fid, d);
-        }
-        for &fid in &self.large_facs {
-            let d = self
-                .inst
-                .distance(from, self.sol.facilities()[fid.index()].location);
-            consider(&mut best, fid, d);
-        }
-        best
+    /// The facility index (for diagnostics and the refresh-boundary tests).
+    pub fn facility_index(&self) -> &FacilityIndex {
+        &self.index
     }
 
-    /// Nearest open large facility.
+    /// Nearest open facility offering commodity `e` (small-for-`e` or large)
+    /// — an `O(1)` cache lookup, tie-identical to the retired linear scan.
+    fn nearest_offering(&self, e: CommodityId, from: PointId) -> Option<(FacilityId, f64)> {
+        self.index.nearest_offering(e, from)
+    }
+
+    /// Nearest open large facility — an `O(1)` cache lookup.
     fn nearest_large(&self, from: PointId) -> Option<(FacilityId, f64)> {
-        let mut best: Option<(FacilityId, f64)> = None;
-        for &fid in &self.large_facs {
-            let d = self
-                .inst
-                .distance(from, self.sol.facilities()[fid.index()].location);
-            match best {
-                Some((_, bd)) if bd <= d => {}
-                _ => best = Some((fid, d)),
-            }
-        }
-        best
+        self.index.nearest_large(from)
     }
 
     /// Applies cap shrinkage for past requests after a *small* facility for
     /// `e` opened at `at`.
+    ///
+    /// The [`PastIndex`] narrows the walk to members whose location-bucket
+    /// cap bound exceeds the new distance; candidates come back in the
+    /// ascending `(past index, slot)` order the full history walk used, so
+    /// the `B` updates happen in the identical floating-point order.
     fn post_open_small(&mut self, e: CommodityId, at: PointId) {
-        let s = self.inst.num_commodities();
         let m = self.inst.num_points();
-        for &(pi, slot) in &self.past_by_e[e.index()] {
+        for (pi, slot) in self.past_index.small_shrink_candidates(self.inst, e, at) {
             let pr = &self.past[pi as usize];
-            let dj = self.inst.distance(at, pr.location);
+            let dj = self.dist(at, pr.location);
             let old = pr.caps[slot as usize];
             if dj < old {
                 let loc = pr.location;
-                for p in 0..m {
-                    let dpj = self.inst.distance(PointId(p as u32), loc);
+                let row = &mut self.b_small[e.index() * m..(e.index() + 1) * m];
+                for (p, b) in row.iter_mut().enumerate() {
+                    let dpj = if self.dmat.is_empty() {
+                        self.inst.distance(PointId(p as u32), loc)
+                    } else {
+                        self.dmat[loc.index() * m + p]
+                    };
                     let delta = (old - dpj).max(0.0) - (dj - dpj).max(0.0);
-                    self.b_small[p * s + e.index()] -= delta;
+                    *b -= delta;
                 }
                 self.past[pi as usize].caps[slot as usize] = dj;
             }
@@ -226,18 +298,24 @@ impl<'a> PdOmflp<'a> {
     }
 
     /// Applies cap shrinkage after a *large* facility opened at `at`:
-    /// it joins `F̂` and every `F(e)`.
+    /// it joins `F̂` and every `F(e)`. Same bucketed narrowing as
+    /// [`Self::post_open_small`], walking candidate requests in ascending
+    /// past order.
     fn post_open_large(&mut self, at: PointId) {
-        let s = self.inst.num_commodities();
         let m = self.inst.num_points();
-        for pi in 0..self.past.len() {
+        for pi in self.past_index.large_shrink_candidates(self.inst, at) {
+            let pi = pi as usize;
             let loc = self.past[pi].location;
-            let dj = self.inst.distance(at, loc);
+            let dj = self.dist(at, loc);
             // Large-facility cap.
             let old_total = self.past[pi].cap_total;
             if dj < old_total {
                 for p in 0..m {
-                    let dpj = self.inst.distance(PointId(p as u32), loc);
+                    let dpj = if self.dmat.is_empty() {
+                        self.inst.distance(PointId(p as u32), loc)
+                    } else {
+                        self.dmat[loc.index() * m + p]
+                    };
                     let delta = (old_total - dpj).max(0.0) - (dj - dpj).max(0.0);
                     self.b_large[p] -= delta;
                 }
@@ -248,10 +326,15 @@ impl<'a> PdOmflp<'a> {
                 let old = self.past[pi].caps[slot];
                 if dj < old {
                     let e = self.past[pi].commodities[slot];
-                    for p in 0..m {
-                        let dpj = self.inst.distance(PointId(p as u32), loc);
+                    let row = &mut self.b_small[e.index() * m..(e.index() + 1) * m];
+                    for (p, b) in row.iter_mut().enumerate() {
+                        let dpj = if self.dmat.is_empty() {
+                            self.inst.distance(PointId(p as u32), loc)
+                        } else {
+                            self.dmat[loc.index() * m + p]
+                        };
                         let delta = (old - dpj).max(0.0) - (dj - dpj).max(0.0);
-                        self.b_small[p * s + e.index()] -= delta;
+                        *b -= delta;
                     }
                     self.past[pi].caps[slot] = dj;
                 }
@@ -261,12 +344,11 @@ impl<'a> PdOmflp<'a> {
 
     /// Freezes the served request's duals into the bid matrices.
     fn freeze(&mut self, request: &Request, members: &[CommodityId], duals: &[f64]) {
-        let s = self.inst.num_commodities();
         let m = self.inst.num_points();
         let loc = request.location();
         let pi = self.past.len() as u32;
         let mut caps = Vec::with_capacity(members.len());
-        for (slot, (&e, &a)) in members.iter().zip(duals).enumerate() {
+        for (&e, &a) in members.iter().zip(duals) {
             let d_fe = self
                 .nearest_offering(e, loc)
                 .map(|(_, d)| d)
@@ -274,12 +356,11 @@ impl<'a> PdOmflp<'a> {
             let cap = a.min(d_fe);
             caps.push(cap);
             if cap > 0.0 {
-                for p in 0..m {
-                    let add = (cap - self.dist_row[p]).max(0.0);
-                    self.b_small[p * s + e.index()] += add;
+                let row = &mut self.b_small[e.index() * m..(e.index() + 1) * m];
+                for (b, &d) in row.iter_mut().zip(&self.dist_row) {
+                    *b += (cap - d).max(0.0);
                 }
             }
-            self.past_by_e[e.index()].push((pi, slot as u16));
         }
         let total: f64 = duals.iter().sum();
         let d_fhat = self
@@ -293,6 +374,8 @@ impl<'a> PdOmflp<'a> {
             }
         }
         self.dual_sum += total;
+        self.past_index
+            .push_request(pi, loc, members, &caps, cap_total);
         self.past.push(PastRequest {
             location: loc,
             commodities: members.to_vec(),
@@ -313,43 +396,88 @@ impl OnlineAlgorithm for PdOmflp<'_> {
     fn serve(&mut self, request: &Request) -> Result<ServeOutcome, CoreError> {
         request.validate(self.inst)?;
         let loc = request.location();
-        let s = self.inst.num_commodities();
         let mpts = self.inst.num_points();
-        let members: Vec<CommodityId> = request.demand().iter().collect();
-        let k = members.len();
 
-        // Distance row d(m, r), reused everywhere this arrival.
-        for p in 0..mpts {
-            self.dist_row[p] = self.inst.distance(PointId(p as u32), loc);
+        // Per-arrival buffers are reused across requests (the scratch is
+        // moved out so the borrow checker lets the helpers take &mut self).
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.members.clear();
+        scratch.members.extend(request.demand().iter());
+        let k = scratch.members.len();
+
+        // Fast path: a large facility at distance zero. The continuous
+        // process then ends before any dual grows — the first event fires at
+        // delta = 0 and large-connect has top priority — so every target
+        // computed below would be discarded unread. Serving directly is
+        // bit-identical (duals all zero, caps all zero, no bid updates) and
+        // skips the O(|M|) per-arrival work entirely; on hotspot-style
+        // workloads this is the majority of arrivals once a large opens.
+        if k > 0 {
+            if let Some((fid, d)) = self.index.nearest_large(loc) {
+                if d == 0.0 {
+                    scratch.a.clear();
+                    scratch.a.resize(k, 0.0);
+                    scratch.fids.clear();
+                    scratch.fids.push(fid);
+                    let start_con = self.sol.construction_cost();
+                    let assignment = self.sol.assign(self.inst, request.clone(), &scratch.fids);
+                    let connection_cost = assignment.connection_cost;
+                    let assigned_to = assignment.facilities.clone();
+                    self.freeze(request, &scratch.members, &scratch.a);
+                    self.scratch = scratch;
+                    return Ok(ServeOutcome {
+                        opened: Vec::new(),
+                        assigned_to,
+                        connection_cost,
+                        construction_cost: self.sol.construction_cost() - start_con,
+                        served_by_large: true,
+                    });
+                }
+            }
+        }
+
+        // Distance row d(m, r), reused everywhere this arrival — a straight
+        // row copy when the dense cache is present.
+        if self.dmat.is_empty() {
+            for p in 0..mpts {
+                self.dist_row[p] = self.inst.distance(PointId(p as u32), loc);
+            }
+        } else {
+            self.dist_row
+                .copy_from_slice(&self.dmat[loc.index() * mpts..(loc.index() + 1) * mpts]);
         }
 
         // Per-commodity targets t1 (connect) / t3 (temp open) and joint
         // targets t2 (connect large) / t4 (open large). All constant during
         // the arrival (see module docs).
-        let mut t1 = vec![f64::INFINITY; k];
-        let mut t1_fac: Vec<Option<FacilityId>> = vec![None; k];
-        let mut t3 = vec![f64::INFINITY; k];
-        let mut t3_loc = vec![PointId(0); k];
-        for (i, &e) in members.iter().enumerate() {
-            if let Some((fid, d)) = self.nearest_offering(e, loc) {
-                t1[i] = d;
-                t1_fac[i] = Some(fid);
+        scratch.t1.clear();
+        scratch.t1.resize(k, f64::INFINITY);
+        scratch.t1_fac.clear();
+        scratch.t1_fac.resize(k, None);
+        scratch.t3.clear();
+        scratch.t3.resize(k, f64::INFINITY);
+        scratch.t3_loc.clear();
+        scratch.t3_loc.resize(k, PointId(0));
+        for (i, &e) in scratch.members.iter().enumerate() {
+            if let Some((fid, d)) = self.index.nearest_offering(e, loc) {
+                scratch.t1[i] = d;
+                scratch.t1_fac[i] = Some(fid);
             }
             let mut best = f64::INFINITY;
             let mut best_m = PointId(0);
+            let f_row = &self.f_small[e.index() * mpts..(e.index() + 1) * mpts];
+            let b_row = &self.b_small[e.index() * mpts..(e.index() + 1) * mpts];
             for p in 0..mpts {
-                let v = (self.f_small[p * s + e.index()] - self.b_small[p * s + e.index()])
-                    .max(0.0)
-                    + self.dist_row[p];
+                let v = (f_row[p] - b_row[p]).max(0.0) + self.dist_row[p];
                 if v < best {
                     best = v;
                     best_m = PointId(p as u32);
                 }
             }
-            t3[i] = best;
-            t3_loc[i] = best_m;
+            scratch.t3[i] = best;
+            scratch.t3_loc[i] = best_m;
         }
-        let (t2, t2_fac) = match self.nearest_large(loc) {
+        let (t2, t2_fac) = match self.index.nearest_large(loc) {
             Some((fid, d)) => (d, Some(fid)),
             None => (f64::INFINITY, None),
         };
@@ -363,29 +491,39 @@ impl OnlineAlgorithm for PdOmflp<'_> {
             }
         }
 
-        // Event loop: raise unserved duals simultaneously.
-        let mut a = vec![0.0f64; k];
-        let mut outcome: Vec<Option<MemberServe>> = vec![None; k];
+        // Event loop: raise unserved duals simultaneously. Unserved members
+        // are visited in ascending index order, exactly like the collected
+        // index list the pre-scratch version allocated per iteration.
+        scratch.a.clear();
+        scratch.a.resize(k, 0.0);
+        scratch.outcome.clear();
+        scratch.outcome.resize(k, None);
+        let (t1, t1_fac) = (&scratch.t1, &scratch.t1_fac);
+        let (t3, t3_loc) = (&scratch.t3, &scratch.t3_loc);
+        let (a, outcome) = (&mut scratch.a, &mut scratch.outcome);
         let mut total: f64 = 0.0; // Σ_e a_{re}, frozen + growing
         let mut large_mode: Option<(Option<FacilityId>, PointId, bool)> = None; // (existing, open-at, is_open)
         loop {
-            let unserved: Vec<usize> = (0..k).filter(|&i| outcome[i].is_none()).collect();
-            let u = unserved.len();
+            let u = outcome.iter().filter(|o| o.is_none()).count();
             if u == 0 {
                 break;
             }
             // Next event distance.
             let mut delta = f64::INFINITY;
-            for &i in &unserved {
-                delta = delta.min(t1[i] - a[i]).min(t3[i] - a[i]);
+            for i in 0..k {
+                if outcome[i].is_none() {
+                    delta = delta.min(t1[i] - a[i]).min(t3[i] - a[i]);
+                }
             }
             delta = delta
                 .min((t2 - total) / u as f64)
                 .min((t4 - total) / u as f64);
             debug_assert!(delta.is_finite(), "t3/t4 are always finite");
             let delta = delta.max(0.0);
-            for &i in &unserved {
-                a[i] += delta;
+            for i in 0..k {
+                if outcome[i].is_none() {
+                    a[i] += delta;
+                }
             }
             total += delta * u as f64;
 
@@ -399,7 +537,7 @@ impl OnlineAlgorithm for PdOmflp<'_> {
                 break;
             }
             let mut progressed = false;
-            for &i in &unserved {
+            for i in 0..k {
                 if outcome[i].is_none() && tight(a[i], t1[i]) {
                     outcome[i] = Some(MemberServe::Existing(
                         t1_fac[i].expect("finite t1 implies a facility"),
@@ -407,7 +545,7 @@ impl OnlineAlgorithm for PdOmflp<'_> {
                     progressed = true;
                 }
             }
-            for &i in &unserved {
+            for i in 0..k {
                 if outcome[i].is_none() && tight(a[i], t3[i]) {
                     outcome[i] = Some(MemberServe::Temp(t3_loc[i]));
                     progressed = true;
@@ -417,10 +555,9 @@ impl OnlineAlgorithm for PdOmflp<'_> {
             if !progressed {
                 // Defensive: force the cheapest pending target to fire so a
                 // floating-point corner cannot hang the loop.
-                let (&i, _) = unserved
-                    .iter()
-                    .zip(std::iter::repeat(()))
-                    .min_by(|(&x, _), (&y, _)| {
+                let i = (0..k)
+                    .filter(|&i| outcome[i].is_none())
+                    .min_by(|&x, &y| {
                         let vx = t1[x].min(t3[x]) - a[x];
                         let vy = t1[y].min(t3[y]) - a[y];
                         vx.partial_cmp(&vy).expect("finite")
@@ -437,46 +574,51 @@ impl OnlineAlgorithm for PdOmflp<'_> {
         // Realize the outcome.
         let start_con = self.sol.construction_cost();
         let mut opened = Vec::new();
-        let (assigned, served_by_large) = match large_mode {
-            Some((Some(fid), _, false)) => (vec![fid], true),
+        scratch.fids.clear();
+        let (assigned, served_by_large): (&[FacilityId], bool) = match large_mode {
+            Some((Some(fid), _, false)) => {
+                scratch.fids.push(fid);
+                (&scratch.fids, true)
+            }
             Some((_, at, true)) => {
                 let fid =
                     self.sol
                         .open_facility(self.inst, at, CommoditySet::full(self.inst.universe()));
-                self.large_facs.push(fid);
+                self.index.note_large_opening(self.inst, at, fid);
                 opened.push(fid);
                 self.post_open_large(at);
-                (vec![fid], true)
+                scratch.fids.push(fid);
+                (&scratch.fids, true)
             }
             Some((None, _, false)) => unreachable!("large-connect requires a facility"),
             None => {
                 // Small mode: open all temporary facilities, collect targets.
-                let mut fids = Vec::with_capacity(k);
-                for (i, &e) in members.iter().enumerate() {
-                    match outcome[i].expect("all members served") {
-                        MemberServe::Existing(fid) => fids.push(fid),
+                for (i, &e) in scratch.members.iter().enumerate() {
+                    match scratch.outcome[i].expect("all members served") {
+                        MemberServe::Existing(fid) => scratch.fids.push(fid),
                         MemberServe::Temp(at) => {
                             let config = CommoditySet::singleton(self.inst.universe(), e)
                                 .map_err(CoreError::Commodity)?;
                             let fid = self.sol.open_facility(self.inst, at, config);
-                            self.small_by_e[e.index()].push(fid);
+                            self.index.note_small_opening(self.inst, e, at, fid);
                             opened.push(fid);
                             self.post_open_small(e, at);
-                            fids.push(fid);
+                            scratch.fids.push(fid);
                         }
                     }
                 }
-                (fids, false)
+                (&scratch.fids, false)
             }
         };
-        let assignment = self.sol.assign(self.inst, request.clone(), &assigned);
+        let assignment = self.sol.assign(self.inst, request.clone(), assigned);
         let connection_cost = assignment.connection_cost;
         let assigned_to = assignment.facilities.clone();
 
         // Freeze duals into the bid matrices (after openings, so caps see
         // the new facility sets).
-        self.freeze(request, &members, &a);
+        self.freeze(request, &scratch.members, &scratch.a);
 
+        self.scratch = scratch;
         Ok(ServeOutcome {
             opened,
             assigned_to,

@@ -38,6 +38,7 @@
 //! changes by at most a constant factor. See DESIGN.md §4.
 
 use crate::algorithm::{OnlineAlgorithm, ServeOutcome};
+use crate::index::FacilityIndex;
 use crate::instance::Instance;
 use crate::request::Request;
 use crate::solution::{FacilityId, Solution};
@@ -105,8 +106,9 @@ pub struct RandOmflp<'a, R: Rng = StdRng> {
     small_classes: Vec<Vec<CostClass>>,
     /// Classes for the full configuration `S`.
     large_classes: Vec<CostClass>,
-    small_by_e: Vec<Vec<FacilityId>>,
-    large_facs: Vec<FacilityId>,
+    /// Nearest-open-facility caches (see [`crate::index`]), refreshed once
+    /// per opening instead of scanned per query.
+    index: FacilityIndex,
     fallback_opens: usize,
 }
 
@@ -141,8 +143,7 @@ impl<'a, R: Rng> RandOmflp<'a, R> {
             sol: Solution::new(),
             small_classes,
             large_classes,
-            small_by_e: vec![Vec::new(); s],
-            large_facs: Vec::new(),
+            index: FacilityIndex::new(m, s),
             fallback_opens: 0,
         }
     }
@@ -165,34 +166,11 @@ impl<'a, R: Rng> RandOmflp<'a, R> {
     }
 
     fn nearest_offering(&self, e: CommodityId, from: PointId) -> Option<(FacilityId, f64)> {
-        let mut best: Option<(FacilityId, f64)> = None;
-        for fid in self.small_by_e[e.index()]
-            .iter()
-            .chain(self.large_facs.iter())
-        {
-            let d = self
-                .inst
-                .distance(from, self.sol.facilities()[fid.index()].location);
-            match best {
-                Some((_, bd)) if bd <= d => {}
-                _ => best = Some((*fid, d)),
-            }
-        }
-        best
+        self.index.nearest_offering(e, from)
     }
 
     fn nearest_large(&self, from: PointId) -> Option<(FacilityId, f64)> {
-        let mut best: Option<(FacilityId, f64)> = None;
-        for &fid in &self.large_facs {
-            let d = self
-                .inst
-                .distance(from, self.sol.facilities()[fid.index()].location);
-            match best {
-                Some((_, bd)) if bd <= d => {}
-                _ => best = Some((fid, d)),
-            }
-        }
-        best
+        self.index.nearest_large(from)
     }
 
     /// Budget `X(r,e)` (or `Z(r)` when `classes` are the large classes):
@@ -224,7 +202,7 @@ impl<'a, R: Rng> RandOmflp<'a, R> {
         let config = CommoditySet::singleton(self.inst.universe(), e)
             .expect("commodity in instance universe");
         let fid = self.sol.open_facility(self.inst, at, config);
-        self.small_by_e[e.index()].push(fid);
+        self.index.note_small_opening(self.inst, e, at, fid);
         opened.push(fid);
     }
 
@@ -232,7 +210,7 @@ impl<'a, R: Rng> RandOmflp<'a, R> {
         let fid = self
             .sol
             .open_facility(self.inst, at, CommoditySet::full(self.inst.universe()));
-        self.large_facs.push(fid);
+        self.index.note_large_opening(self.inst, at, fid);
         opened.push(fid);
     }
 }

@@ -57,23 +57,24 @@ pub struct SweepTable {
     pub rows: Vec<SweepRow>,
 }
 
-/// Runs the full matrix: every family × every engine × `trials` seeds,
-/// sharded over `threads` worker threads.
-///
-/// Cell order is the deterministic matrix order (family-major, then engine,
+/// The shared matrix plumbing behind [`sweep`] and [`timed_sweep`]: one
+/// task per (family, trial) — the scenario is engine-independent, so each
+/// worker builds it once and runs every engine through it — then
+/// reassembly into deterministic matrix order (family-major, then engine,
 /// then trial) regardless of thread count. The scenario seed for trial `t`
-/// of family `i` is `seed_for(base_seed, i·2³² + t)` — independent of the
-/// engine, so all engines compete on identical instances.
-pub fn sweep(
+/// of family `i` is `seed_for(base_seed, i·2³² + t)`, independent of the
+/// engine, so all engines compete on identical instances. Keeping this in
+/// one place guarantees a timed run measures exactly the cells a regular
+/// sweep produces.
+fn run_matrix<C: Clone + Send>(
     families: &[Family],
     profile: &CatalogProfile,
     engines: &[Engine],
     base_seed: u64,
     trials: usize,
     threads: usize,
-) -> Result<Vec<SweepCell>, CoreError> {
-    // One task per (family, trial): the scenario is engine-independent, so
-    // each worker builds it once and streams every engine through it.
+    cell: impl Fn(&Family, &crate::Scenario, Engine, u64) -> Result<C, CoreError> + Sync,
+) -> Result<Vec<C>, CoreError> {
     let mut tasks = Vec::with_capacity(families.len() * trials);
     for fi in 0..families.len() {
         for t in 0..trials as u64 {
@@ -85,19 +86,10 @@ pub fn sweep(
         let scenario = families[fi].build(profile, seed)?;
         engines
             .iter()
-            .map(|&engine| {
-                Ok(SweepCell {
-                    family: families[fi].name,
-                    engine: engine.name(),
-                    seed,
-                    report: run_engine(&scenario, engine)?,
-                })
-            })
-            .collect::<Result<Vec<SweepCell>, CoreError>>()
+            .map(|&engine| cell(&families[fi], &scenario, engine, seed))
+            .collect::<Result<Vec<C>, CoreError>>()
     });
     let groups = groups.into_iter().collect::<Result<Vec<_>, _>>()?;
-    // Reassemble in matrix order (family, engine, trial) from the
-    // (family, trial)-major worker output.
     let mut cells = Vec::with_capacity(families.len() * engines.len() * trials);
     for fi in 0..families.len() {
         for (ei, _) in engines.iter().enumerate() {
@@ -107,6 +99,89 @@ pub fn sweep(
         }
     }
     Ok(cells)
+}
+
+/// Runs the full matrix: every family × every engine × `trials` seeds,
+/// sharded over `threads` worker threads.
+///
+/// Cell order and seed derivation are documented on the shared matrix
+/// runner; all engines in a trial see the identical instance.
+pub fn sweep(
+    families: &[Family],
+    profile: &CatalogProfile,
+    engines: &[Engine],
+    base_seed: u64,
+    trials: usize,
+    threads: usize,
+) -> Result<Vec<SweepCell>, CoreError> {
+    run_matrix(
+        families,
+        profile,
+        engines,
+        base_seed,
+        trials,
+        threads,
+        |fam, scenario, engine, seed| {
+            Ok(SweepCell {
+                family: fam.name,
+                engine: engine.name(),
+                seed,
+                report: run_engine(scenario, engine)?,
+            })
+        },
+    )
+}
+
+/// One timed cell of the sweep matrix: the wall-clock of a full
+/// `run_engine` call on one (family, engine, seed) triple.
+///
+/// Timing is deliberately kept *out* of [`SweepCell`]: cells are compared
+/// bit-identically by the determinism suite and aggregated into the
+/// canonical CSV, and wall-clock is the one field that can never reproduce.
+/// The bench runner's `--emit-json` path consumes these instead.
+#[derive(Debug, Clone)]
+pub struct TimedCell {
+    /// Family name.
+    pub family: &'static str,
+    /// Engine name.
+    pub engine: &'static str,
+    /// Scenario seed.
+    pub seed: u64,
+    /// Wall-clock seconds of the full serve stream (excluding scenario
+    /// construction, including final verification).
+    pub secs: f64,
+}
+
+/// Runs the same matrix as [`sweep`] but records per-cell wall-clock
+/// instead of reports. Built on the shared matrix runner, so cell order
+/// and scenario seeds are identical to [`sweep`] by construction — a timed
+/// run measures exactly the work a regular sweep would do.
+pub fn timed_sweep(
+    families: &[Family],
+    profile: &CatalogProfile,
+    engines: &[Engine],
+    base_seed: u64,
+    trials: usize,
+    threads: usize,
+) -> Result<Vec<TimedCell>, CoreError> {
+    run_matrix(
+        families,
+        profile,
+        engines,
+        base_seed,
+        trials,
+        threads,
+        |fam, scenario, engine, seed| {
+            let t0 = std::time::Instant::now();
+            run_engine(scenario, engine)?;
+            Ok(TimedCell {
+                family: fam.name,
+                engine: engine.name(),
+                seed,
+                secs: t0.elapsed().as_secs_f64(),
+            })
+        },
+    )
 }
 
 /// Groups cells into per-(family, engine) rows, preserving first-seen order.

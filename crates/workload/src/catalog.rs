@@ -72,6 +72,21 @@ pub struct Family {
 }
 
 impl Family {
+    /// Defines a family outside the built-in registry — downstream corpora
+    /// and tests (e.g. the scheduler-skew determinism suite) extend sweeps
+    /// with custom families this way.
+    pub fn new(
+        name: &'static str,
+        regime: &'static str,
+        builder: fn(&CatalogProfile, u64) -> Result<Scenario, CoreError>,
+    ) -> Self {
+        Self {
+            name,
+            regime,
+            builder,
+        }
+    }
+
     /// Builds one concrete scenario of this family.
     pub fn build(&self, profile: &CatalogProfile, seed: u64) -> Result<Scenario, CoreError> {
         (self.builder)(profile, seed)

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Checks that the root Cargo.toml's `default-members` covers every workspace
+# member (plus the root facade "."). A root package makes bare
+# `cargo build` / `cargo test` cover only the facade unless default-members
+# lists the whole workspace — so a member added to `members` but not to
+# `default-members` silently drops out of the tier-1 verify. CI runs this on
+# every push; run it locally after adding a crate.
+set -euo pipefail
+
+manifest="$(dirname "$0")/../Cargo.toml"
+
+# Extracts the sorted entries of a top-level TOML string array.
+extract() {
+  awk -v key="$1" '
+    $0 ~ "^"key" = \\[" { on = 1; next }
+    on && /^\]/ { on = 0 }
+    on {
+      line = $0
+      gsub(/[",]/, "", line)
+      gsub(/^[ \t]+|[ \t]+$/, "", line)
+      sub(/#.*/, "", line)
+      if (line != "") print line
+    }
+  ' "$manifest" | sort
+}
+
+members="$(extract members)"
+default_members="$(extract default-members | grep -v '^\.$' || true)"
+
+if [ -z "$members" ]; then
+  echo "error: could not parse workspace members from $manifest" >&2
+  exit 2
+fi
+
+missing="$(comm -23 <(echo "$members") <(echo "$default_members"))"
+extra="$(comm -13 <(echo "$members") <(echo "$default_members"))"
+
+status=0
+if [ -n "$missing" ]; then
+  echo "error: workspace members missing from default-members (bare cargo test would skip them):" >&2
+  echo "$missing" | sed 's/^/  - /' >&2
+  status=1
+fi
+if [ -n "$extra" ]; then
+  echo "error: default-members entries that are not workspace members:" >&2
+  echo "$extra" | sed 's/^/  - /' >&2
+  status=1
+fi
+
+if [ "$status" -eq 0 ]; then
+  echo "default-members is in sync with members ($(echo "$members" | wc -l) crates + root facade)"
+fi
+exit "$status"

@@ -1,0 +1,179 @@
+//! Differential testing: the indexed PD serve path vs the retained
+//! linear-scan reference engine.
+//!
+//! `omfl_core::pd::PdOmflp` rebuilt its hot path on the incremental index
+//! layer (`omfl_core::index`): nearest-open-facility caches instead of
+//! per-request facility scans, and location-bucketed cap accumulators
+//! instead of full history walks on every opening. The claim is not
+//! "approximately the same algorithm" but **bit-for-bit the same process**:
+//! every `ServeOutcome`, every frozen dual, every cap and every cell of the
+//! bid matrices must be identical to `omfl_core::naive::NaivePd` (the
+//! pre-index implementation, frozen under the `naive-ref` feature).
+//!
+//! These tests drive both engines over the entire scenario catalog — every
+//! family in `catalog::registry()` across several seeds and profile shapes,
+//! plus proptest-driven random shapes — and compare with `to_bits`, not
+//! tolerances.
+
+use omfl_core::algorithm::OnlineAlgorithm;
+use omfl_core::naive::NaivePd;
+use omfl_core::pd::PdOmflp;
+use omfl_workload::catalog::{registry, CatalogProfile};
+use omfl_workload::Scenario;
+use proptest::prelude::*;
+
+/// Serves `scenario` with both engines, asserting bit-identical behavior at
+/// every arrival and over the whole frozen dual state at the end.
+fn assert_bit_identical(scenario: &Scenario, label: &str) {
+    let inst = scenario.instance();
+    let mut fast = PdOmflp::new(inst);
+    let mut slow = NaivePd::new(inst);
+
+    for (step, r) in scenario.requests.iter().enumerate() {
+        let a = fast
+            .serve(r)
+            .unwrap_or_else(|e| panic!("{label}: indexed serve failed: {e}"));
+        let b = slow
+            .serve(r)
+            .unwrap_or_else(|e| panic!("{label}: naive serve failed: {e}"));
+        // ServeOutcome's PartialEq compares exact f64 values.
+        assert_eq!(a, b, "{label}: outcome diverged at arrival {step}");
+        assert_eq!(
+            fast.dual_sum().to_bits(),
+            slow.dual_sum().to_bits(),
+            "{label}: dual sum diverged at arrival {step}"
+        );
+    }
+
+    // Solutions: same facilities (location, configuration, cost, opening
+    // time) and the same cost accounting, bitwise.
+    let (fs, ns) = (fast.solution(), slow.solution());
+    assert_eq!(fs.facilities().len(), ns.facilities().len(), "{label}");
+    for (ff, nf) in fs.facilities().iter().zip(ns.facilities()) {
+        assert_eq!(ff.location, nf.location, "{label}");
+        assert_eq!(ff.config, nf.config, "{label}");
+        assert_eq!(ff.cost.to_bits(), nf.cost.to_bits(), "{label}");
+        assert_eq!(ff.opened_at, nf.opened_at, "{label}");
+    }
+    assert_eq!(
+        fs.total_cost().to_bits(),
+        ns.total_cost().to_bits(),
+        "{label}: total cost"
+    );
+    assert_eq!(
+        fs.construction_cost().to_bits(),
+        ns.construction_cost().to_bits(),
+        "{label}: construction cost"
+    );
+    assert_eq!(
+        fs.connection_cost().to_bits(),
+        ns.connection_cost().to_bits(),
+        "{label}: connection cost"
+    );
+
+    // Frozen dual state: duals, caps and the joint caps per past request.
+    assert_eq!(fast.past_requests().len(), slow.past_requests().len());
+    for (i, (fp, np)) in fast
+        .past_requests()
+        .iter()
+        .zip(slow.past_requests())
+        .enumerate()
+    {
+        assert_eq!(fp.location, np.location, "{label}: request {i}");
+        assert_eq!(fp.commodities, np.commodities, "{label}: request {i}");
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&fp.duals), bits(&np.duals), "{label}: duals of {i}");
+        assert_eq!(bits(&fp.caps), bits(&np.caps), "{label}: caps of {i}");
+        assert_eq!(
+            fp.cap_total.to_bits(),
+            np.cap_total.to_bits(),
+            "{label}: joint cap of {i}"
+        );
+    }
+
+    // Bid matrices, cell by cell across the layout transpose (indexed B is
+    // commodity-major `e·m + p`; the reference kept point-major `p·s + e`).
+    let (m, s) = (inst.num_points(), inst.num_commodities());
+    let (fb, fbh) = fast.bids();
+    let (nb, nbh) = slow.bids();
+    for p in 0..m {
+        for e in 0..s {
+            assert_eq!(
+                fb[e * m + p].to_bits(),
+                nb[p * s + e].to_bits(),
+                "{label}: B[{p}][{e}]"
+            );
+        }
+    }
+    for p in 0..m {
+        assert_eq!(fbh[p].to_bits(), nbh[p].to_bits(), "{label}: B-hat[{p}]");
+    }
+}
+
+#[test]
+fn indexed_pd_matches_naive_on_every_catalog_family() {
+    let profile = CatalogProfile {
+        points: 12,
+        services: 9,
+        requests: 60,
+    };
+    for fam in registry() {
+        for seed in [1u64, 7, 2020] {
+            let sc = fam.build(&profile, seed).expect(fam.name);
+            assert_bit_identical(&sc, &format!("{} (seed {seed})", fam.name));
+        }
+    }
+}
+
+#[test]
+fn indexed_pd_matches_naive_on_long_streams_with_openings() {
+    // Longer streams exercise the cap-shrink passes hard: late openings
+    // must shrink exactly the same caps in exactly the same order.
+    let profile = CatalogProfile {
+        points: 16,
+        services: 12,
+        requests: 220,
+    };
+    for fam in registry().into_iter().take(4) {
+        let sc = fam.build(&profile, 99).expect(fam.name);
+        assert_bit_identical(&sc, &format!("{} (long)", fam.name));
+    }
+}
+
+#[test]
+fn indexed_pd_matches_naive_beyond_the_dense_distance_cap_shape() {
+    // A skinny profile (more points than the families usually get) checks
+    // the row-slice arithmetic near the profile edges; the dense-cache
+    // fallback itself is value-identical by construction.
+    let profile = CatalogProfile {
+        points: 40,
+        services: 4,
+        requests: 80,
+    };
+    for fam in registry() {
+        let sc = fam.build(&profile, 5).expect(fam.name);
+        assert_bit_identical(&sc, &format!("{} (skinny)", fam.name));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random (family, seed, shape) triples: the indexed and reference
+    /// engines must be bit-identical everywhere, not just on hand-picked
+    /// profiles.
+    #[test]
+    fn indexed_pd_matches_naive_on_random_catalog_draws(
+        family_idx in 0usize..64,
+        seed in 0u64..10_000,
+        points in 4usize..20,
+        services in 2u16..14,
+        requests in 5usize..70,
+    ) {
+        let families = registry();
+        let fam = families[family_idx % families.len()];
+        let profile = CatalogProfile { points, services, requests };
+        let sc = fam.build(&profile, seed).unwrap();
+        assert_bit_identical(&sc, &format!("{} (prop seed {seed})", fam.name));
+    }
+}

@@ -1,0 +1,139 @@
+//! Bound-curve checks at the index refresh boundary.
+//!
+//! The incremental index layer refreshes its nearest-facility caches and
+//! cap buckets exactly when a facility opens. An off-by-one there (caps
+//! shrunk too early/late, a stale nearest distance) would not necessarily
+//! crash — it would silently bend the dual accounting the paper's
+//! guarantees rest on. So, for every catalog family, these tests re-assert
+//! the two theorem-backed inequalities **on the exact arrivals where the
+//! caches were refreshed** (i.e. where `ServeOutcome::opened` is
+//! non-empty):
+//!
+//! * **Corollary 8**: `cost ≤ 3 · Σ_r Σ_e a_{re}` — the primal-dual charging
+//!   argument, sensitive to bid reinvestment bookkeeping;
+//! * **Corollary 17**: the scaled dual sum `γ·Σa` (γ = 1/(5·√|S|·H_n)) is a
+//!   lower bound on OPT, hence at most the algorithm's own cost; combining
+//!   both, `cost ≤ 15·√|S|·H_n · (scaled dual LB)` must hold with *no*
+//!   slack constant — it is an identity of the two corollaries, checked
+//!   here against `omfl_core::bounds::sqrt_s` and `harmonic`.
+
+use omfl_core::algorithm::OnlineAlgorithm;
+use omfl_core::pd::PdOmflp;
+use omfl_core::{bounds, harmonic};
+use omfl_workload::catalog::{registry, CatalogProfile};
+
+fn profile() -> CatalogProfile {
+    CatalogProfile {
+        points: 12,
+        services: 9,
+        requests: 70,
+    }
+}
+
+#[test]
+fn corollary8_holds_on_every_cache_refresh_arrival() {
+    for fam in registry() {
+        let sc = fam.build(&profile(), 11).expect(fam.name);
+        let inst = sc.instance();
+        let mut pd = PdOmflp::new(inst);
+        let mut refreshes = 0usize;
+        for (step, r) in sc.requests.iter().enumerate() {
+            let out = pd.serve(r).expect(fam.name);
+            if out.opened.is_empty() {
+                continue;
+            }
+            refreshes += 1;
+            // The opening just updated the nearest caches and shrank caps;
+            // the charging argument must survive the refresh.
+            let cost = pd.solution().total_cost();
+            let bound = 3.0 * pd.dual_sum();
+            assert!(
+                cost <= bound + 1e-7 * (1.0 + bound),
+                "{}: Corollary 8 violated at refresh arrival {step}: \
+                 cost {cost} > 3Σa = {bound}",
+                fam.name
+            );
+        }
+        assert!(
+            refreshes > 0,
+            "{}: no openings — the boundary was never exercised",
+            fam.name
+        );
+        // Openings refresh the index exactly once each.
+        assert_eq!(
+            pd.facility_index().openings(),
+            pd.solution().facilities().len(),
+            "{}",
+            fam.name
+        );
+    }
+}
+
+#[test]
+fn scaled_dual_lower_bound_stays_below_cost_at_refreshes() {
+    for fam in registry() {
+        let sc = fam.build(&profile(), 23).expect(fam.name);
+        let inst = sc.instance();
+        let s = inst.num_commodities();
+        let mut pd = PdOmflp::new(inst);
+        for (step, r) in sc.requests.iter().enumerate() {
+            let out = pd.serve(r).expect(fam.name);
+            if out.opened.is_empty() {
+                continue;
+            }
+            let cost = pd.solution().total_cost();
+            let lb = pd.scaled_dual_lower_bound();
+            let n = pd.past_requests().len();
+            // γΣa ≤ OPT ≤ ALG's own (feasible) cost.
+            assert!(
+                lb <= cost + 1e-7 * (1.0 + cost),
+                "{}: dual LB {lb} exceeds cost {cost} at refresh arrival {step}",
+                fam.name
+            );
+            assert!(lb > 0.0, "{}: dual LB vanished after openings", fam.name);
+            // The corollary-composition identity, in terms of the bounds
+            // module's curve pieces: cost ≤ 3Σa = 15·√S·H_n·(γΣa).
+            let curve = 15.0 * bounds::sqrt_s(s) * harmonic(n);
+            assert!(
+                cost <= curve * lb + 1e-6 * (1.0 + curve * lb),
+                "{}: cost {cost} > 15·√S·H_n·LB = {} at refresh arrival {step}",
+                fam.name,
+                curve * lb
+            );
+        }
+    }
+}
+
+#[test]
+fn refresh_arrival_state_matches_a_fresh_replay() {
+    // The cache-refresh arrival must leave the engine in a state
+    // indistinguishable from replaying the prefix from scratch — i.e. the
+    // incremental maintenance carries no hidden history dependence.
+    let fam = registry()
+        .into_iter()
+        .find(|f| f.name == "zipf-services")
+        .unwrap();
+    let sc = fam.build(&profile(), 3).unwrap();
+    let inst = sc.instance();
+    let mut pd = PdOmflp::new(inst);
+    for (step, r) in sc.requests.iter().enumerate() {
+        let out = pd.serve(r).unwrap();
+        if out.opened.is_empty() || step < 5 {
+            continue;
+        }
+        let mut replay = PdOmflp::new(inst);
+        for rr in &sc.requests[..=step] {
+            replay.serve(rr).unwrap();
+        }
+        assert_eq!(
+            pd.dual_sum().to_bits(),
+            replay.dual_sum().to_bits(),
+            "prefix replay diverged at {step}"
+        );
+        assert_eq!(
+            pd.solution().total_cost().to_bits(),
+            replay.solution().total_cost().to_bits()
+        );
+        break; // one deep replay per run keeps the test fast
+    }
+}
