@@ -7,8 +7,9 @@
 //! experiments --out results/       also write CSVs (default: results/)
 //! experiments --emit-json [dir]    write BENCH_pd.json / BENCH_sweep.json
 //! experiments --check-json [dir]   re-run the smoke profile and fail on
-//!                                  missing keys or a >2x perf regression
-//!                                  against the committed baselines
+//!                                  missing keys, a >1.5x perf regression
+//!                                  on any >=1ms cell, or a speedup below
+//!                                  its floor, vs the committed baselines
 //! ```
 
 use omfl_bench::{perfjson, registry};

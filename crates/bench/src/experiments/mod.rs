@@ -8,6 +8,7 @@ pub mod fig2;
 pub mod fig3;
 pub mod model_split;
 pub mod order;
+pub mod pd_argmin;
 pub mod thm18;
 pub mod thm19;
 pub mod thm2;

@@ -84,5 +84,10 @@ pub fn registry() -> Vec<Experiment> {
             title: "Scenario catalog: every workload family × all four engines",
             run: experiments::catalog::run,
         },
+        Experiment {
+            id: "pd-argmin",
+            title: "PD opening targets: incremental t3/t4 argmin vs full scans at large |M|",
+            run: experiments::pd_argmin::run,
+        },
     ]
 }

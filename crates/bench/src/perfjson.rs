@@ -4,24 +4,30 @@
 //! The ROADMAP's "measurably faster" PRs need numbers to beat; this module
 //! produces them. Two artifacts:
 //!
-//! * **`BENCH_pd.json`** — the PD serve hot path on the `zipf-services`
-//!   family at 4096 requests, indexed engine vs the retained linear-scan
-//!   reference (`omfl_core::naive::NaivePd`), with the speedup ratio the
-//!   index layer buys;
+//! * **`BENCH_pd.json`** — the PD serve hot path, twice: the
+//!   `zipf-services` cell (indexed engine vs the retained linear-scan
+//!   reference `omfl_core::naive::NaivePd` — the PR 3 index-layer speedup)
+//!   and the `large` cell (`zipf-services-large` at |M| = 4096, incremental
+//!   opening-target engine vs the PR 3 full-scan path
+//!   `PdOmflp::with_full_scans` — what the t3/t4 argmin index and the
+//!   blocked row cache buy at large metrics);
 //! * **`BENCH_sweep.json`** — per (engine × family) serve wall-clock
-//!   (mean/min/max over trials) for the whole catalog under the
+//!   (mean/std/min/max over trials) for the whole catalog under the
 //!   work-stealing sweep.
 //!
 //! The committed files at the repo root are the baseline; CI re-runs the
 //! smoke profile and [`check`]s the fresh numbers against them: missing
 //! keys fail, a `secs.mean` with a baseline of at least [`MIN_GATED_SECS`]
-//! regressing by more than [`REGRESSION_FACTOR`] fails, and the PD speedup
-//! dropping below [`MIN_PD_SPEEDUP`] fails. Wall-clock comparisons across
-//! machines are inherently noisy — hence the 2× factor, the sub-millisecond
-//! exemption, and the emphasis on the machine-independent *ratio*.
+//! regressing by more than [`REGRESSION_FACTOR`] fails, and the speedups
+//! dropping below [`MIN_PD_SPEEDUP`] / [`MIN_LARGE_PD_SPEEDUP`] fail.
+//! Wall-clock comparisons across machines are inherently noisy — hence the
+//! sub-millisecond exemption and the emphasis on the machine-independent
+//! *ratios*; the recorded `std` per summary is what justified tightening
+//! the factor to 1.5×.
 //!
 //! JSON is written and parsed by hand (the workspace vendors no serde): the
-//! emitter produces a two-level object tree of numbers/strings, and the
+//! emitter produces a small object tree of numbers/strings (nested objects
+//! to any depth — `large.incremental_secs.mean` is three levels), and the
 //! parser below reads exactly that shape back as flattened dotted keys.
 
 use omfl_core::algorithm::OnlineAlgorithm;
@@ -37,8 +43,11 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 /// Fresh `secs.mean` may be at most this factor above the committed
-/// baseline before the check fails.
-pub const REGRESSION_FACTOR: f64 = 2.0;
+/// baseline before the check fails. Applies only to cells whose baseline is
+/// at least [`MIN_GATED_SECS`]; with the recorded `std` showing
+/// millisecond-scale cells jitter well under 50% between runs, the factor
+/// sits at 1.5 (down from the initial 2.0).
+pub const REGRESSION_FACTOR: f64 = 1.5;
 
 /// Absolute-seconds regression gating only applies to keys whose committed
 /// baseline is at least this long. Sub-millisecond cells (the per-family
@@ -52,6 +61,14 @@ pub const MIN_GATED_SECS: f64 = 1e-3;
 /// acceptance bar when the index landed was 3×; CI machines are slower and
 /// noisier than the dev box, so the hard floor leaves headroom.
 pub const MIN_PD_SPEEDUP: f64 = 2.0;
+
+/// The incremental-vs-full-scan PD speedup on the large-metric cell
+/// (`zipf-services-large`, |M| ≥ 4096) must stay at least this high. The
+/// acceptance bar when the opening-target index landed was 3× (the
+/// committed baseline records it); like [`MIN_PD_SPEEDUP`] vs its own 3×
+/// bar, the hard CI floor sits below the bar to absorb shared-runner and
+/// cache-topology variance — the dev box measured 3.0–3.4× across runs.
+pub const MIN_LARGE_PD_SPEEDUP: f64 = 2.5;
 
 /// The PD hot-path bench profile: `zipf-services` at 4096 requests with a
 /// service-heavy shape — the regime the index layer targets, where the
@@ -68,6 +85,18 @@ pub fn pd_profile() -> CatalogProfile {
 /// times are above timer noise.
 pub fn sweep_profile() -> CatalogProfile {
     CatalogProfile::default()
+}
+
+/// The large-metric PD profile: `zipf-services-large` scales `points` by
+/// 32×, so this reaches |M| = 4096 — the regime where the per-arrival t3/t4
+/// opening-target scans dominate PD serve and the incremental argmin index
+/// is the order-of-magnitude lever.
+pub fn pd_large_profile() -> CatalogProfile {
+    CatalogProfile {
+        points: 128,
+        services: 64,
+        requests: 4096,
+    }
 }
 
 /// PD hot-path measurement: indexed vs linear-scan reference.
@@ -147,16 +176,131 @@ pub fn pd_bench(profile: &CatalogProfile, repeats: usize) -> Result<PdBench, Cor
     })
 }
 
+/// Large-metric PD measurement for `BENCH_pd.json`: the shared paired
+/// timing plus the identifying metadata the JSON cell records.
+#[derive(Debug, Clone)]
+pub struct PdLargeBench {
+    /// Workload family name.
+    pub family: &'static str,
+    /// Commodity count.
+    pub services: u16,
+    /// The paired incremental-vs-scan measurement.
+    pub timing: PairedPdTiming,
+}
+
+impl PdLargeBench {
+    /// `scan.mean / incremental.mean` — what the opening-target index and
+    /// the blocked row cache buy at large |M|.
+    pub fn speedup(&self) -> f64 {
+        self.timing.scan.mean / self.timing.incremental.mean
+    }
+}
+
+/// One paired incremental-vs-full-scan PD measurement, plus the index
+/// diagnostics of the last incremental run. Produced by
+/// [`paired_pd_timing`] — the single benchmark protocol behind both the
+/// `BENCH_pd.json` `large` cell and the `pd-argmin` experiment, so the
+/// gated number and the reported table can never drift apart.
+#[derive(Debug, Clone)]
+pub struct PairedPdTiming {
+    /// Actual metric size |M|.
+    pub points: usize,
+    /// Requests served per run.
+    pub requests: usize,
+    /// Incremental-engine wall-clock seconds over the repeats.
+    pub incremental: Summary,
+    /// Full-scan (PR 3 path) wall-clock seconds.
+    pub scan: Summary,
+    /// Share of opening-target blocks the prune skipped.
+    pub block_skip_rate: f64,
+    /// Blocked row-cache hit rate (`None` on the dense backend).
+    pub row_hit_rate: Option<f64>,
+}
+
+/// Times PD serve on a catalog family: incremental t3/t4 maintenance +
+/// blocked rows (`PdOmflp::new`) against the PR 3 full scans
+/// (`PdOmflp::with_full_scans`). One untimed warm-up pair first; every
+/// timed pair is cross-checked bit-identical — the harness refuses to
+/// report timings of divergent engines.
+pub fn paired_pd_timing(
+    family_name: &str,
+    profile: &CatalogProfile,
+    repeats: usize,
+) -> Result<PairedPdTiming, CoreError> {
+    let family = catalog::by_name(family_name).expect("catalog family");
+    let scenario = family.build(profile, 0x0B5E55ED)?;
+    let inst = scenario.instance();
+
+    {
+        let mut warm_fast = PdOmflp::new(inst);
+        let mut warm_slow = PdOmflp::with_full_scans(inst);
+        for r in &scenario.requests {
+            warm_fast.serve(r)?;
+            warm_slow.serve(r)?;
+        }
+    }
+
+    let mut incremental = Vec::with_capacity(repeats);
+    let mut scan = Vec::with_capacity(repeats);
+    let mut block_skip_rate = 0.0;
+    let mut row_hit_rate = None;
+    for _ in 0..repeats {
+        let t0 = Instant::now();
+        let mut fast = PdOmflp::new(inst);
+        for r in &scenario.requests {
+            fast.serve(r)?;
+        }
+        incremental.push(t0.elapsed().as_secs_f64());
+
+        let t0 = Instant::now();
+        let mut slow = PdOmflp::with_full_scans(inst);
+        for r in &scenario.requests {
+            slow.serve(r)?;
+        }
+        scan.push(t0.elapsed().as_secs_f64());
+
+        assert_eq!(
+            fast.solution().total_cost().to_bits(),
+            slow.solution().total_cost().to_bits(),
+            "incremental and full-scan PD diverged — bench numbers would be invalid"
+        );
+        let (skipped, scanned) = fast.opening_target_stats().expect("incremental stats");
+        block_skip_rate = skipped as f64 / (skipped + scanned).max(1) as f64;
+        row_hit_rate = fast
+            .distance_cache_stats()
+            .map(|(h, m, _)| h as f64 / (h + m).max(1) as f64);
+    }
+    Ok(PairedPdTiming {
+        points: inst.num_points(),
+        requests: scenario.len(),
+        incremental: summarize(&incremental),
+        scan: summarize(&scan),
+        block_skip_rate,
+        row_hit_rate,
+    })
+}
+
+/// Times PD serve on `zipf-services-large` (|M| = 32 × `profile.points`)
+/// via [`paired_pd_timing`] and shapes the result for `BENCH_pd.json`.
+pub fn pd_large_bench(profile: &CatalogProfile, repeats: usize) -> Result<PdLargeBench, CoreError> {
+    Ok(PdLargeBench {
+        family: "zipf-services-large",
+        services: profile.services,
+        timing: paired_pd_timing("zipf-services-large", profile, repeats)?,
+    })
+}
+
 fn summary_json(out: &mut String, key: &str, s: &Summary, indent: &str) {
     let _ = write!(
         out,
-        "{indent}\"{key}\": {{ \"n\": {}, \"mean\": {:.9}, \"min\": {:.9}, \"max\": {:.9} }}",
-        s.n, s.mean, s.min, s.max
+        "{indent}\"{key}\": {{ \"n\": {}, \"mean\": {:.9}, \"std\": {:.9}, \"min\": {:.9}, \"max\": {:.9} }}",
+        s.n, s.mean, s.std, s.min, s.max
     );
 }
 
-/// Renders `BENCH_pd.json`.
-pub fn pd_json(b: &PdBench) -> String {
+/// Renders `BENCH_pd.json`: the small-metric indexed-vs-naive cell plus the
+/// large-metric incremental-vs-scan cell.
+pub fn pd_json(b: &PdBench, large: &PdLargeBench) -> String {
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"family\": \"{}\",", b.family);
     let _ = writeln!(out, "  \"requests\": {},", b.requests);
@@ -166,8 +310,23 @@ pub fn pd_json(b: &PdBench) -> String {
     out.push_str(",\n");
     summary_json(&mut out, "naive_secs", &b.naive, "  ");
     out.push_str(",\n");
-    let _ = writeln!(out, "  \"speedup\": {:.4}", b.speedup());
-    out.push_str("}\n");
+    let _ = writeln!(out, "  \"speedup\": {:.4},", b.speedup());
+    out.push_str("  \"large\": {\n");
+    let _ = writeln!(out, "    \"family\": \"{}\",", large.family);
+    let _ = writeln!(out, "    \"requests\": {},", large.timing.requests);
+    let _ = writeln!(out, "    \"points\": {},", large.timing.points);
+    let _ = writeln!(out, "    \"services\": {},", large.services);
+    summary_json(
+        &mut out,
+        "incremental_secs",
+        &large.timing.incremental,
+        "    ",
+    );
+    out.push_str(",\n");
+    summary_json(&mut out, "scan_secs", &large.timing.scan, "    ");
+    out.push_str(",\n");
+    let _ = writeln!(out, "    \"speedup\": {:.4}", large.speedup());
+    out.push_str("  }\n}\n");
     out
 }
 
@@ -332,8 +491,10 @@ fn parse_object(
 /// Failure modes, in the order they are reported:
 /// * a key present in the baseline but missing from the fresh run;
 /// * a fresh `*.secs.mean` / `*_secs.mean` more than [`REGRESSION_FACTOR`]
-///   above the committed value;
-/// * a fresh `speedup` below [`MIN_PD_SPEEDUP`].
+///   above the committed value (baselines of at least [`MIN_GATED_SECS`]
+///   only);
+/// * a fresh `speedup` below [`MIN_PD_SPEEDUP`];
+/// * a fresh `large.speedup` below [`MIN_LARGE_PD_SPEEDUP`].
 pub fn check(fresh: &str, committed: &str, label: &str) -> Result<Vec<String>, Vec<String>> {
     let (f_nums, f_strs) =
         parse_flat(fresh).map_err(|e| vec![format!("{label}: fresh JSON unreadable: {e}")])?;
@@ -377,6 +538,12 @@ pub fn check(fresh: &str, committed: &str, label: &str) -> Result<Vec<String>, V
                  (baseline {base:.2}x)"
             ));
         }
+        if key == "large.speedup" && now < MIN_LARGE_PD_SPEEDUP {
+            errors.push(format!(
+                "{label}: large-metric PD speedup {now:.2}x below the \
+                 {MIN_LARGE_PD_SPEEDUP}x floor (baseline {base:.2}x)"
+            ));
+        }
     }
     if errors.is_empty() {
         Ok(notes)
@@ -390,10 +557,11 @@ pub fn check(fresh: &str, committed: &str, label: &str) -> Result<Vec<String>, V
 /// contents.
 pub fn smoke_profile_json() -> Result<(String, String), CoreError> {
     let pd = pd_bench(&pd_profile(), 5)?;
-    let pd_doc = pd_json(&pd);
+    let large = pd_large_bench(&pd_large_profile(), 3)?;
+    let pd_doc = pd_json(&pd, &large);
     // Cells are timed serially: under a parallel sweep, co-scheduled cells
-    // contend for cores and per-cell wall-clock becomes too noisy to gate a
-    // 2x regression check on.
+    // contend for cores and per-cell wall-clock becomes too noisy to gate
+    // the regression factor on.
     let sweep_doc = sweep_json(&sweep_profile(), 2020, 3, 1)?;
     Ok((pd_doc, sweep_doc))
 }
@@ -404,22 +572,26 @@ mod tests {
 
     #[test]
     fn emitted_pd_json_round_trips() {
-        let b = pd_bench(
-            &CatalogProfile {
-                points: 8,
-                services: 8,
-                requests: 64,
-            },
-            2,
-        )
-        .unwrap();
-        let doc = pd_json(&b);
+        let profile = CatalogProfile {
+            points: 8,
+            services: 8,
+            requests: 64,
+        };
+        let b = pd_bench(&profile, 2).unwrap();
+        let large = pd_large_bench(&profile, 2).unwrap();
+        let doc = pd_json(&b, &large);
         let (nums, strs) = parse_flat(&doc).unwrap();
         assert_eq!(strs["family"], "zipf-services");
         assert_eq!(nums["requests"], 64.0);
         assert!(nums["indexed_secs.mean"] > 0.0);
         assert!(nums["naive_secs.mean"] > 0.0);
+        assert!(nums.contains_key("indexed_secs.std"));
         assert!(nums.contains_key("speedup"));
+        assert_eq!(strs["large.family"], "zipf-services-large");
+        assert_eq!(nums["large.points"], 256.0); // 8 × 32 scale
+        assert!(nums["large.incremental_secs.mean"] > 0.0);
+        assert!(nums["large.scan_secs.mean"] > 0.0);
+        assert!(nums.contains_key("large.speedup"));
     }
 
     #[test]
@@ -451,6 +623,17 @@ mod tests {
         let slow = r#"{ "a": { "secs": { "mean": 3.0 } }, "speedup": 4.0 }"#;
         let errs = check(slow, base, "t").unwrap_err();
         assert!(errs[0].contains("regressed"));
+        // 1.6x slower on a >= 1 ms baseline: the tightened gate fires too.
+        let slow16 = r#"{ "a": { "secs": { "mean": 1.6 } }, "speedup": 4.0 }"#;
+        let errs = check(slow16, base, "t").unwrap_err();
+        assert!(errs[0].contains("regressed"), "1.5x gate must fire at 1.6x");
+        // 1.4x stays within the tightened tolerance.
+        let ok14 = r#"{ "a": { "secs": { "mean": 1.4 } }, "speedup": 4.0 }"#;
+        assert!(check(ok14, base, "t").is_ok());
+        // Sub-millisecond baselines stay ungated however noisy.
+        let sub = r#"{ "a": { "secs": { "mean": 0.0005 } }, "speedup": 4.0 }"#;
+        let noisy = r#"{ "a": { "secs": { "mean": 0.005 } }, "speedup": 4.0 }"#;
+        assert!(check(noisy, sub, "t").is_ok());
         // Missing key: fails.
         let missing = r#"{ "speedup": 4.0 }"#;
         let errs = check(missing, base, "t").unwrap_err();
@@ -459,6 +642,13 @@ mod tests {
         let collapsed = r#"{ "a": { "secs": { "mean": 1.0 } }, "speedup": 1.1 }"#;
         let errs = check(collapsed, base, "t").unwrap_err();
         assert!(errs[0].contains("below"));
+        // Large-metric speedup has its own floor.
+        let base_l = r#"{ "large": { "speedup": 3.2 } }"#;
+        let sagged = r#"{ "large": { "speedup": 2.0 } }"#;
+        let errs = check(sagged, base_l, "t").unwrap_err();
+        assert!(errs[0].contains("large-metric"));
+        let fine = r#"{ "large": { "speedup": 2.8 } }"#;
+        assert!(check(fine, base_l, "t").is_ok());
     }
 
     #[test]

@@ -37,6 +37,10 @@ impl Metric for SharedMetric {
     fn distance(&self, a: PointId, b: PointId) -> f64 {
         self.0.distance(a, b)
     }
+
+    fn fill_row(&self, q: PointId, out: &mut [f64]) {
+        self.0.fill_row(q, out)
+    }
 }
 
 /// Cost adapter presenting the light sub-universe of a [`CostModel`].

@@ -44,10 +44,12 @@ const NO_FACILITY: u32 = u32::MAX;
 #[derive(Debug, Clone)]
 pub struct FacilityIndex {
     points: usize,
-    services: usize,
-    /// `d(F(e) ∩ smalls, p)`, flat `p·|S| + e`; `INFINITY` when empty.
+    /// `d(F(e) ∩ smalls, p)`, flat `e·|M| + p` (commodity-major: opening
+    /// updates walk every `p` for one `e`, so this keeps them on contiguous
+    /// memory; queries are single lookups either way). `INFINITY` when
+    /// empty.
     small_d: Vec<f64>,
-    /// Matching facility ids, flat `p·|S| + e`; `NO_FACILITY` when empty.
+    /// Matching facility ids, flat `e·|M| + p`; `NO_FACILITY` when empty.
     small_f: Vec<u32>,
     /// `d(F̂, p)`; `INFINITY` when empty.
     large_d: Vec<f64>,
@@ -62,7 +64,6 @@ impl FacilityIndex {
     pub fn new(points: usize, services: usize) -> Self {
         Self {
             points,
-            services,
             small_d: vec![f64::INFINITY; points * services],
             small_f: vec![NO_FACILITY; points * services],
             large_d: vec![f64::INFINITY; points],
@@ -90,11 +91,11 @@ impl FacilityIndex {
         at: PointId,
         fid: FacilityId,
     ) {
-        let s = self.services;
+        let base = e.index() * self.points;
         for p in 0..self.points {
             // Same argument order as the scan it replaces: d(query, location).
             let d = inst.distance(PointId(p as u32), at);
-            let idx = p * s + e.index();
+            let idx = base + p;
             if d < self.small_d[idx] {
                 self.small_d[idx] = d;
                 self.small_f[idx] = fid.0;
@@ -115,13 +116,44 @@ impl FacilityIndex {
         self.openings += 1;
     }
 
+    /// [`Self::note_small_opening`] with the opening location's distance
+    /// row supplied by the caller (`row[p] = d(p, at)`, e.g. from a
+    /// [`omfl_metric::blocked::BlockedRowCache`]). The row values must be
+    /// the verbatim metric results — then this is bit-identical to the
+    /// per-call variant, minus the `O(|M|)` pointer-chasing.
+    pub fn note_small_opening_with_row(&mut self, row: &[f64], e: CommodityId, fid: FacilityId) {
+        let base = e.index() * self.points;
+        let (d_row, f_row) = (
+            &mut self.small_d[base..base + row.len()],
+            &mut self.small_f[base..base + row.len()],
+        );
+        for ((sd, sf), &d) in d_row.iter_mut().zip(f_row.iter_mut()).zip(row) {
+            if d < *sd {
+                *sd = d;
+                *sf = fid.0;
+            }
+        }
+        self.openings += 1;
+    }
+
+    /// [`Self::note_large_opening`] with a caller-supplied distance row.
+    pub fn note_large_opening_with_row(&mut self, row: &[f64], fid: FacilityId) {
+        for (p, &d) in row.iter().enumerate() {
+            if d < self.large_d[p] {
+                self.large_d[p] = d;
+                self.large_f[p] = fid.0;
+            }
+        }
+        self.openings += 1;
+    }
+
     /// Nearest open facility offering `e` (small-for-`e` or large), `O(1)`.
     ///
     /// Ties between a small and a large facility go to the small one — the
     /// scan order of the linear search this replaces.
     #[inline]
     pub fn nearest_offering(&self, e: CommodityId, from: PointId) -> Option<(FacilityId, f64)> {
-        let idx = from.index() * self.services + e.index();
+        let idx = e.index() * self.points + from.index();
         let (sd, ld) = (self.small_d[idx], self.large_d[from.index()]);
         if sd.is_infinite() && ld.is_infinite() {
             return None;
@@ -147,7 +179,7 @@ impl FacilityIndex {
     /// Nearest open small facility offering `e` (larges excluded), `O(1)`.
     #[inline]
     pub fn nearest_small(&self, e: CommodityId, from: PointId) -> Option<(FacilityId, f64)> {
-        let idx = from.index() * self.services + e.index();
+        let idx = e.index() * self.points + from.index();
         let d = self.small_d[idx];
         if d.is_infinite() {
             None
@@ -172,9 +204,10 @@ impl FacilityIndex {
 /// lowers them); they are never stale low, so skipping is always sound.
 #[derive(Debug, Clone, Default)]
 pub struct PastIndex {
-    services: usize,
-    /// Members demanding `e` located at `ℓ`, flat `ℓ·|S| + e`, in
-    /// `(past index, slot)` push order (ascending — freeze appends).
+    points: usize,
+    /// Members demanding `e` located at `ℓ`, flat `e·|M| + ℓ`
+    /// (commodity-major: the candidate filter walks every `ℓ` for one `e`),
+    /// in `(past index, slot)` push order (ascending — freeze appends).
     by_loc_e: Vec<Vec<(u32, u16)>>,
     /// Upper bound on `caps[slot]` over the matching bucket.
     max_cap_e: Vec<f64>,
@@ -188,7 +221,7 @@ impl PastIndex {
     /// An empty past-request index over `points × services`.
     pub fn new(points: usize, services: usize) -> Self {
         Self {
-            services,
+            points,
             by_loc_e: vec![Vec::new(); points * services],
             max_cap_e: vec![0.0; points * services],
             by_loc: vec![Vec::new(); points],
@@ -209,7 +242,7 @@ impl PastIndex {
         let l = loc.index();
         let mut any = cap_total;
         for (slot, (&e, &cap)) in commodities.iter().zip(caps).enumerate() {
-            let idx = l * self.services + e.index();
+            let idx = e.index() * self.points + l;
             self.by_loc_e[idx].push((pi, slot as u16));
             if cap > self.max_cap_e[idx] {
                 self.max_cap_e[idx] = cap;
@@ -236,10 +269,10 @@ impl PastIndex {
         e: CommodityId,
         at: PointId,
     ) -> Vec<(u32, u16)> {
-        let s = self.services;
+        let base = e.index() * self.points;
         let mut out = Vec::new();
         for l in 0..self.by_loc.len() {
-            let idx = l * s + e.index();
+            let idx = base + l;
             if self.by_loc_e[idx].is_empty() {
                 continue;
             }
@@ -270,6 +303,234 @@ impl PastIndex {
         }
         out.sort_unstable();
         out
+    }
+}
+
+/// Incremental maintenance of the PD opening targets — the per-arrival
+/// t3/t4 argmins `min_m (f_m − B_m)⁺ + d(m, r)` — via a bucketed
+/// lower-bound prune list.
+///
+/// The PD event loop needs, per arrival at `r`, the cheapest *temporary
+/// small* opening for each demanded commodity (t3, one argmin per `e` over
+/// `(f^e_m − B[m][e])⁺ + d(m, r)`) and the cheapest *large* opening (t4,
+/// over `(f^S_m − B̂[m])⁺ + d(m, r)`). Recomputing them by full scan is
+/// `O(k·|M|)` per arrival — the dominant cost once the nearest-facility
+/// caches ([`FacilityIndex`]) made everything else `O(1)`.
+///
+/// # The structure
+///
+/// Locations are partitioned into fixed blocks of [`TARGET_BLOCK`] ids.
+/// Per commodity (plus one slot for t4) the index maintains, per block, a
+/// **certified lower bound** on the *distance-free* part of the key:
+///
+/// ```text
+/// blockmin[e][b] ≤ min_{m ∈ block b} (f^e_m − B[m][e])⁺     (the invariant)
+/// ```
+///
+/// Since `d ≥ 0`, `blockmin` also lower-bounds every full key in the
+/// block, whatever the query location — so a query walks blocks in
+/// ascending id order, keeps the strict-`<` running best, and **skips
+/// every block whose bound says it cannot strictly beat the best so far**.
+/// Skipping on `blockmin ≥ best` is exact, tie-breaking included: a
+/// skipped block's keys are all `≥ best`, and an exact tie in a later
+/// block loses to the earlier winner under the scan's first-minimum rule
+/// anyway. Blocks that survive the prune are scanned with the verbatim
+/// scan loop, so the returned `(value, location)` is bit-identical to the
+/// full scan — `tests/tests/index_bounds.rs` locksteps this against a
+/// full-scan engine at every arrival.
+///
+/// # Maintenance under the PD budget dynamics
+///
+/// The primal-dual process moves budgets in two directions with very
+/// different frequencies (paper §3):
+///
+/// * **Bumps** (every freeze): `B` grows, keys *fall*. The engine calls
+///   [`Self::note_small_bump`] / [`Self::note_large_bump`] with the new
+///   distance-free key for exactly the locations that moved —
+///   `blockmin = min(blockmin, new)`, `O(1)` per moved budget, and the
+///   invariant is restored immediately.
+/// * **Shrinks** (only when a facility opens, rare): `B` falls, keys
+///   *rise*. A stale-low `blockmin` stays a valid lower bound — pruning
+///   merely gets weaker, never wrong — so correctness needs no action at
+///   all. To keep the prune tight the engine calls [`Self::rebuild_small`]
+///   / [`Self::rebuild_large`] for the affected rows after its cap-shrink
+///   pass (`O(|M|)`, the same order as the pass itself).
+///
+/// Memory: `(|S| + 1) · ⌈|M| / TARGET_BLOCK⌉` floats — with the default
+/// block size of 32, about 1/32nd of the bid matrix the engine already
+/// holds.
+#[derive(Debug, Clone)]
+pub struct OpeningTargetIndex {
+    /// Per-commodity block bounds, flat `e · nblocks + b`.
+    small: Vec<f64>,
+    /// t4 block bounds.
+    large: Vec<f64>,
+    nblocks: usize,
+    /// Blocks pruned / scanned across all queries (diagnostics; the
+    /// lockstep tests assert pruning actually engages).
+    skipped: u64,
+    scanned: u64,
+}
+
+/// Locations per prune block of the [`OpeningTargetIndex`].
+pub const TARGET_BLOCK: usize = 32;
+
+/// `(f − b)⁺` — the distance-free part of an opening-target key.
+#[inline]
+fn opening_key(f: f64, b: f64) -> f64 {
+    (f - b).max(0.0)
+}
+
+fn block_bounds(f_row: &[f64], b_row: &[f64], out: &mut [f64]) {
+    for (bi, slot) in out.iter_mut().enumerate() {
+        let start = bi * TARGET_BLOCK;
+        let end = (start + TARGET_BLOCK).min(f_row.len());
+        let mut min = f64::INFINITY;
+        for p in start..end {
+            let v = opening_key(f_row[p], b_row[p]);
+            if v < min {
+                min = v;
+            }
+        }
+        *slot = min;
+    }
+}
+
+impl OpeningTargetIndex {
+    /// Bounds for an engine whose budgets are all zero: the distance-free
+    /// keys are the facility costs themselves. `f_small` is commodity-major
+    /// (`e·|M| + p`), `f_full` per point — the engine's own layouts.
+    pub fn new(points: usize, services: usize, f_small: &[f64], f_full: &[f64]) -> Self {
+        let nblocks = points.div_ceil(TARGET_BLOCK);
+        let zeros = vec![0.0; points];
+        let mut small = vec![f64::INFINITY; services * nblocks];
+        for e in 0..services {
+            block_bounds(
+                &f_small[e * points..(e + 1) * points],
+                &zeros,
+                &mut small[e * nblocks..(e + 1) * nblocks],
+            );
+        }
+        let mut large = vec![f64::INFINITY; nblocks];
+        block_bounds(f_full, &zeros, &mut large);
+        Self {
+            small,
+            large,
+            nblocks,
+            skipped: 0,
+            scanned: 0,
+        }
+    }
+
+    /// The t3 argmin for commodity `e` from the query whose distance row is
+    /// `dist_row`: bit-identical to the full strict-`<` scan, skipping
+    /// blocks whose bound cannot strictly improve the running best.
+    pub fn small_target(
+        &mut self,
+        e: CommodityId,
+        f_row: &[f64],
+        b_row: &[f64],
+        dist_row: &[f64],
+    ) -> (f64, PointId) {
+        let bounds = &self.small[e.index() * self.nblocks..(e.index() + 1) * self.nblocks];
+        Self::pruned_scan(
+            bounds,
+            f_row,
+            b_row,
+            dist_row,
+            &mut self.skipped,
+            &mut self.scanned,
+        )
+    }
+
+    /// The t4 argmin (see [`Self::small_target`]).
+    pub fn large_target(
+        &mut self,
+        f_full: &[f64],
+        b_large: &[f64],
+        dist_row: &[f64],
+    ) -> (f64, PointId) {
+        Self::pruned_scan(
+            &self.large,
+            f_full,
+            b_large,
+            dist_row,
+            &mut self.skipped,
+            &mut self.scanned,
+        )
+    }
+
+    fn pruned_scan(
+        bounds: &[f64],
+        f_row: &[f64],
+        b_row: &[f64],
+        dist_row: &[f64],
+        skipped: &mut u64,
+        scanned: &mut u64,
+    ) -> (f64, PointId) {
+        let m = f_row.len();
+        let mut best = f64::INFINITY;
+        let mut best_m = PointId(0);
+        for (bi, &bound) in bounds.iter().enumerate() {
+            // Every key in the block is ≥ bound (+ d ≥ 0): if that cannot
+            // strictly beat the best, nothing in the block can win — exact
+            // ties in later blocks lose the first-minimum rule regardless.
+            if bound >= best {
+                *skipped += 1;
+                continue;
+            }
+            *scanned += 1;
+            let start = bi * TARGET_BLOCK;
+            let end = (start + TARGET_BLOCK).min(m);
+            for p in start..end {
+                let v = opening_key(f_row[p], b_row[p]) + dist_row[p];
+                if v < best {
+                    best = v;
+                    best_m = PointId(p as u32);
+                }
+            }
+        }
+        (best, best_m)
+    }
+
+    /// `B[p][e]` grew (a freeze reinvested a bid there): the key fell to
+    /// `key` — lower the block bound to match, `O(1)`.
+    #[inline]
+    pub fn note_small_bump(&mut self, e: CommodityId, p: PointId, key: f64) {
+        let idx = e.index() * self.nblocks + p.index() / TARGET_BLOCK;
+        if key < self.small[idx] {
+            self.small[idx] = key;
+        }
+    }
+
+    /// `B̂[p]` grew: the t4 key fell to `key`.
+    #[inline]
+    pub fn note_large_bump(&mut self, p: PointId, key: f64) {
+        let idx = p.index() / TARGET_BLOCK;
+        if key < self.large[idx] {
+            self.large[idx] = key;
+        }
+    }
+
+    /// Recomputes `e`'s block bounds from the current rows. Called after a
+    /// cap-shrink pass lowered budgets (keys rose): the stale bounds were
+    /// still sound, this restores tightness.
+    pub fn rebuild_small(&mut self, e: CommodityId, f_row: &[f64], b_row: &[f64]) {
+        block_bounds(
+            f_row,
+            b_row,
+            &mut self.small[e.index() * self.nblocks..(e.index() + 1) * self.nblocks],
+        );
+    }
+
+    /// Recomputes the t4 block bounds (see [`Self::rebuild_small`]).
+    pub fn rebuild_large(&mut self, f_full: &[f64], b_large: &[f64]) {
+        block_bounds(f_full, b_large, &mut self.large);
+    }
+
+    /// `(blocks pruned, blocks scanned)` across all queries so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.skipped, self.scanned)
     }
 }
 
@@ -405,5 +666,132 @@ mod tests {
         // Large candidates cover every member at a qualifying location.
         let l = past.large_shrink_candidates(&inst, PointId(2));
         assert_eq!(l, vec![1]);
+    }
+
+    /// Reference scan with the PD tie-breaking: ascending location, strict
+    /// `<`, i.e. the lexicographic min of `(value, location)`.
+    fn scan_argmin(f_row: &[f64], b_row: &[f64], dist_row: &[f64]) -> (f64, u32) {
+        let mut best = f64::INFINITY;
+        let mut arg = 0u32;
+        for p in 0..f_row.len() {
+            let v = (f_row[p] - b_row[p]).max(0.0) + dist_row[p];
+            if v < best {
+                best = v;
+                arg = p as u32;
+            }
+        }
+        (best, arg)
+    }
+
+    /// Deterministic xorshift for the differential drive below (no rand dep
+    /// in this crate).
+    fn xorshift(state: &mut u64) -> u64 {
+        let mut x = *state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *state = x;
+        x
+    }
+
+    #[test]
+    fn pruned_scan_matches_full_scan_under_pd_style_dynamics() {
+        // Random bumps (budget increases, O(1) bound maintenance), rare
+        // shrinks (budget decreases + rebuild), queries from random anchors
+        // with heavy exact ties: every answer must equal the full scan bit
+        // for bit, winner id included.
+        let (m, s, queries) = (150usize, 3usize, 500usize);
+        let e = CommodityId(1);
+        // Location-independent costs: maximal tie pressure.
+        let f_small = vec![2.0; m * s];
+        let f_full = vec![5.0; m];
+        let mut b_row = vec![0.0; m];
+        let mut b_large = vec![0.0; m];
+        let mut idx = OpeningTargetIndex::new(m, s, &f_small, &f_full);
+        let f_row = &f_small[e.index() * m..(e.index() + 1) * m];
+        let mut st = 0xC0FFEEu64;
+        let mut dist_row = vec![0.0; m];
+        for step in 0..queries {
+            // A synthetic anchor: distances with many exact zeros and ties.
+            let anchor = (xorshift(&mut st) % m as u64) as usize;
+            for (p, d) in dist_row.iter_mut().enumerate() {
+                *d = ((p.abs_diff(anchor)) % 7) as f64 * 0.5;
+            }
+            let got = idx.small_target(e, f_row, &b_row, &dist_row);
+            let want = scan_argmin(f_row, &b_row, &dist_row);
+            assert_eq!(
+                (got.0.to_bits(), got.1 .0),
+                (want.0.to_bits(), want.1),
+                "t3 diverged at step {step}"
+            );
+            let got4 = idx.large_target(&f_full, &b_large, &dist_row);
+            let want4 = scan_argmin(&f_full, &b_large, &dist_row);
+            assert_eq!(
+                (got4.0.to_bits(), got4.1 .0),
+                (want4.0.to_bits(), want4.1),
+                "t4 diverged at step {step}"
+            );
+            // Mutate like the PD process: mostly bumps, occasional shrink.
+            let p = (xorshift(&mut st) % m as u64) as usize;
+            if step % 17 == 11 {
+                b_row[p] = (b_row[p] - 1.0).max(0.0);
+                b_large[p] = (b_large[p] - 2.0).max(0.0);
+                idx.rebuild_small(e, f_row, &b_row);
+                idx.rebuild_large(&f_full, &b_large);
+            } else {
+                let inc = 0.25 * ((xorshift(&mut st) % 8) as f64);
+                b_row[p] += inc;
+                idx.note_small_bump(e, PointId(p as u32), (f_row[p] - b_row[p]).max(0.0));
+                b_large[p] += inc;
+                idx.note_large_bump(PointId(p as u32), (f_full[p] - b_large[p]).max(0.0));
+            }
+        }
+        let (skipped, scanned) = idx.stats();
+        assert!(scanned > 0, "queries never scanned a block");
+        assert!(skipped > 0, "the prune never engaged");
+    }
+
+    #[test]
+    fn stale_low_bounds_after_unannounced_rises_stay_sound() {
+        // A shrink without a rebuild leaves bounds stale LOW — pruning must
+        // get weaker, never wrong.
+        let m = TARGET_BLOCK * 3;
+        let f_small = vec![4.0; m];
+        let f_full = vec![9.0; m];
+        let mut b_row = vec![0.0; m];
+        let mut idx = OpeningTargetIndex::new(m, 1, &f_small, &f_full);
+        let e = CommodityId(0);
+        // Bump one location hard, then silently undo it (keys rise; no
+        // rebuild call — the bound is now stale low).
+        b_row[70] = 3.75;
+        idx.note_small_bump(e, PointId(70), (f_small[70] - b_row[70]).max(0.0));
+        b_row[70] = 0.0;
+        let dist_row: Vec<f64> = (0..m).map(|p| p as f64 * 0.01).collect();
+        let got = idx.small_target(e, &f_small, &b_row, &dist_row);
+        let want = scan_argmin(&f_small, &b_row, &dist_row);
+        assert_eq!((got.0.to_bits(), got.1 .0), (want.0.to_bits(), want.1));
+        // A rebuild restores tightness and the answer stays exact.
+        idx.rebuild_small(e, &f_small, &b_row);
+        let got = idx.small_target(e, &f_small, &b_row, &dist_row);
+        assert_eq!((got.0.to_bits(), got.1 .0), (want.0.to_bits(), want.1));
+    }
+
+    #[test]
+    fn first_block_tie_wins_over_later_equal_blocks() {
+        // Uniform keys at distance zero: every location ties exactly. The
+        // pruned scan must return location 0 — the full scan's first
+        // winner — and prune every later block (their bound equals the
+        // best, and equal keys cannot strictly improve).
+        let m = TARGET_BLOCK * 4;
+        let f_small = vec![1.0; m];
+        let f_full = vec![2.0; m];
+        let b = vec![0.0; m];
+        let dist = vec![0.0; m];
+        let mut idx = OpeningTargetIndex::new(m, 1, &f_small, &f_full);
+        let (v, p) = idx.small_target(CommodityId(0), &f_small, &b, &dist);
+        assert_eq!((v, p), (1.0, PointId(0)));
+        let (skipped, scanned) = idx.stats();
+        assert_eq!(scanned, 1, "only the first block needs scanning");
+        assert_eq!(skipped, 3, "all later tying blocks must be pruned");
     }
 }

@@ -84,6 +84,13 @@ impl Instance {
         self.metric.distance(a, b)
     }
 
+    /// Bulk distance row: `out[p] = d(p, q)` — bit-identical to calling
+    /// [`Instance::distance`] per point (the [`Metric::fill_row`] contract).
+    #[inline]
+    pub fn fill_row(&self, q: PointId, out: &mut [f64]) {
+        self.metric.fill_row(q, out)
+    }
+
     /// `f^σ_m`.
     #[inline]
     pub fn facility_cost(&self, m: PointId, config: &CommoditySet) -> f64 {

@@ -40,27 +40,46 @@
 //! * `d(F(e), r)` / `d(F̂, r)` come from a [`FacilityIndex`] — per-point
 //!   nearest-open-facility caches refreshed in `O(|M|)` *once per opening*
 //!   instead of scanned per request (openings are rare; requests are not);
+//! * the t3/t4 opening targets come from an [`OpeningTargetIndex`] — a
+//!   bucketed lower-bound prune list over the monotone distance-free keys
+//!   `(f − B)⁺`, so the per-arrival argmins skip every block of locations
+//!   certified unable to beat the running best instead of scanning all of
+//!   `|M|` per demanded commodity (see that type's docs for the invariant
+//!   and why shrink staleness is sound);
 //! * the cap-shrink passes after an opening consult a [`PastIndex`] —
 //!   past requests bucketed by location with per-bucket cap bounds — so the
 //!   walk is over locations (`O(|M|)`), not over the whole request history.
 //!
-//! Both structures reproduce the retired linear scans **bit for bit**: cache
+//! Distances flow through a [`DistanceBackend`]: a dense `|M|²` matrix up
+//! to [`DENSE_DISTANCE_CAP`] points, and a fixed-budget blocked row LRU
+//! ([`omfl_metric::blocked::BlockedRowCache`]) beyond it, so large metrics
+//! keep cached-row locality instead of paying a metric call per distance.
+//!
+//! All structures reproduce the retired linear scans **bit for bit**: cache
 //! updates use the same `distance(query, location)` call and strict-`<`
-//! tie-breaking as the scans, and shrink candidates are applied in the exact
-//! `(past index, slot)` order the history walk used, so every float in `B`,
-//! `B̂`, the caps and the outcomes is identical. The pre-index path survives
-//! as `naive::NaivePd` (feature `naive-ref`) and
+//! tie-breaking as the scans, shrink candidates are applied in the exact
+//! `(past index, slot)` order the history walk used, and pruned blocks are
+//! exactly those that provably cannot change the scan result — so every
+//! float in `B`, `B̂`, the caps and the outcomes is identical. The
+//! pre-index path survives as `naive::NaivePd` (feature `naive-ref`) and
 //! `tests/tests/differential.rs` asserts the equivalence across the whole
-//! scenario catalog.
+//! scenario catalog; [`PdOmflp::with_full_scans`] additionally freezes the
+//! PR 3 full-scan serve path as the perf baseline the `pd-argmin` bench
+//! and the target-lockstep tests (`tests/tests/index_bounds.rs`) run
+//! against.
 
 use crate::algorithm::{OnlineAlgorithm, ServeOutcome};
-use crate::index::{FacilityIndex, PastIndex};
+use crate::index::{FacilityIndex, OpeningTargetIndex, PastIndex};
 use crate::instance::Instance;
 use crate::request::Request;
 use crate::solution::{FacilityId, Solution};
 use crate::{harmonic, CoreError, EPS};
 use omfl_commodity::{CommodityId, CommoditySet};
+use omfl_metric::blocked::BlockedRowCache;
 use omfl_metric::PointId;
+
+/// One opening target: `(value, realizing location)`.
+pub type OpeningTarget = (f64, PointId);
 
 /// Frozen per-request state kept for bid reinvestment.
 #[derive(Debug, Clone)]
@@ -104,18 +123,98 @@ pub struct PdOmflp<'a> {
     f_small: Vec<f64>,
     /// Cached `f^{S}_m`.
     f_full: Vec<f64>,
-    /// Dense distance cache, `dmat[q·|M| + p] = d(p, q)` — row `q` holds the
-    /// distances *to* `q`, contiguous in `p`. Empty when the metric is too
-    /// large to cache (see [`DENSE_DISTANCE_CAP`]); entries are the verbatim
-    /// `distance(p, q)` call results, so reads are bit-identical to calling
-    /// the metric.
-    dmat: Vec<f64>,
-    /// Scratch: `d(m, r)` for the current arrival.
+    /// Distance substrate: dense matrix, blocked row LRU, or per-call —
+    /// every read is bit-identical to calling the metric (see
+    /// [`DistanceBackend`]).
+    dist: DistanceBackend,
+    /// Scratch: `d(m, r)` for the anchor in `dist_row_loc`.
     dist_row: Vec<f64>,
+    /// The anchor `dist_row` currently holds (rows are pure functions of the
+    /// anchor, so a matching tag means the row is valid). `None` until the
+    /// first fill.
+    dist_row_loc: Option<PointId>,
+    /// Scratch row for the cap-shrink passes (rows of *past* locations),
+    /// used only by the per-call backend.
+    shrink_row: Vec<f64>,
+    /// Anchor tag for `shrink_row` (see `dist_row_loc`).
+    shrink_row_loc: Option<PointId>,
+    /// Incremental t3/t4 maintenance; `None` runs the PR 3 full scans
+    /// (the frozen perf baseline, see [`PdOmflp::with_full_scans`]).
+    targets: Option<OpeningTargetIndex>,
+    /// The t3 targets `(value, location)` of the last non-fast-path arrival.
+    last_t3: Vec<(f64, PointId)>,
+    /// The t4 target of the last non-fast-path arrival.
+    last_t4: (f64, PointId),
+    /// Whether the last arrival computed targets (false on the zero-distance
+    /// large fast path).
+    last_targets_valid: bool,
     /// Reusable per-arrival buffers (see [`ServeScratch`]).
     scratch: ServeScratch,
     /// Running `Σ_r Σ_e a_{re}` for the Corollary 8 check.
     dual_sum: f64,
+}
+
+/// Where `d(p, q)` reads come from. All three variants produce the verbatim
+/// `Instance::distance` results — they differ only in cost model:
+///
+/// * `Dense` — the full `|M|²` matrix (row `q` at `q·|M|`, contiguous in
+///   `p`), affordable up to [`DENSE_DISTANCE_CAP`] points;
+/// * `Blocked` — a fixed-budget LRU of metric rows
+///   ([`omfl_metric::blocked`]), the large-metric regime;
+/// * `PerCall` — no cache, one metric call per read: the pre-blocked-cache
+///   behavior beyond the dense cap, kept for the scan-mode perf baseline.
+enum DistanceBackend {
+    Dense(Vec<f64>),
+    Blocked(BlockedRowCache),
+    PerCall,
+}
+
+impl DistanceBackend {
+    /// A single `d(p, q)`. Cheap for `Dense`/cached `Blocked` rows; falls
+    /// back to the metric call otherwise (bit-identical by contract).
+    #[inline]
+    fn point(&self, inst: &Instance, p: PointId, q: PointId) -> f64 {
+        match self {
+            DistanceBackend::Dense(d) => d[q.index() * inst.num_points() + p.index()],
+            DistanceBackend::Blocked(c) => match c.cached_row(q.0) {
+                Some(row) => row[p.index()],
+                None => inst.distance(p, q),
+            },
+            DistanceBackend::PerCall => inst.distance(p, q),
+        }
+    }
+}
+
+/// Borrows the distance row `d(·, q)` without copying: a slice into the
+/// dense matrix or the blocked cache, or — for the per-call backend — a
+/// fill of `scratch` (reused when `scratch_loc` already tags `q`; rows are
+/// pure functions of the anchor). Values are the verbatim metric results
+/// in every arm.
+///
+/// A free function rather than a method so callers can keep disjoint
+/// borrows of the other engine fields (bid rows, target index) alive while
+/// holding the row.
+fn backend_row<'r>(
+    dist: &'r mut DistanceBackend,
+    inst: &Instance,
+    q: PointId,
+    scratch: &'r mut [f64],
+    scratch_loc: &mut Option<PointId>,
+) -> &'r [f64] {
+    let m = inst.num_points();
+    match dist {
+        DistanceBackend::Dense(d) => &d[q.index() * m..(q.index() + 1) * m],
+        DistanceBackend::Blocked(c) => c.row_with(q.0, |buf| inst.fill_row(q, buf)),
+        DistanceBackend::PerCall => {
+            if *scratch_loc != Some(q) {
+                for (p, slot) in scratch.iter_mut().enumerate() {
+                    *slot = inst.distance(PointId(p as u32), q);
+                }
+                *scratch_loc = Some(q);
+            }
+            scratch
+        }
+    }
 }
 
 /// Per-member outcome inside one arrival.
@@ -156,16 +255,58 @@ struct ServeScratch {
 }
 
 /// Metrics up to this many points get a dense per-pair distance cache in
-/// [`PdOmflp`] (`|M|² · 8` bytes — 8 MiB at the cap). Beyond it, the hot
-/// path falls back to calling the metric object per distance.
+/// [`PdOmflp`] (`|M|² · 8` bytes — 8 MiB at the cap). Beyond it,
+/// [`PdOmflp::new`] switches to the blocked row cache
+/// ([`omfl_metric::blocked::BlockedRowCache`], budget
+/// [`omfl_metric::blocked::DEFAULT_ROW_CACHE_BYTES`]), which keeps row
+/// locality for metrics up to ~100k points; only the scan-mode baseline
+/// ([`PdOmflp::with_full_scans`]) still falls back to per-call lookups.
 pub const DENSE_DISTANCE_CAP: usize = 1024;
 
 impl<'a> PdOmflp<'a> {
-    /// Creates the algorithm over an instance. Precomputes the per-location
-    /// small and large facility costs (`O(|M|·|S|)` memory — the same order
-    /// as the bid matrix the analysis requires) and, for metrics up to
-    /// [`DENSE_DISTANCE_CAP`] points, the dense distance cache.
+    /// Creates the algorithm over an instance, with the incremental t3/t4
+    /// opening-target index and the blocked distance cache engaged.
+    /// Precomputes the per-location small and large facility costs
+    /// (`O(|M|·|S|)` memory — the same order as the bid matrix the analysis
+    /// requires) and, for metrics up to [`DENSE_DISTANCE_CAP`] points, the
+    /// dense distance cache.
     pub fn new(inst: &'a Instance) -> Self {
+        let m = inst.num_points();
+        let dist = if m <= DENSE_DISTANCE_CAP {
+            DistanceBackend::Dense(Self::dense_matrix(inst))
+        } else {
+            DistanceBackend::Blocked(BlockedRowCache::with_default_budget(m))
+        };
+        Self::with_parts(inst, dist, true)
+    }
+
+    /// The PR 3 serve path: full t3/t4 scans every arrival and, beyond
+    /// [`DENSE_DISTANCE_CAP`], per-call distance lookups. Behaviorally
+    /// bit-identical to [`PdOmflp::new`] — it exists as the frozen
+    /// performance baseline the `pd-argmin` bench and the target-lockstep
+    /// tests compare against.
+    pub fn with_full_scans(inst: &'a Instance) -> Self {
+        let m = inst.num_points();
+        let dist = if m <= DENSE_DISTANCE_CAP {
+            DistanceBackend::Dense(Self::dense_matrix(inst))
+        } else {
+            DistanceBackend::PerCall
+        };
+        Self::with_parts(inst, dist, false)
+    }
+
+    fn dense_matrix(inst: &Instance) -> Vec<f64> {
+        let m = inst.num_points();
+        let mut dmat = Vec::with_capacity(m * m);
+        for q in 0..m {
+            for p in 0..m {
+                dmat.push(inst.distance(PointId(p as u32), PointId(q as u32)));
+            }
+        }
+        dmat
+    }
+
+    fn with_parts(inst: &'a Instance, dist: DistanceBackend, incremental: bool) -> Self {
         let m = inst.num_points();
         let s = inst.num_commodities();
         let mut f_small = vec![0.0; m * s];
@@ -176,15 +317,7 @@ impl<'a> PdOmflp<'a> {
             }
             f_full[p] = inst.large_cost(PointId(p as u32));
         }
-        let mut dmat = Vec::new();
-        if m <= DENSE_DISTANCE_CAP {
-            dmat.reserve_exact(m * m);
-            for q in 0..m {
-                for p in 0..m {
-                    dmat.push(inst.distance(PointId(p as u32), PointId(q as u32)));
-                }
-            }
-        }
+        let targets = incremental.then(|| OpeningTargetIndex::new(m, s, &f_small, &f_full));
         Self {
             inst,
             sol: Solution::new(),
@@ -195,21 +328,41 @@ impl<'a> PdOmflp<'a> {
             b_large: vec![0.0; m],
             f_small,
             f_full,
-            dmat,
+            dist,
             dist_row: vec![0.0; m],
+            dist_row_loc: None,
+            shrink_row: vec![0.0; m],
+            shrink_row_loc: None,
+            targets,
+            last_t3: Vec::new(),
+            last_t4: (f64::INFINITY, PointId(0)),
+            last_targets_valid: false,
             scratch: ServeScratch::default(),
             dual_sum: 0.0,
         }
     }
 
-    /// `d(p, q)` through the dense cache when present (bit-identical to the
-    /// metric call it replaces — the cache stores verbatim call results).
-    #[inline]
-    fn dist(&self, p: PointId, q: PointId) -> f64 {
-        if self.dmat.is_empty() {
-            self.inst.distance(p, q)
+    /// Folds a fresh opening into the facility index — through a borrowed
+    /// distance row in incremental mode, per-call in scan mode (the PR 3
+    /// cost profile). Values are identical either way.
+    fn note_opening(&mut self, e: Option<CommodityId>, at: PointId, fid: FacilityId) {
+        if self.targets.is_some() {
+            let row = backend_row(
+                &mut self.dist,
+                self.inst,
+                at,
+                &mut self.shrink_row,
+                &mut self.shrink_row_loc,
+            );
+            match e {
+                Some(e) => self.index.note_small_opening_with_row(row, e, fid),
+                None => self.index.note_large_opening_with_row(row, fid),
+            }
         } else {
-            self.dmat[q.index() * self.dist_row.len() + p.index()]
+            match e {
+                Some(e) => self.index.note_small_opening(self.inst, e, at, fid),
+                None => self.index.note_large_opening(self.inst, at, fid),
+            }
         }
     }
 
@@ -256,6 +409,38 @@ impl<'a> PdOmflp<'a> {
         &self.index
     }
 
+    /// The t3/t4 opening targets the last arrival raced against:
+    /// per-member `(value, location)` t3 pairs (parallel to the request's
+    /// ascending commodities) and the t4 pair. `None` when the last arrival
+    /// took the zero-distance large fast path (no targets are computed
+    /// there — the race ends at delta 0 before any target is read).
+    ///
+    /// This is the lockstep hook for `tests/tests/index_bounds.rs`: the
+    /// incremental engine's recorded targets must equal a scan-mode
+    /// engine's fresh scans bit for bit at every arrival.
+    pub fn last_opening_targets(&self) -> Option<(&[OpeningTarget], OpeningTarget)> {
+        if self.last_targets_valid {
+            Some((&self.last_t3, self.last_t4))
+        } else {
+            None
+        }
+    }
+
+    /// `(blocks pruned, blocks scanned)` across the opening-target index's
+    /// queries; `None` in scan mode.
+    pub fn opening_target_stats(&self) -> Option<(u64, u64)> {
+        self.targets.as_ref().map(|t| t.stats())
+    }
+
+    /// `(hits, misses, evictions)` of the blocked distance-row cache;
+    /// `None` for the dense and per-call backends.
+    pub fn distance_cache_stats(&self) -> Option<(u64, u64, u64)> {
+        match &self.dist {
+            DistanceBackend::Blocked(c) => Some(c.stats()),
+            _ => None,
+        }
+    }
+
     /// Nearest open facility offering commodity `e` (small-for-`e` or large)
     /// — an `O(1)` cache lookup, tie-identical to the retired linear scan.
     fn nearest_offering(&self, e: CommodityId, from: PointId) -> Option<(FacilityId, f64)> {
@@ -276,23 +461,42 @@ impl<'a> PdOmflp<'a> {
     /// the `B` updates happen in the identical floating-point order.
     fn post_open_small(&mut self, e: CommodityId, at: PointId) {
         let m = self.inst.num_points();
+        let mut shrank = false;
         for (pi, slot) in self.past_index.small_shrink_candidates(self.inst, e, at) {
             let pr = &self.past[pi as usize];
-            let dj = self.dist(at, pr.location);
+            let dj = self.dist.point(self.inst, at, pr.location);
             let old = pr.caps[slot as usize];
             if dj < old {
                 let loc = pr.location;
+                shrank = true;
+                let drow = backend_row(
+                    &mut self.dist,
+                    self.inst,
+                    loc,
+                    &mut self.shrink_row,
+                    &mut self.shrink_row_loc,
+                );
                 let row = &mut self.b_small[e.index() * m..(e.index() + 1) * m];
-                for (p, b) in row.iter_mut().enumerate() {
-                    let dpj = if self.dmat.is_empty() {
-                        self.inst.distance(PointId(p as u32), loc)
-                    } else {
-                        self.dmat[loc.index() * m + p]
-                    };
-                    let delta = (old - dpj).max(0.0) - (dj - dpj).max(0.0);
-                    *b -= delta;
+                for (b, &dpj) in row.iter_mut().zip(drow) {
+                    // delta = (old − dpj)⁺ − (dj − dpj)⁺ vanishes exactly
+                    // when dpj ≥ old (dj < old), so the skip is bit-exact.
+                    if dpj < old {
+                        let delta = (old - dpj).max(0.0) - (dj - dpj).max(0.0);
+                        *b -= delta;
+                    }
                 }
                 self.past[pi as usize].caps[slot as usize] = dj;
+            }
+        }
+        // `B[·][e]` shrank: the block bounds went stale low (still sound);
+        // one rebuild per pass restores tight pruning.
+        if shrank {
+            if let Some(t) = &mut self.targets {
+                t.rebuild_small(
+                    e,
+                    &self.f_small[e.index() * m..(e.index() + 1) * m],
+                    &self.b_small[e.index() * m..(e.index() + 1) * m],
+                );
             }
         }
     }
@@ -303,21 +507,33 @@ impl<'a> PdOmflp<'a> {
     /// past order.
     fn post_open_large(&mut self, at: PointId) {
         let m = self.inst.num_points();
+        let mut shrank_large = false;
+        let mut shrank_small: Vec<CommodityId> = Vec::new();
         for pi in self.past_index.large_shrink_candidates(self.inst, at) {
             let pi = pi as usize;
             let loc = self.past[pi].location;
-            let dj = self.dist(at, loc);
+            let dj = self.dist.point(self.inst, at, loc);
+            let any_shrink =
+                dj < self.past[pi].cap_total || self.past[pi].caps.iter().any(|&c| dj < c);
+            if !any_shrink {
+                continue;
+            }
+            let drow = backend_row(
+                &mut self.dist,
+                self.inst,
+                loc,
+                &mut self.shrink_row,
+                &mut self.shrink_row_loc,
+            );
             // Large-facility cap.
             let old_total = self.past[pi].cap_total;
             if dj < old_total {
-                for p in 0..m {
-                    let dpj = if self.dmat.is_empty() {
-                        self.inst.distance(PointId(p as u32), loc)
-                    } else {
-                        self.dmat[loc.index() * m + p]
-                    };
-                    let delta = (old_total - dpj).max(0.0) - (dj - dpj).max(0.0);
-                    self.b_large[p] -= delta;
+                shrank_large = true;
+                for (b, &dpj) in self.b_large.iter_mut().zip(drow) {
+                    if dpj < old_total {
+                        let delta = (old_total - dpj).max(0.0) - (dj - dpj).max(0.0);
+                        *b -= delta;
+                    }
                 }
                 self.past[pi].cap_total = dj;
             }
@@ -326,25 +542,45 @@ impl<'a> PdOmflp<'a> {
                 let old = self.past[pi].caps[slot];
                 if dj < old {
                     let e = self.past[pi].commodities[slot];
+                    shrank_small.push(e);
                     let row = &mut self.b_small[e.index() * m..(e.index() + 1) * m];
-                    for (p, b) in row.iter_mut().enumerate() {
-                        let dpj = if self.dmat.is_empty() {
-                            self.inst.distance(PointId(p as u32), loc)
-                        } else {
-                            self.dmat[loc.index() * m + p]
-                        };
-                        let delta = (old - dpj).max(0.0) - (dj - dpj).max(0.0);
-                        *b -= delta;
+                    for (b, &dpj) in row.iter_mut().zip(drow) {
+                        if dpj < old {
+                            let delta = (old - dpj).max(0.0) - (dj - dpj).max(0.0);
+                            *b -= delta;
+                        }
                     }
                     self.past[pi].caps[slot] = dj;
                 }
             }
         }
+        // Budgets shrank: stale-low block bounds stay sound, but one
+        // rebuild per affected row restores tight pruning.
+        if let Some(t) = &mut self.targets {
+            if shrank_large {
+                t.rebuild_large(&self.f_full, &self.b_large);
+            }
+            shrank_small.sort_unstable();
+            shrank_small.dedup();
+            for e in shrank_small {
+                t.rebuild_small(
+                    e,
+                    &self.f_small[e.index() * m..(e.index() + 1) * m],
+                    &self.b_small[e.index() * m..(e.index() + 1) * m],
+                );
+            }
+        }
     }
 
     /// Freezes the served request's duals into the bid matrices.
+    ///
+    /// Only members with a positive cap touch the bid rows, and an addition
+    /// `(cap − d)⁺` is non-zero exactly for locations with `d < cap` — so
+    /// the incremental path skips the zero terms bit-exactly (`x + 0.0 == x`
+    /// for every value `B` can take: additions of positive terms and exact
+    /// cancellations never produce `-0.0`) and logs precisely the locations
+    /// whose budgets moved as the opening-target repair set.
     fn freeze(&mut self, request: &Request, members: &[CommodityId], duals: &[f64]) {
-        let m = self.inst.num_points();
         let loc = request.location();
         let pi = self.past.len() as u32;
         let mut caps = Vec::with_capacity(members.len());
@@ -353,14 +589,7 @@ impl<'a> PdOmflp<'a> {
                 .nearest_offering(e, loc)
                 .map(|(_, d)| d)
                 .unwrap_or(f64::INFINITY);
-            let cap = a.min(d_fe);
-            caps.push(cap);
-            if cap > 0.0 {
-                let row = &mut self.b_small[e.index() * m..(e.index() + 1) * m];
-                for (b, &d) in row.iter_mut().zip(&self.dist_row) {
-                    *b += (cap - d).max(0.0);
-                }
-            }
+            caps.push(a.min(d_fe));
         }
         let total: f64 = duals.iter().sum();
         let d_fhat = self
@@ -368,10 +597,10 @@ impl<'a> PdOmflp<'a> {
             .map(|(_, d)| d)
             .unwrap_or(f64::INFINITY);
         let cap_total = total.min(d_fhat);
-        if cap_total > 0.0 {
-            for p in 0..m {
-                self.b_large[p] += (cap_total - self.dist_row[p]).max(0.0);
-            }
+        if caps.iter().any(|&c| c > 0.0) || cap_total > 0.0 {
+            // The fast path and zero-dual arrivals never reach this row
+            // borrow — their caps are all zero.
+            self.freeze_bids(loc, members, &caps, cap_total);
         }
         self.dual_sum += total;
         self.past_index
@@ -384,12 +613,82 @@ impl<'a> PdOmflp<'a> {
             cap_total,
         });
     }
+
+    /// The bid-reinvestment additions of [`Self::freeze`], split out so the
+    /// distance row is borrowed only when some cap is positive.
+    fn freeze_bids(&mut self, loc: PointId, members: &[CommodityId], caps: &[f64], cap_total: f64) {
+        let m = self.inst.num_points();
+        let dist_row = backend_row(
+            &mut self.dist,
+            self.inst,
+            loc,
+            &mut self.dist_row,
+            &mut self.dist_row_loc,
+        );
+        let (b_small, b_large, targets) = (&mut self.b_small, &mut self.b_large, &mut self.targets);
+        let (f_small, f_full) = (&self.f_small, &self.f_full);
+        for (&e, &cap) in members.iter().zip(caps) {
+            if cap > 0.0 {
+                let row = &mut b_small[e.index() * m..(e.index() + 1) * m];
+                match targets {
+                    Some(t) => {
+                        let f_row = &f_small[e.index() * m..(e.index() + 1) * m];
+                        for (p, (b, &d)) in row.iter_mut().zip(dist_row).enumerate() {
+                            if d < cap {
+                                *b += cap - d;
+                                t.note_small_bump(e, PointId(p as u32), (f_row[p] - *b).max(0.0));
+                            }
+                        }
+                    }
+                    None => {
+                        for (b, &d) in row.iter_mut().zip(dist_row) {
+                            *b += (cap - d).max(0.0);
+                        }
+                    }
+                }
+            }
+        }
+        if cap_total > 0.0 {
+            match targets {
+                Some(t) => {
+                    for (p, (b, &d)) in b_large.iter_mut().zip(dist_row).enumerate() {
+                        if d < cap_total {
+                            *b += cap_total - d;
+                            t.note_large_bump(PointId(p as u32), (f_full[p] - *b).max(0.0));
+                        }
+                    }
+                }
+                None => {
+                    for (b, &d) in b_large.iter_mut().zip(dist_row) {
+                        *b += (cap_total - d).max(0.0);
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// `a` is tight against target `t` (reached within tolerance).
 #[inline]
 fn tight(value: f64, target: f64) -> bool {
     value >= target - EPS * (1.0 + target.abs())
+}
+
+/// The verbatim opening-target scan: `min_p (f[p] − b[p])⁺ + d[p]` with
+/// strict-`<` ascending-`p` tie-breaking — the reference the opening-target
+/// index must reproduce bit for bit, and the whole story in scan mode.
+#[inline]
+fn scan_target(f_row: &[f64], b_row: &[f64], dist_row: &[f64]) -> (f64, PointId) {
+    let mut best = f64::INFINITY;
+    let mut best_m = PointId(0);
+    for (p, ((&f, &b), &d)) in f_row.iter().zip(b_row).zip(dist_row).enumerate() {
+        let v = (f - b).max(0.0) + d;
+        if v < best {
+            best = v;
+            best_m = PointId(p as u32);
+        }
+    }
+    (best, best_m)
 }
 
 impl OnlineAlgorithm for PdOmflp<'_> {
@@ -415,6 +714,7 @@ impl OnlineAlgorithm for PdOmflp<'_> {
         if k > 0 {
             if let Some((fid, d)) = self.index.nearest_large(loc) {
                 if d == 0.0 {
+                    self.last_targets_valid = false;
                     scratch.a.clear();
                     scratch.a.resize(k, 0.0);
                     scratch.fids.clear();
@@ -436,20 +736,26 @@ impl OnlineAlgorithm for PdOmflp<'_> {
             }
         }
 
-        // Distance row d(m, r), reused everywhere this arrival — a straight
-        // row copy when the dense cache is present.
-        if self.dmat.is_empty() {
-            for p in 0..mpts {
-                self.dist_row[p] = self.inst.distance(PointId(p as u32), loc);
-            }
-        } else {
-            self.dist_row
-                .copy_from_slice(&self.dmat[loc.index() * mpts..(loc.index() + 1) * mpts]);
+        // Distance row d(m, r), borrowed zero-copy from the backend and
+        // reused everywhere this arrival. Scan mode drops the reuse tag
+        // first — the per-call refill is the PR 3 cost profile it exists
+        // to preserve.
+        if self.targets.is_none() {
+            self.dist_row_loc = None;
         }
+        let dist_row = backend_row(
+            &mut self.dist,
+            self.inst,
+            loc,
+            &mut self.dist_row,
+            &mut self.dist_row_loc,
+        );
 
         // Per-commodity targets t1 (connect) / t3 (temp open) and joint
         // targets t2 (connect large) / t4 (open large). All constant during
-        // the arrival (see module docs).
+        // the arrival (see module docs). t3/t4 come from the opening-target
+        // index's block-pruned scan when it is engaged; scan mode runs the
+        // full strict-`<` scans.
         scratch.t1.clear();
         scratch.t1.resize(k, f64::INFINITY);
         scratch.t1_fac.clear();
@@ -463,33 +769,35 @@ impl OnlineAlgorithm for PdOmflp<'_> {
                 scratch.t1[i] = d;
                 scratch.t1_fac[i] = Some(fid);
             }
-            let mut best = f64::INFINITY;
-            let mut best_m = PointId(0);
             let f_row = &self.f_small[e.index() * mpts..(e.index() + 1) * mpts];
             let b_row = &self.b_small[e.index() * mpts..(e.index() + 1) * mpts];
-            for p in 0..mpts {
-                let v = (f_row[p] - b_row[p]).max(0.0) + self.dist_row[p];
-                if v < best {
-                    best = v;
-                    best_m = PointId(p as u32);
-                }
-            }
+            let (best, best_m) = match &mut self.targets {
+                Some(t) => t.small_target(e, f_row, b_row, dist_row),
+                None => scan_target(f_row, b_row, dist_row),
+            };
             scratch.t3[i] = best;
             scratch.t3_loc[i] = best_m;
         }
+        let (t4, t4_loc) = match &mut self.targets {
+            Some(t) => t.large_target(&self.f_full, &self.b_large, dist_row),
+            None => scan_target(&self.f_full, &self.b_large, dist_row),
+        };
         let (t2, t2_fac) = match self.index.nearest_large(loc) {
             Some((fid, d)) => (d, Some(fid)),
             None => (f64::INFINITY, None),
         };
-        let mut t4 = f64::INFINITY;
-        let mut t4_loc = PointId(0);
-        for p in 0..mpts {
-            let v = (self.f_full[p] - self.b_large[p]).max(0.0) + self.dist_row[p];
-            if v < t4 {
-                t4 = v;
-                t4_loc = PointId(p as u32);
-            }
-        }
+
+        // Record the race targets for the lockstep tests.
+        self.last_t3.clear();
+        self.last_t3.extend(
+            scratch
+                .t3
+                .iter()
+                .zip(&scratch.t3_loc)
+                .map(|(&v, &p)| (v, p)),
+        );
+        self.last_t4 = (t4, t4_loc);
+        self.last_targets_valid = true;
 
         // Event loop: raise unserved duals simultaneously. Unserved members
         // are visited in ascending index order, exactly like the collected
@@ -584,7 +892,7 @@ impl OnlineAlgorithm for PdOmflp<'_> {
                 let fid =
                     self.sol
                         .open_facility(self.inst, at, CommoditySet::full(self.inst.universe()));
-                self.index.note_large_opening(self.inst, at, fid);
+                self.note_opening(None, at, fid);
                 opened.push(fid);
                 self.post_open_large(at);
                 scratch.fids.push(fid);
@@ -600,7 +908,7 @@ impl OnlineAlgorithm for PdOmflp<'_> {
                             let config = CommoditySet::singleton(self.inst.universe(), e)
                                 .map_err(CoreError::Commodity)?;
                             let fid = self.sol.open_facility(self.inst, at, config);
-                            self.index.note_small_opening(self.inst, e, at, fid);
+                            self.note_opening(Some(e), at, fid);
                             opened.push(fid);
                             self.post_open_small(e, at);
                             scratch.fids.push(fid);

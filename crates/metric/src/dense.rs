@@ -118,6 +118,16 @@ impl Metric for DenseMetric {
     fn distance(&self, a: PointId, b: PointId) -> f64 {
         self.d[a.index() * self.n + b.index()]
     }
+
+    fn fill_row(&self, q: PointId, out: &mut [f64]) {
+        // Strided gather d[p][q], not a copy of row q: `new_unchecked`
+        // matrices are not guaranteed symmetric, and the contract is
+        // bit-identity with the per-call loop.
+        let (n, qi) = (self.n, q.index());
+        for (p, slot) in out.iter_mut().enumerate() {
+            *slot = self.d[p * n + qi];
+        }
+    }
 }
 
 #[cfg(test)]

@@ -149,6 +149,15 @@ pub struct GraphMetric {
 
 impl GraphMetric {
     /// Computes the metric closure of `graph`. Fails if disconnected.
+    ///
+    /// The closure is **exactly symmetrized**: per-source Dijkstra sums can
+    /// disagree between directions in the last ulp (float addition is not
+    /// associative along reversed paths), so the upper triangle is copied
+    /// over the lower one. The result is still a shortest-path metric to
+    /// the same accuracy, is bitwise symmetric — `d(a, b) == d(b, a)`
+    /// exactly — and makes a distance *row* equal a distance *column*, so
+    /// [`Metric::fill_row`] can hand out contiguous memory instead of a
+    /// cache-hostile strided gather.
     pub fn new(graph: &Graph) -> Result<Self, MetricError> {
         let n = graph.node_count();
         let mut apsp = vec![0.0; n * n];
@@ -162,6 +171,11 @@ impl GraphMetric {
                     });
                 }
                 apsp[s as usize * n + t] = d;
+            }
+        }
+        for s in 0..n {
+            for t in (s + 1)..n {
+                apsp[t * n + s] = apsp[s * n + t];
             }
         }
         Ok(Self { apsp, n })
@@ -203,6 +217,14 @@ impl Metric for GraphMetric {
     #[inline]
     fn distance(&self, a: PointId, b: PointId) -> f64 {
         self.apsp[a.index() * self.n + b.index()]
+    }
+
+    fn fill_row(&self, q: PointId, out: &mut [f64]) {
+        // The closure is exactly symmetric by construction, so the
+        // contiguous row q IS the column q — a straight copy is
+        // bit-identical to the per-call loop.
+        let start = q.index() * self.n;
+        out.copy_from_slice(&self.apsp[start..start + out.len()]);
     }
 }
 

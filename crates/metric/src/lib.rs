@@ -17,6 +17,7 @@
 //! relaxed to `d(a, a) = 0` (distinct points at distance zero are allowed,
 //! matching the paper where multiple facilities may share a point).
 
+pub mod blocked;
 pub mod dense;
 pub mod euclidean;
 pub mod graph;
@@ -99,6 +100,21 @@ pub trait Metric: Send + Sync {
     /// Distance between two points. Panics if either index is out of range.
     fn distance(&self, a: PointId, b: PointId) -> f64;
 
+    /// Fills `out[p] = distance(PointId(p), q)` for `p` in `0..out.len()`.
+    ///
+    /// This is the bulk primitive behind row caches
+    /// ([`blocked::BlockedRowCache`]) and the engines' per-arrival distance
+    /// rows. Implementations may override it with a faster gather (e.g. a
+    /// slice walk over a stored matrix) but must produce **bit-identical**
+    /// values to the per-call loop — callers rely on cached rows being
+    /// indistinguishable from calling [`Metric::distance`]. Panics if
+    /// `out.len() > self.len()` or `q` is out of range.
+    fn fill_row(&self, q: PointId, out: &mut [f64]) {
+        for (p, slot) in out.iter_mut().enumerate() {
+            *slot = self.distance(PointId(p as u32), q);
+        }
+    }
+
     /// `true` if the space has no points.
     fn is_empty(&self) -> bool {
         self.len() == 0
@@ -151,6 +167,12 @@ impl Metric for Box<dyn Metric> {
 
     fn distance(&self, a: PointId, b: PointId) -> f64 {
         self.as_ref().distance(a, b)
+    }
+
+    fn fill_row(&self, q: PointId, out: &mut [f64]) {
+        // Forward so a concrete override (dense/graph slice gathers) is one
+        // virtual call per row, not one per entry.
+        self.as_ref().fill_row(q, out)
     }
 }
 

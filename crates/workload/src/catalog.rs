@@ -147,8 +147,32 @@ pub fn registry() -> Vec<Family> {
                      term) layered with Zipf stochastic noise",
             builder: dyadic_mix,
         },
+        Family {
+            name: "zipf-services-large",
+            regime: "zipf-services at a large-metric scale (|M| = 32·points, \
+                     4096 at points=128): the regime where per-arrival t3/t4 \
+                     opening-target scans dominate PD serve and incremental \
+                     argmin maintenance pays",
+            builder: zipf_services_large,
+        },
+        Family {
+            name: "euclid-grid-large",
+            regime: "hotspot-skewed Euclidean grid at |M| = 64·points (16384 \
+                     at points=256) — beyond any dense distance matrix, the \
+                     blocked row-cache regime",
+            builder: euclid_grid_large,
+        },
     ]
 }
+
+/// Metric-size multiplier of `zipf-services-large` over the profile's
+/// `points` (so small CI profiles stay tractable while bench profiles reach
+/// |M| ≥ 4096).
+pub const ZIPF_LARGE_POINTS_SCALE: usize = 32;
+
+/// Metric-size multiplier of `euclid-grid-large` over the profile's
+/// `points`.
+pub const EUCLID_LARGE_POINTS_SCALE: usize = 64;
 
 /// Looks a family up by its stable name.
 pub fn by_name(name: &str) -> Option<Family> {
@@ -375,6 +399,52 @@ fn dyadic_mix(p: &CatalogProfile, seed: u64) -> Result<Scenario, CoreError> {
         .collect();
     let merged = riffle(base.requests.clone(), stochastic, &mut rng);
     base.with_requests(merged)
+}
+
+fn zipf_services_large(p: &CatalogProfile, seed: u64) -> Result<Scenario, CoreError> {
+    let s = p.services.max(2);
+    let nodes = (p.points * ZIPF_LARGE_POINTS_SCALE).max(64);
+    composite::service_network(
+        nodes,
+        nodes / 2,
+        p.requests,
+        DemandModel::Zipf {
+            alpha: 1.1,
+            k_max: 3,
+        },
+        CostModel::power(s, 1.0, 3.0),
+        seed,
+    )
+}
+
+fn euclid_grid_large(p: &CatalogProfile, seed: u64) -> Result<Scenario, CoreError> {
+    let s = p.services.max(2);
+    let target = (p.points * EUCLID_LARGE_POINTS_SCALE).max(256);
+    let w = (target as f64).sqrt().round() as usize;
+    let h = target.div_ceil(w);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let metric = spatial::grid_plane(w, h, 1.0).map_err(CoreError::Metric)?;
+    let n_pts = metric.len();
+    let cost = CostModel::power(s, 1.0, 2.5);
+    let universe = cost.universe();
+    // Hotspot-skewed locations (Zipf over a shuffled identity): big metric,
+    // localized demand — the working set the blocked row cache holds.
+    let locs = spatial::sample_locations(n_pts, p.requests, 1.0, &mut rng);
+    let requests = locs
+        .into_iter()
+        .map(|loc| {
+            Request::new(
+                PointId(loc),
+                DemandModel::UniformK { k: 2 }.sample(universe, &mut rng),
+            )
+        })
+        .collect();
+    Scenario::new(
+        format!("euclid-grid-large({w}x{h},n={})", p.requests),
+        metric,
+        cost,
+        requests,
+    )
 }
 
 /// Merges two streams into one, preserving each stream's internal order

@@ -39,15 +39,23 @@ status=0
 if [ -n "$missing" ]; then
   echo "error: workspace members missing from default-members (bare cargo test would skip them):" >&2
   echo "$missing" | sed 's/^/  - /' >&2
+  echo "fix: add the lines above to the default-members array in $manifest, e.g.:" >&2
+  echo "$missing" | sed 's/^/    "/;s/$/",/' >&2
   status=1
 fi
 if [ -n "$extra" ]; then
   echo "error: default-members entries that are not workspace members:" >&2
   echo "$extra" | sed 's/^/  - /' >&2
+  echo "fix: remove them from default-members in $manifest (or add them to members)" >&2
   status=1
 fi
 
-if [ "$status" -eq 0 ]; then
+if [ "$status" -ne 0 ]; then
+  echo "members parsed from $manifest:" >&2
+  echo "$members" | sed 's/^/  /' >&2
+  echo "default-members parsed (root facade \".\" excluded):" >&2
+  echo "${default_members:-"(none)"}" | sed 's/^/  /' >&2
+else
   echo "default-members is in sync with members ($(echo "$members" | wc -l) crates + root facade)"
 fi
 exit "$status"

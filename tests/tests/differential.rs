@@ -15,12 +15,19 @@
 //! plus proptest-driven random shapes — and compare with `to_bits`, not
 //! tolerances.
 
+use omfl_commodity::cost::{CostModel, FacilityCostFn};
+use omfl_commodity::CommoditySet;
 use omfl_core::algorithm::OnlineAlgorithm;
 use omfl_core::naive::NaivePd;
 use omfl_core::pd::PdOmflp;
-use omfl_workload::catalog::{registry, CatalogProfile};
+use omfl_core::request::Request;
+use omfl_core::CoreError;
+use omfl_metric::line::LineMetric;
+use omfl_metric::PointId;
+use omfl_workload::catalog::{registry, CatalogProfile, Family};
 use omfl_workload::Scenario;
 use proptest::prelude::*;
+use std::sync::Arc;
 
 /// Serves `scenario` with both engines, asserting bit-identical behavior at
 /// every arrival and over the whole frozen dual state at the end.
@@ -153,6 +160,90 @@ fn indexed_pd_matches_naive_beyond_the_dense_distance_cap_shape() {
     for fam in registry() {
         let sc = fam.build(&profile, 5).expect(fam.name);
         assert_bit_identical(&sc, &format!("{} (skinny)", fam.name));
+    }
+}
+
+/// A degenerate metric where *every* distance is zero: all |M| locations
+/// key identically in the t3/t4 scans (facility costs are
+/// location-independent and the bid rows stay uniform), so every argmin is
+/// a maximal tie and the strict-`<` first-winner rule is all that
+/// distinguishes locations. The opening-target memo must reproduce that
+/// winner exactly.
+fn tie_storm(p: &CatalogProfile, seed: u64) -> Result<Scenario, CoreError> {
+    let s = p.services.max(4);
+    let m = p.points.max(6);
+    let metric = Arc::new(LineMetric::new(vec![2.5; m]).expect("coincident line"));
+    let cost = CostModel::power(s, 1.0, 1.5);
+    let universe = cost.universe();
+    let mut state = seed | 1;
+    let mut requests = Vec::with_capacity(p.requests);
+    for i in 0..p.requests {
+        // Simple xorshift so streams vary by seed without pulling rand in.
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let loc = PointId((state % m as u64) as u32);
+        let a = (i as u16) % s;
+        let b = (state >> 32) as u16 % s;
+        requests.push(Request::new(
+            loc,
+            CommoditySet::from_ids(universe, &[a, b]).map_err(CoreError::Commodity)?,
+        ));
+    }
+    Scenario::new(format!("tie-storm(|M|={m})"), metric, cost, requests)
+}
+
+/// Repeated budget bumps on the *same* locations: a tight two-point cluster
+/// plus a far outpost. The stream hammers the cluster with the same bundle,
+/// so every freeze reinvests bids into the identical small location set
+/// over and over (the moved-log repair path), with periodic far requests
+/// that trigger openings (the epoch-invalidation path).
+fn bump_hammer(p: &CatalogProfile, seed: u64) -> Result<Scenario, CoreError> {
+    let s = p.services.max(4);
+    let metric =
+        Arc::new(LineMetric::new(vec![0.0, 0.125, 0.25, 40.0, 40.125]).expect("cluster line"));
+    let cost = CostModel::power(s, 1.0, 2.0);
+    let universe = cost.universe();
+    let mut requests = Vec::with_capacity(p.requests);
+    for i in 0..p.requests {
+        let (loc, ids): (u32, Vec<u16>) = if i % 11 == 10 {
+            // Outpost burst: forces openings → cap shrinks → epoch bumps.
+            (3 + (i as u32 / 11) % 2, vec![(i as u16) % s])
+        } else {
+            // Cluster hammer: same bundle, alternating coincident-ish
+            // locations — every freeze bumps the same budget cells.
+            (
+                (i as u32 + seed as u32) % 3,
+                vec![0, 1 % s, (seed as u16 + 2) % s],
+            )
+        };
+        requests.push(Request::new(
+            PointId(loc),
+            CommoditySet::from_ids(universe, &ids).map_err(CoreError::Commodity)?,
+        ));
+    }
+    Scenario::new("bump-hammer(|M|=5)".to_string(), metric, cost, requests)
+}
+
+#[test]
+fn indexed_pd_matches_naive_under_tie_storms_and_budget_hammering() {
+    let profile = CatalogProfile {
+        points: 14,
+        services: 10,
+        requests: 160,
+    };
+    for fam in [
+        Family::new("tie-storm", "max-tie argmins", tie_storm),
+        Family::new(
+            "bump-hammer",
+            "repeated same-location budget bumps",
+            bump_hammer,
+        ),
+    ] {
+        for seed in [2u64, 13, 77] {
+            let sc = fam.build(&profile, seed).expect(fam.name);
+            assert_bit_identical(&sc, &format!("{} (seed {seed})", fam.name));
+        }
     }
 }
 

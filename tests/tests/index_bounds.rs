@@ -20,13 +20,98 @@
 use omfl_core::algorithm::OnlineAlgorithm;
 use omfl_core::pd::PdOmflp;
 use omfl_core::{bounds, harmonic};
-use omfl_workload::catalog::{registry, CatalogProfile};
+use omfl_workload::catalog::{by_name, registry, CatalogProfile};
 
 fn profile() -> CatalogProfile {
     CatalogProfile {
         points: 12,
         services: 9,
         requests: 70,
+    }
+}
+
+/// Locksteps the incremental engine against a scan-mode engine over one
+/// scenario: identical outcomes and, at every non-fast-path arrival, the
+/// memo-repaired t3/t4 targets must equal the fresh-scan argmins **bit for
+/// bit** — value bits and winning location both.
+fn assert_targets_lockstep(sc: &omfl_workload::Scenario, label: &str) -> (u64, u64) {
+    let inst = sc.instance();
+    let mut inc = PdOmflp::new(inst);
+    let mut scan = PdOmflp::with_full_scans(inst);
+    for (step, r) in sc.requests.iter().enumerate() {
+        let a = inc
+            .serve(r)
+            .unwrap_or_else(|e| panic!("{label}: incremental: {e}"));
+        let b = scan
+            .serve(r)
+            .unwrap_or_else(|e| panic!("{label}: scan: {e}"));
+        assert_eq!(a, b, "{label}: outcome diverged at arrival {step}");
+        match (inc.last_opening_targets(), scan.last_opening_targets()) {
+            (None, None) => {} // both took the zero-distance large fast path
+            (Some((t3i, t4i)), Some((t3s, t4s))) => {
+                assert_eq!(t3i.len(), t3s.len(), "{label}: arrival {step}");
+                for (slot, (ti, ts)) in t3i.iter().zip(t3s).enumerate() {
+                    assert_eq!(
+                        (ti.0.to_bits(), ti.1),
+                        (ts.0.to_bits(), ts.1),
+                        "{label}: t3 slot {slot} diverged at arrival {step} \
+                         (memo {ti:?} vs fresh scan {ts:?})"
+                    );
+                }
+                assert_eq!(
+                    (t4i.0.to_bits(), t4i.1),
+                    (t4s.0.to_bits(), t4s.1),
+                    "{label}: t4 diverged at arrival {step}"
+                );
+            }
+            (i, s) => panic!("{label}: fast-path divergence at arrival {step}: {i:?} vs {s:?}"),
+        }
+    }
+    inc.opening_target_stats()
+        .expect("incremental engine exposes stats")
+}
+
+#[test]
+fn incremental_targets_equal_fresh_scans_at_every_arrival() {
+    // Every catalog family — including the large-metric ones, which at this
+    // profile cross DENSE_DISTANCE_CAP and run the blocked row cache.
+    let mut total_skipped = 0;
+    for fam in registry() {
+        let sc = fam.build(&profile(), 29).expect(fam.name);
+        let (skipped, scanned) = assert_targets_lockstep(&sc, fam.name);
+        assert!(
+            skipped + scanned > 0,
+            "{}: the opening-target index was never queried",
+            fam.name
+        );
+        total_skipped += skipped;
+    }
+    assert!(
+        total_skipped > 0,
+        "the block prune never engaged — the incremental path is inert"
+    );
+}
+
+#[test]
+fn incremental_targets_lockstep_beyond_the_dense_cap() {
+    // Push the large families past DENSE_DISTANCE_CAP (1280 and 2560
+    // points) so the lockstep covers the blocked-row-cache backend too.
+    let profile = CatalogProfile {
+        points: 40,
+        services: 8,
+        requests: 120,
+    };
+    for name in ["zipf-services-large", "euclid-grid-large"] {
+        let sc = by_name(name).unwrap().build(&profile, 5).expect(name);
+        assert!(
+            sc.instance().num_points() > omfl_core::pd::DENSE_DISTANCE_CAP,
+            "{name}: profile failed to cross the dense cap"
+        );
+        let (skipped, _) = assert_targets_lockstep(&sc, name);
+        assert!(
+            skipped > 0,
+            "{name}: the prune never skipped a block on a hotspot workload"
+        );
     }
 }
 
