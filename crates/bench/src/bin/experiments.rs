@@ -8,8 +8,14 @@
 //! experiments --emit-json [dir]    write BENCH_pd.json / BENCH_sweep.json
 //! experiments --check-json [dir]   re-run the smoke profile and fail on
 //!                                  missing keys, a >1.5x perf regression
-//!                                  on any >=1ms cell, or a speedup below
-//!                                  its floor, vs the committed baselines
+//!                                  on any >=1ms cell, a speedup below its
+//!                                  floor, or a block skip rate below its
+//!                                  floor, vs the committed baselines.
+//!                                  The fresh output is always written to
+//!                                  <dir>/bench-fresh/ so CI can upload it
+//!                                  as an artifact — regenerating baselines
+//!                                  from the failing machine is then a copy,
+//!                                  not a guess
 //! ```
 
 use omfl_bench::{perfjson, registry};
@@ -36,6 +42,15 @@ fn run_json_mode(dir: &Path, emit: bool) {
         print!("{pd_doc}");
         return;
     }
+    // The fresh run is persisted unconditionally: on failure CI uploads it
+    // as a workflow artifact, and the messages below can point at a file
+    // that actually exists instead of numbers scrolled out of a log.
+    let fresh_dir = dir.join("bench-fresh");
+    std::fs::create_dir_all(&fresh_dir).expect("bench-fresh dir");
+    std::fs::write(fresh_dir.join("BENCH_pd.json"), &pd_doc).expect("write fresh BENCH_pd.json");
+    std::fs::write(fresh_dir.join("BENCH_sweep.json"), &sweep_doc)
+        .expect("write fresh BENCH_sweep.json");
+
     let mut failed = false;
     for (path, fresh, label) in [
         (&pd_path, &pd_doc, "BENCH_pd.json"),
@@ -62,11 +77,25 @@ fn run_json_mode(dir: &Path, emit: bool) {
                 for e in errors {
                     eprintln!("FAIL {e}");
                 }
+                eprintln!(
+                    "     this run's fresh {label} is at {}",
+                    fresh_dir.join(label).display()
+                );
                 failed = true;
             }
         }
     }
     if failed {
+        eprintln!(
+            "\nIf the failing cells are wall-clock on a uniformly slower machine (the \
+             machine-independent speedup/skip-rate gates still pass), regenerate the \
+             committed baselines from this machine instead of loosening the factor:"
+        );
+        eprintln!("    cargo run --release -p omfl-bench --bin experiments -- --emit-json .");
+        eprintln!(
+            "In CI, download the 'bench-fresh-json' artifact of this run and commit its \
+             files as the new BENCH_pd.json / BENCH_sweep.json."
+        );
         std::process::exit(1);
     }
     println!("bench JSON check passed");

@@ -29,21 +29,36 @@ fn measure(family: &'static str, profile: &CatalogProfile, repeats: usize) -> Pa
 /// Runs the experiment.
 pub fn run(quick: bool) -> Vec<Table> {
     let cells: Vec<(&str, PairedPdTiming)> = if quick {
-        // Matches perfjson::pd_large_profile, the gated BENCH_pd.json cell:
-        // the steady-state tail (most arrivals after facilities stabilize)
-        // is where the argmin index pays, so short streams undersell it.
-        vec![(
-            "zipf-services-large",
-            measure(
+        // Matches perfjson::pd_large_profile / pd_euclid_large_profile, the
+        // gated BENCH_pd.json cells: the steady-state tail (most arrivals
+        // after facilities stabilize) is where the argmin index pays, so
+        // short streams undersell it.
+        vec![
+            (
                 "zipf-services-large",
-                &CatalogProfile {
-                    points: 128, // × 32 scale → |M| = 4096
-                    services: 64,
-                    requests: 4096,
-                },
-                3,
+                measure(
+                    "zipf-services-large",
+                    &CatalogProfile {
+                        points: 128, // × 32 scale → |M| = 4096
+                        services: 64,
+                        requests: 4096,
+                    },
+                    3,
+                ),
             ),
-        )]
+            (
+                "euclid-grid-large",
+                measure(
+                    "euclid-grid-large",
+                    &CatalogProfile {
+                        points: 256, // × 64 scale → |M| = 16384
+                        services: 64,
+                        requests: 4096,
+                    },
+                    3,
+                ),
+            ),
+        ]
     } else {
         vec![
             (
@@ -64,6 +79,21 @@ pub fn run(quick: bool) -> Vec<Table> {
                     "euclid-grid-large",
                     &CatalogProfile {
                         points: 256, // × 64 scale → |M| = 16384
+                        services: 64,
+                        requests: 4096,
+                    },
+                    3,
+                ),
+            ),
+            (
+                // The id-order adversary: ids random w.r.t. space and every
+                // query cold — the distance-free bounds see nothing, so the
+                // skip rate here is purely the relabeled radius bounds.
+                "cold-scatter-large",
+                measure(
+                    "cold-scatter-large",
+                    &CatalogProfile {
+                        points: 128, // × 32 scale → |M| = 4096
                         services: 64,
                         requests: 4096,
                     },

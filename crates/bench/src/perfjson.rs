@@ -4,13 +4,16 @@
 //! The ROADMAP's "measurably faster" PRs need numbers to beat; this module
 //! produces them. Two artifacts:
 //!
-//! * **`BENCH_pd.json`** — the PD serve hot path, twice: the
+//! * **`BENCH_pd.json`** — the PD serve hot path, three ways: the
 //!   `zipf-services` cell (indexed engine vs the retained linear-scan
-//!   reference `omfl_core::naive::NaivePd` — the PR 3 index-layer speedup)
-//!   and the `large` cell (`zipf-services-large` at |M| = 4096, incremental
+//!   reference `omfl_core::naive::NaivePd` — the PR 3 index-layer speedup),
+//!   the `large` cell (`zipf-services-large` at |M| = 4096, incremental
 //!   opening-target engine vs the PR 3 full-scan path
 //!   `PdOmflp::with_full_scans` — what the t3/t4 argmin index and the
-//!   blocked row cache buy at large metrics);
+//!   blocked row cache buy at large metrics), and the `euclid-large` cell
+//!   (`euclid-grid-large` at |M| = 16384 — where distance-aware block
+//!   pruning and the bulk Euclidean `fill_row` carry the speedup). The
+//!   large cells also record their deterministic `block_skip_rate`;
 //! * **`BENCH_sweep.json`** — per (engine × family) serve wall-clock
 //!   (mean/std/min/max over trials) for the whole catalog under the
 //!   work-stealing sweep.
@@ -70,6 +73,23 @@ pub const MIN_PD_SPEEDUP: f64 = 2.0;
 /// cache-topology variance — the dev box measured 3.0–3.4× across runs.
 pub const MIN_LARGE_PD_SPEEDUP: f64 = 2.5;
 
+/// The incremental-vs-full-scan PD speedup on the `euclid-large` cell
+/// (`euclid-grid-large`, |M| = 16384) must stay at least this high. The
+/// acceptance bar when distance-aware pruning landed was 2.5× (from 1.78×
+/// with id-order bounds; the dev box measured 2.8×) — the floor sits below
+/// it for runner variance, same policy as the other speedup gates.
+pub const MIN_EUCLID_LARGE_PD_SPEEDUP: f64 = 2.0;
+
+/// Every `block_skip_rate` recorded in `BENCH_pd.json` must stay at least
+/// this high. Unlike wall-clock, the skip rate is a *deterministic*
+/// function of the workload and the pruning structure (same instance, same
+/// bounds, same floats — machines don't enter it), so the gate is tight:
+/// the acceptance bar was ≥ 70% on both large families (measured 77% on
+/// the graph family, 99.8% on the Euclidean one), and the floor only
+/// leaves room for deliberate profile tweaks, not for regressions back
+/// toward the 27–39% id-order era.
+pub const MIN_BLOCK_SKIP_RATE: f64 = 0.65;
+
 /// The PD hot-path bench profile: `zipf-services` at 4096 requests with a
 /// service-heavy shape — the regime the index layer targets, where the
 /// naive path's per-request facility scans and history re-walks dominate.
@@ -94,6 +114,18 @@ pub fn sweep_profile() -> CatalogProfile {
 pub fn pd_large_profile() -> CatalogProfile {
     CatalogProfile {
         points: 128,
+        services: 64,
+        requests: 4096,
+    }
+}
+
+/// The Euclidean large-metric PD profile: `euclid-grid-large` scales
+/// `points` by 64×, so this reaches |M| = 16384 — past any dense matrix,
+/// where computed Euclidean distances make the scan baseline cheap and the
+/// speedup is carried by distance-aware pruning plus the bulk `fill_row`.
+pub fn pd_euclid_large_profile() -> CatalogProfile {
+    CatalogProfile {
+        points: 256,
         services: 64,
         requests: 4096,
     }
@@ -290,6 +322,19 @@ pub fn pd_large_bench(profile: &CatalogProfile, repeats: usize) -> Result<PdLarg
     })
 }
 
+/// Times PD serve on `euclid-grid-large` (|M| = 64 × `profile.points`) for
+/// the `euclid-large` cell of `BENCH_pd.json`.
+pub fn pd_euclid_large_bench(
+    profile: &CatalogProfile,
+    repeats: usize,
+) -> Result<PdLargeBench, CoreError> {
+    Ok(PdLargeBench {
+        family: "euclid-grid-large",
+        services: profile.services,
+        timing: paired_pd_timing("euclid-grid-large", profile, repeats)?,
+    })
+}
+
 fn summary_json(out: &mut String, key: &str, s: &Summary, indent: &str) {
     let _ = write!(
         out,
@@ -298,9 +343,30 @@ fn summary_json(out: &mut String, key: &str, s: &Summary, indent: &str) {
     );
 }
 
+fn large_cell_json(out: &mut String, key: &str, cell: &PdLargeBench, trailing_comma: bool) {
+    let _ = writeln!(out, "  \"{key}\": {{");
+    let _ = writeln!(out, "    \"family\": \"{}\",", cell.family);
+    let _ = writeln!(out, "    \"requests\": {},", cell.timing.requests);
+    let _ = writeln!(out, "    \"points\": {},", cell.timing.points);
+    let _ = writeln!(out, "    \"services\": {},", cell.services);
+    summary_json(out, "incremental_secs", &cell.timing.incremental, "    ");
+    out.push_str(",\n");
+    summary_json(out, "scan_secs", &cell.timing.scan, "    ");
+    out.push_str(",\n");
+    let _ = writeln!(
+        out,
+        "    \"block_skip_rate\": {:.4},",
+        cell.timing.block_skip_rate
+    );
+    let _ = writeln!(out, "    \"speedup\": {:.4}", cell.speedup());
+    out.push_str(if trailing_comma { "  },\n" } else { "  }\n" });
+}
+
 /// Renders `BENCH_pd.json`: the small-metric indexed-vs-naive cell plus the
-/// large-metric incremental-vs-scan cell.
-pub fn pd_json(b: &PdBench, large: &PdLargeBench) -> String {
+/// two large-metric incremental-vs-scan cells (`large` on the graph family,
+/// `euclid-large` on the Euclidean one), each carrying its deterministic
+/// `block_skip_rate`.
+pub fn pd_json(b: &PdBench, large: &PdLargeBench, euclid_large: &PdLargeBench) -> String {
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"family\": \"{}\",", b.family);
     let _ = writeln!(out, "  \"requests\": {},", b.requests);
@@ -311,22 +377,9 @@ pub fn pd_json(b: &PdBench, large: &PdLargeBench) -> String {
     summary_json(&mut out, "naive_secs", &b.naive, "  ");
     out.push_str(",\n");
     let _ = writeln!(out, "  \"speedup\": {:.4},", b.speedup());
-    out.push_str("  \"large\": {\n");
-    let _ = writeln!(out, "    \"family\": \"{}\",", large.family);
-    let _ = writeln!(out, "    \"requests\": {},", large.timing.requests);
-    let _ = writeln!(out, "    \"points\": {},", large.timing.points);
-    let _ = writeln!(out, "    \"services\": {},", large.services);
-    summary_json(
-        &mut out,
-        "incremental_secs",
-        &large.timing.incremental,
-        "    ",
-    );
-    out.push_str(",\n");
-    summary_json(&mut out, "scan_secs", &large.timing.scan, "    ");
-    out.push_str(",\n");
-    let _ = writeln!(out, "    \"speedup\": {:.4}", large.speedup());
-    out.push_str("  }\n}\n");
+    large_cell_json(&mut out, "large", large, true);
+    large_cell_json(&mut out, "euclid-large", euclid_large, false);
+    out.push_str("}\n");
     out
 }
 
@@ -544,6 +597,21 @@ pub fn check(fresh: &str, committed: &str, label: &str) -> Result<Vec<String>, V
                  {MIN_LARGE_PD_SPEEDUP}x floor (baseline {base:.2}x)"
             ));
         }
+        if key == "euclid-large.speedup" && now < MIN_EUCLID_LARGE_PD_SPEEDUP {
+            errors.push(format!(
+                "{label}: Euclidean large-metric PD speedup {now:.2}x below \
+                 the {MIN_EUCLID_LARGE_PD_SPEEDUP}x floor (baseline {base:.2}x)"
+            ));
+        }
+        if key.ends_with("block_skip_rate") && now < MIN_BLOCK_SKIP_RATE {
+            errors.push(format!(
+                "{label}: '{key}' = {:.1}% below the {:.0}% floor (baseline \
+                 {:.1}%) — the opening-target prune stopped engaging",
+                100.0 * now,
+                100.0 * MIN_BLOCK_SKIP_RATE,
+                100.0 * base
+            ));
+        }
     }
     if errors.is_empty() {
         Ok(notes)
@@ -558,7 +626,8 @@ pub fn check(fresh: &str, committed: &str, label: &str) -> Result<Vec<String>, V
 pub fn smoke_profile_json() -> Result<(String, String), CoreError> {
     let pd = pd_bench(&pd_profile(), 5)?;
     let large = pd_large_bench(&pd_large_profile(), 3)?;
-    let pd_doc = pd_json(&pd, &large);
+    let euclid_large = pd_euclid_large_bench(&pd_euclid_large_profile(), 3)?;
+    let pd_doc = pd_json(&pd, &large, &euclid_large);
     // Cells are timed serially: under a parallel sweep, co-scheduled cells
     // contend for cores and per-cell wall-clock becomes too noisy to gate
     // the regression factor on.
@@ -579,7 +648,8 @@ mod tests {
         };
         let b = pd_bench(&profile, 2).unwrap();
         let large = pd_large_bench(&profile, 2).unwrap();
-        let doc = pd_json(&b, &large);
+        let euclid = pd_euclid_large_bench(&profile, 2).unwrap();
+        let doc = pd_json(&b, &large, &euclid);
         let (nums, strs) = parse_flat(&doc).unwrap();
         assert_eq!(strs["family"], "zipf-services");
         assert_eq!(nums["requests"], 64.0);
@@ -592,6 +662,12 @@ mod tests {
         assert!(nums["large.incremental_secs.mean"] > 0.0);
         assert!(nums["large.scan_secs.mean"] > 0.0);
         assert!(nums.contains_key("large.speedup"));
+        assert!(nums.contains_key("large.block_skip_rate"));
+        assert_eq!(strs["euclid-large.family"], "euclid-grid-large");
+        assert_eq!(nums["euclid-large.points"], 529.0); // 8 × 64 ≈ 23×23 grid
+        assert!(nums["euclid-large.incremental_secs.mean"] > 0.0);
+        assert!(nums.contains_key("euclid-large.speedup"));
+        assert!(nums.contains_key("euclid-large.block_skip_rate"));
     }
 
     #[test]
@@ -649,6 +725,20 @@ mod tests {
         assert!(errs[0].contains("large-metric"));
         let fine = r#"{ "large": { "speedup": 2.8 } }"#;
         assert!(check(fine, base_l, "t").is_ok());
+        // The Euclidean large cell has its own (lower) floor.
+        let base_e = r#"{ "euclid-large": { "speedup": 2.8 } }"#;
+        let sagged_e = r#"{ "euclid-large": { "speedup": 1.8 } }"#;
+        let errs = check(sagged_e, base_e, "t").unwrap_err();
+        assert!(errs[0].contains("Euclidean"));
+        let fine_e = r#"{ "euclid-large": { "speedup": 2.2 } }"#;
+        assert!(check(fine_e, base_e, "t").is_ok());
+        // Block skip rates are deterministic and hard-gated.
+        let base_s = r#"{ "large": { "block_skip_rate": 0.77 } }"#;
+        let inert = r#"{ "large": { "block_skip_rate": 0.31 } }"#;
+        let errs = check(inert, base_s, "t").unwrap_err();
+        assert!(errs[0].contains("stopped engaging"));
+        let engaged = r#"{ "large": { "block_skip_rate": 0.72 } }"#;
+        assert!(check(engaged, base_s, "t").is_ok());
     }
 
     #[test]

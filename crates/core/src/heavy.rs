@@ -41,6 +41,10 @@ impl Metric for SharedMetric {
     fn fill_row(&self, q: PointId, out: &mut [f64]) {
         self.0.fill_row(q, out)
     }
+
+    fn coherent_order(&self) -> Option<Vec<u32>> {
+        self.0.coherent_order()
+    }
 }
 
 /// Cost adapter presenting the light sub-universe of a [`CostModel`].

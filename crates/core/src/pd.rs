@@ -42,10 +42,14 @@
 //!   instead of scanned per request (openings are rare; requests are not);
 //! * the t3/t4 opening targets come from an [`OpeningTargetIndex`] — a
 //!   bucketed lower-bound prune list over the monotone distance-free keys
-//!   `(f − B)⁺`, so the per-arrival argmins skip every block of locations
-//!   certified unable to beat the running best instead of scanning all of
-//!   `|M|` per demanded commodity (see that type's docs for the invariant
-//!   and why shrink staleness is sound);
+//!   `(f − B)⁺`, with blocks laid over a spatially coherent relabeling and
+//!   tightened per query by medoid/covering-radius distance bounds, so the
+//!   per-arrival argmins skip every block of locations certified unable to
+//!   beat the running best instead of scanning all of `|M|` per demanded
+//!   commodity (see that type's docs for the invariants and why shrink
+//!   staleness is sound). The same per-arrival block bounds
+//!   ([`OpeningTargetIndex::prepare_query`]) narrow the freeze walk's bid
+//!   reinvestment to the blocks that can hold `d < cap`;
 //! * the cap-shrink passes after an opening consult a [`PastIndex`] —
 //!   past requests bucketed by location with per-bucket cap bounds — so the
 //!   walk is over locations (`O(|M|)`), not over the whole request history.
@@ -133,6 +137,9 @@ pub struct PdOmflp<'a> {
     /// anchor, so a matching tag means the row is valid). `None` until the
     /// first fill.
     dist_row_loc: Option<PointId>,
+    /// Scratch for the freeze walk's block-narrowed candidate ids (see
+    /// [`OpeningTargetIndex::budget_move_candidates`]).
+    moved_scratch: Vec<u32>,
     /// Scratch row for the cap-shrink passes (rows of *past* locations),
     /// used only by the per-call backend.
     shrink_row: Vec<f64>,
@@ -217,6 +224,16 @@ fn backend_row<'r>(
     }
 }
 
+/// Which opening-target maintenance a `with_parts` engine gets.
+enum Targets {
+    /// PR 3 full scans (the frozen perf baseline).
+    FullScans,
+    /// Incremental index over the metric's coherent order (the default).
+    Coherent,
+    /// Incremental index over an explicit relabeling (test hook).
+    Order(Vec<u32>),
+}
+
 /// Per-member outcome inside one arrival.
 #[derive(Clone, Copy, Debug)]
 enum MemberServe {
@@ -277,7 +294,23 @@ impl<'a> PdOmflp<'a> {
         } else {
             DistanceBackend::Blocked(BlockedRowCache::with_default_budget(m))
         };
-        Self::with_parts(inst, dist, true)
+        Self::with_parts(inst, dist, Targets::Coherent)
+    }
+
+    /// [`PdOmflp::new`] with the opening-target index laid over an
+    /// **explicit** relabeling `order` instead of the metric's coherent
+    /// order. The relabeling is internal to the index, so every engine
+    /// outcome must be bit-identical to [`PdOmflp::new`] under *any*
+    /// permutation — the property the relabeling proptest in
+    /// `tests/tests/index_bounds.rs` drives through whole runs.
+    pub fn with_target_order(inst: &'a Instance, order: Vec<u32>) -> Self {
+        let m = inst.num_points();
+        let dist = if m <= DENSE_DISTANCE_CAP {
+            DistanceBackend::Dense(Self::dense_matrix(inst))
+        } else {
+            DistanceBackend::Blocked(BlockedRowCache::with_default_budget(m))
+        };
+        Self::with_parts(inst, dist, Targets::Order(order))
     }
 
     /// The PR 3 serve path: full t3/t4 scans every arrival and, beyond
@@ -292,21 +325,23 @@ impl<'a> PdOmflp<'a> {
         } else {
             DistanceBackend::PerCall
         };
-        Self::with_parts(inst, dist, false)
+        Self::with_parts(inst, dist, Targets::FullScans)
     }
 
     fn dense_matrix(inst: &Instance) -> Vec<f64> {
         let m = inst.num_points();
-        let mut dmat = Vec::with_capacity(m * m);
-        for q in 0..m {
-            for p in 0..m {
-                dmat.push(inst.distance(PointId(p as u32), PointId(q as u32)));
-            }
+        let mut dmat = vec![0.0; m * m];
+        for (q, row) in dmat.chunks_exact_mut(m).enumerate() {
+            // The bulk primitive is bit-identical to the per-call loop by
+            // the fill_row contract, and metrics with a real override
+            // (dense copies, graph rows, Euclidean column streams) fill a
+            // row at memory speed.
+            inst.fill_row(PointId(q as u32), row);
         }
         dmat
     }
 
-    fn with_parts(inst: &'a Instance, dist: DistanceBackend, incremental: bool) -> Self {
+    fn with_parts(inst: &'a Instance, dist: DistanceBackend, mode: Targets) -> Self {
         let m = inst.num_points();
         let s = inst.num_commodities();
         let mut f_small = vec![0.0; m * s];
@@ -317,7 +352,13 @@ impl<'a> PdOmflp<'a> {
             }
             f_full[p] = inst.large_cost(PointId(p as u32));
         }
-        let targets = incremental.then(|| OpeningTargetIndex::new(m, s, &f_small, &f_full));
+        let targets = match mode {
+            Targets::FullScans => None,
+            Targets::Coherent => Some(OpeningTargetIndex::for_instance(inst, &f_small, &f_full)),
+            Targets::Order(order) => Some(OpeningTargetIndex::with_order(
+                inst, &f_small, &f_full, order,
+            )),
+        };
         Self {
             inst,
             sol: Solution::new(),
@@ -331,6 +372,7 @@ impl<'a> PdOmflp<'a> {
             dist,
             dist_row: vec![0.0; m],
             dist_row_loc: None,
+            moved_scratch: Vec::new(),
             shrink_row: vec![0.0; m],
             shrink_row_loc: None,
             targets,
@@ -616,6 +658,14 @@ impl<'a> PdOmflp<'a> {
 
     /// The bid-reinvestment additions of [`Self::freeze`], split out so the
     /// distance row is borrowed only when some cap is positive.
+    ///
+    /// With the opening-target index engaged, each walk is narrowed by
+    /// [`OpeningTargetIndex::budget_move_candidates`]: an addition is
+    /// non-zero exactly for locations with `d < cap`, and a block whose
+    /// certified distance lower bound is at least `cap` provably contains
+    /// none — so only the blocks around the request are visited (a strict
+    /// superset of the moved set, each member still `d < cap`-tested, hence
+    /// bit-identical updates). Scan mode keeps the full contiguous walk.
     fn freeze_bids(&mut self, loc: PointId, members: &[CommodityId], caps: &[f64], cap_total: f64) {
         let m = self.inst.num_points();
         let dist_row = backend_row(
@@ -627,14 +677,19 @@ impl<'a> PdOmflp<'a> {
         );
         let (b_small, b_large, targets) = (&mut self.b_small, &mut self.b_large, &mut self.targets);
         let (f_small, f_full) = (&self.f_small, &self.f_full);
+        let moved = &mut self.moved_scratch;
         for (&e, &cap) in members.iter().zip(caps) {
             if cap > 0.0 {
                 let row = &mut b_small[e.index() * m..(e.index() + 1) * m];
                 match targets {
                     Some(t) => {
                         let f_row = &f_small[e.index() * m..(e.index() + 1) * m];
-                        for (p, (b, &d)) in row.iter_mut().zip(dist_row).enumerate() {
+                        t.budget_move_candidates(dist_row, cap, moved);
+                        for &p in moved.iter() {
+                            let p = p as usize;
+                            let d = dist_row[p];
                             if d < cap {
+                                let b = &mut row[p];
                                 *b += cap - d;
                                 t.note_small_bump(e, PointId(p as u32), (f_row[p] - *b).max(0.0));
                             }
@@ -651,8 +706,12 @@ impl<'a> PdOmflp<'a> {
         if cap_total > 0.0 {
             match targets {
                 Some(t) => {
-                    for (p, (b, &d)) in b_large.iter_mut().zip(dist_row).enumerate() {
+                    t.budget_move_candidates(dist_row, cap_total, moved);
+                    for &p in moved.iter() {
+                        let p = p as usize;
+                        let d = dist_row[p];
                         if d < cap_total {
+                            let b = &mut b_large[p];
                             *b += cap_total - d;
                             t.note_large_bump(PointId(p as u32), (f_full[p] - *b).max(0.0));
                         }
@@ -750,6 +809,11 @@ impl OnlineAlgorithm for PdOmflp<'_> {
             &mut self.dist_row,
             &mut self.dist_row_loc,
         );
+        // One pass of per-block distance bounds for this arrival, shared by
+        // every t3/t4 argmin below and the freeze walk afterwards.
+        if let Some(t) = &mut self.targets {
+            t.prepare_query(dist_row);
+        }
 
         // Per-commodity targets t1 (connect) / t3 (temp open) and joint
         // targets t2 (connect large) / t4 (open large). All constant during

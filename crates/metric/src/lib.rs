@@ -115,6 +115,30 @@ pub trait Metric: Send + Sync {
         }
     }
 
+    /// A spatially coherent ordering of the point ids, or `None` when the
+    /// metric has no cheap one (callers fall back to identity order).
+    ///
+    /// The returned vector is a permutation of `0..len` such that points
+    /// adjacent in the order tend to be close in the metric — the locality
+    /// lever behind block-partitioned indexes (a run of consecutive entries
+    /// then has a small covering radius, so triangle-inequality distance
+    /// bounds over the run are tight). Sorted lines return position order,
+    /// Euclidean point sets a Z-order (Morton) curve, graphs a greedy
+    /// nearest-neighbor chain over the shortest-path closure, trees a DFS
+    /// preorder (subtrees stay contiguous).
+    ///
+    /// Contract: the order must be **deterministic** (same metric → same
+    /// permutation, bit for bit), and implementors returning `Some` assert
+    /// that their `distance` satisfies the triangle inequality up to a few
+    /// ulps of relative rounding error — consumers that derive pruning
+    /// bounds from representatives and covering radii budget only for
+    /// float-level violations, not for approximately-metric data. Metrics
+    /// that merely *validate* the axioms under a tolerance (e.g. an
+    /// arbitrary dense matrix) must return `None`.
+    fn coherent_order(&self) -> Option<Vec<u32>> {
+        None
+    }
+
     /// `true` if the space has no points.
     fn is_empty(&self) -> bool {
         self.len() == 0
@@ -173,6 +197,10 @@ impl Metric for Box<dyn Metric> {
         // Forward so a concrete override (dense/graph slice gathers) is one
         // virtual call per row, not one per entry.
         self.as_ref().fill_row(q, out)
+    }
+
+    fn coherent_order(&self) -> Option<Vec<u32>> {
+        self.as_ref().coherent_order()
     }
 }
 

@@ -95,6 +95,12 @@ impl Metric for LineMetric {
     fn distance(&self, a: PointId, b: PointId) -> f64 {
         (self.positions[a.index()] - self.positions[b.index()]).abs()
     }
+
+    /// Position order (already maintained for [`LineMetric::nearest_to_coord`]):
+    /// consecutive ranks are metric neighbors, the best possible 1-D order.
+    fn coherent_order(&self) -> Option<Vec<u32>> {
+        Some(self.by_position.clone())
+    }
 }
 
 #[cfg(test)]

@@ -15,6 +15,9 @@ pub struct TreeMetric {
     parent: Vec<Vec<u32>>, // parent[k][v] = 2^k-th ancestor of v
     depth_hops: Vec<u32>,  // depth in edges
     depth_w: Vec<f64>,     // weighted distance from root
+    /// DFS preorder from the root (subtrees contiguous), recorded during
+    /// construction for [`Metric::coherent_order`].
+    preorder: Vec<u32>,
     n: usize,
 }
 
@@ -61,7 +64,9 @@ impl TreeMetric {
         let mut stack = vec![root];
         depth_hops[root as usize] = 0;
         let mut seen = 1usize;
+        let mut preorder = Vec::with_capacity(n);
         while let Some(u) = stack.pop() {
+            preorder.push(u);
             for &c in &children[u as usize] {
                 if depth_hops[c as usize] != u32::MAX {
                     return Err(MetricError::Malformed(format!("cycle through node {c}")));
@@ -99,6 +104,7 @@ impl TreeMetric {
             parent: parent_tbl,
             depth_hops,
             depth_w,
+            preorder,
             n,
         })
     }
@@ -161,6 +167,12 @@ impl Metric for TreeMetric {
     fn distance(&self, a: PointId, b: PointId) -> f64 {
         let l = self.lca(a, b);
         self.depth_w[a.index()] + self.depth_w[b.index()] - 2.0 * self.depth_w[l.index()]
+    }
+
+    /// DFS preorder: a subtree occupies a contiguous run, so runs of the
+    /// order stay within few tree edges of each other.
+    fn coherent_order(&self) -> Option<Vec<u32>> {
+        Some(self.preorder.clone())
     }
 }
 

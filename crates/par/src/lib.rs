@@ -142,9 +142,19 @@ where
         .collect()
 }
 
-/// A reasonable default worker count: available parallelism capped at 8
-/// (experiment tasks are memory-bandwidth-bound; more threads stop helping).
+/// A reasonable default worker count: the `OMFL_THREADS` environment
+/// variable when set to a positive integer (the knob CI's determinism
+/// matrix drives — results must be bit-identical at every value), else
+/// available parallelism capped at 8 (experiment tasks are
+/// memory-bandwidth-bound; more threads stop helping).
 pub fn default_threads() -> usize {
+    if let Some(n) = std::env::var("OMFL_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
@@ -333,5 +343,19 @@ mod tests {
     #[test]
     fn default_threads_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn default_threads_honors_omfl_threads_env() {
+        // This is the only test touching the variable, so the set/remove
+        // pair cannot race another reader in this process.
+        std::env::set_var("OMFL_THREADS", "3");
+        assert_eq!(default_threads(), 3);
+        // Garbage and zero fall back to the hardware default.
+        std::env::set_var("OMFL_THREADS", "0");
+        assert!(default_threads() >= 1);
+        std::env::set_var("OMFL_THREADS", "lots");
+        assert!(default_threads() >= 1);
+        std::env::remove_var("OMFL_THREADS");
     }
 }

@@ -162,6 +162,15 @@ pub fn registry() -> Vec<Family> {
                      blocked row-cache regime",
             builder: euclid_grid_large,
         },
+        Family {
+            name: "cold-scatter-large",
+            regime: "id-scattered Euclidean clusters (|M| = 32·points) with \
+                     region-hopping cold queries: point ids are random with \
+                     respect to space, so id-order block bounds see every \
+                     block straddle every cluster and prune nothing — only \
+                     distance-aware (relabeled) pruning gets traction",
+            builder: cold_scatter_large,
+        },
     ]
 }
 
@@ -173,6 +182,10 @@ pub const ZIPF_LARGE_POINTS_SCALE: usize = 32;
 /// Metric-size multiplier of `euclid-grid-large` over the profile's
 /// `points`.
 pub const EUCLID_LARGE_POINTS_SCALE: usize = 64;
+
+/// Metric-size multiplier of `cold-scatter-large` over the profile's
+/// `points`.
+pub const COLD_LARGE_POINTS_SCALE: usize = 32;
 
 /// Looks a family up by its stable name.
 pub fn by_name(name: &str) -> Option<Family> {
@@ -441,6 +454,43 @@ fn euclid_grid_large(p: &CatalogProfile, seed: u64) -> Result<Scenario, CoreErro
         .collect();
     Scenario::new(
         format!("euclid-grid-large({w}x{h},n={})", p.requests),
+        metric,
+        cost,
+        requests,
+    )
+}
+
+fn cold_scatter_large(p: &CatalogProfile, seed: u64) -> Result<Scenario, CoreError> {
+    let s = p.services.max(2);
+    let target = (p.points * COLD_LARGE_POINTS_SCALE).max(256);
+    let clusters = (target / 8).clamp(2, 64);
+    let per_cluster = target.div_ceil(clusters);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Tight clusters on a wide span, ids scattered across clusters: the
+    // substrate where id-order block bounds are provably useless.
+    let (metric, membership) =
+        spatial::scattered_clustered_plane(clusters, per_cluster, 1024.0, 6.0, &mut rng)
+            .map_err(CoreError::Metric)?;
+    let cost = CostModel::power(s, 1.0, 2.5);
+    let universe = cost.universe();
+    // Cold queries: every arrival hops to a uniformly random cluster, so
+    // consecutive requests land in unrelated regions and the budget mass
+    // near one query says nothing about the next.
+    let requests = (0..p.requests)
+        .map(|_| {
+            let c = rng.gen_range(0..clusters);
+            let member = membership[c][rng.gen_range(0..membership[c].len())];
+            Request::new(
+                PointId(member),
+                DemandModel::UniformK { k: 2 }.sample(universe, &mut rng),
+            )
+        })
+        .collect();
+    Scenario::new(
+        format!(
+            "cold-scatter-large({clusters}x{per_cluster},n={})",
+            p.requests
+        ),
         metric,
         cost,
         requests,

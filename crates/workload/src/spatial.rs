@@ -4,6 +4,7 @@ use omfl_metric::euclidean::EuclideanMetric;
 use omfl_metric::graph::{Graph, GraphMetric};
 use omfl_metric::line::LineMetric;
 use omfl_metric::{Metric, MetricError};
+use rand::seq::SliceRandom;
 use rand::Rng;
 use std::sync::Arc;
 
@@ -90,6 +91,48 @@ pub fn random_network<R: Rng>(
     }
     let g = Graph::from_edges(nodes, &edges)?;
     Ok(Arc::new(GraphMetric::new(&g)?))
+}
+
+/// Like [`clustered_plane`], but point ids are **scattered**: the generated
+/// points are shuffled before the metric is built, so consecutive ids land
+/// in unrelated clusters. Returns the metric plus the cluster membership
+/// (`clusters[c]` lists the shuffled ids of cluster `c`, in generation
+/// order) so request streams can still target clusters.
+///
+/// This is the adversarial substrate for id-order spatial indexes: any
+/// structure that buckets by raw point id sees every bucket straddle every
+/// cluster, so only genuinely distance-aware bucketing (relabeling) gets
+/// traction.
+#[allow(clippy::type_complexity)]
+pub fn scattered_clustered_plane<R: Rng>(
+    clusters: usize,
+    per_cluster: usize,
+    span: f64,
+    spread: f64,
+    rng: &mut R,
+) -> Result<(Arc<dyn Metric>, Vec<Vec<u32>>), MetricError> {
+    let n = clusters * per_cluster;
+    let mut pts = Vec::with_capacity(n);
+    for _ in 0..clusters {
+        let cx = rng.gen::<f64>() * span;
+        let cy = rng.gen::<f64>() * span;
+        for _ in 0..per_cluster {
+            let dx = (rng.gen::<f64>() + rng.gen::<f64>() - 1.0) * spread;
+            let dy = (rng.gen::<f64>() + rng.gen::<f64>() - 1.0) * spread;
+            pts.push((cx + dx, cy + dy));
+        }
+    }
+    // Shuffle generation order → point id.
+    let mut id_of: Vec<u32> = (0..n as u32).collect();
+    id_of.shuffle(rng);
+    let mut shuffled = vec![(0.0, 0.0); n];
+    let mut membership = vec![Vec::with_capacity(per_cluster); clusters];
+    for (gen_idx, &(x, y)) in pts.iter().enumerate() {
+        let id = id_of[gen_idx];
+        shuffled[id as usize] = (x, y);
+        membership[gen_idx / per_cluster].push(id);
+    }
+    Ok((Arc::new(EuclideanMetric::plane(&shuffled)?), membership))
 }
 
 /// Samples request locations: `n` point ids, either uniform over the space

@@ -7,6 +7,18 @@
 # every push; run it locally after adding a crate.
 set -euo pipefail
 
+# The check is only as good as the tools it parses with: refuse to run —
+# loudly, with a distinct exit code — when any is missing, instead of
+# degrading to a weaker parse (or a vacuous pass) that CI would read as
+# green. `set -e` alone is not enough: a missing tool inside a $(…)
+# pipeline with a fallback could still exit 0.
+for tool in awk sort comm grep sed wc; do
+  if ! command -v "$tool" >/dev/null 2>&1; then
+    echo "error: required tool '$tool' not found; refusing to skip the default-members check" >&2
+    exit 3
+  fi
+done
+
 manifest="$(dirname "$0")/../Cargo.toml"
 
 # Extracts the sorted entries of a top-level TOML string array.

@@ -16,11 +16,19 @@
 //!   both, `cost ≤ 15·√|S|·H_n · (scaled dual LB)` must hold with *no*
 //!   slack constant — it is an identity of the two corollaries, checked
 //!   here against `omfl_core::bounds::sqrt_s` and `harmonic`.
+//!
+//! On top of the bound curves, this suite locksteps the relabeled,
+//! radius-bounded opening-target prune against fresh full scans bitwise at
+//! every arrival across the whole catalog (including the cold-query
+//! adversary and past the dense distance cap), and drives *random*
+//! relabelings through whole engine runs — the index's block layout must
+//! never leak into engine-visible state.
 
 use omfl_core::algorithm::OnlineAlgorithm;
 use omfl_core::pd::PdOmflp;
 use omfl_core::{bounds, harmonic};
 use omfl_workload::catalog::{by_name, registry, CatalogProfile};
+use proptest::prelude::*;
 
 fn profile() -> CatalogProfile {
     CatalogProfile {
@@ -94,14 +102,20 @@ fn incremental_targets_equal_fresh_scans_at_every_arrival() {
 
 #[test]
 fn incremental_targets_lockstep_beyond_the_dense_cap() {
-    // Push the large families past DENSE_DISTANCE_CAP (1280 and 2560
-    // points) so the lockstep covers the blocked-row-cache backend too.
+    // Push the large families — including the cold-query adversary whose
+    // ids are scattered against spatial structure — past DENSE_DISTANCE_CAP
+    // (1280–2560 points) so the lockstep covers the blocked-row-cache
+    // backend and the relabeled radius-bounded prune together.
     let profile = CatalogProfile {
         points: 40,
         services: 8,
         requests: 120,
     };
-    for name in ["zipf-services-large", "euclid-grid-large"] {
+    for name in [
+        "zipf-services-large",
+        "euclid-grid-large",
+        "cold-scatter-large",
+    ] {
         let sc = by_name(name).unwrap().build(&profile, 5).expect(name);
         assert!(
             sc.instance().num_points() > omfl_core::pd::DENSE_DISTANCE_CAP,
@@ -113,6 +127,30 @@ fn incremental_targets_lockstep_beyond_the_dense_cap() {
             "{name}: the prune never skipped a block on a hotspot workload"
         );
     }
+}
+
+/// The cold-query family is built to defeat the *distance-free* part of
+/// the bound (ids scattered, queries hopping between far regions), so a
+/// healthy skip rate here can only come from the relabeled radius bounds.
+#[test]
+fn cold_query_family_is_pruned_by_radius_bounds_alone() {
+    let profile = CatalogProfile {
+        points: 48, // × 32 scale → 1536 points, past the dense cap
+        services: 8,
+        requests: 256,
+    };
+    let sc = by_name("cold-scatter-large")
+        .unwrap()
+        .build(&profile, 17)
+        .expect("cold-scatter-large");
+    let (skipped, scanned) = assert_targets_lockstep(&sc, "cold-scatter-large");
+    let rate = skipped as f64 / (skipped + scanned).max(1) as f64;
+    assert!(
+        rate >= 0.5,
+        "cold queries must be pruned by the radius bounds: skip rate {:.1}% \
+         (skipped {skipped}, scanned {scanned})",
+        100.0 * rate
+    );
 }
 
 #[test]
@@ -186,6 +224,60 @@ fn scaled_dual_lower_bound_stays_below_cost_at_refreshes() {
                 curve * lb
             );
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The relabeling lives entirely inside the opening-target index, so an
+    /// engine running under an ARBITRARY permutation of the block layout
+    /// must be indistinguishable — outcome by outcome, bit by bit — from
+    /// the stock engine (whose own layout is the metric's coherent order).
+    /// This is the structural guarantee behind "relabeling never leaks":
+    /// not one blessed order, but all of them.
+    #[test]
+    fn random_relabelings_never_change_engine_outcomes(
+        family_idx in 0usize..64,
+        seed in 0u64..10_000,
+        perm_seed in 0u64..10_000,
+        points in 4usize..20,
+        services in 2u16..10,
+        requests in 5usize..60,
+    ) {
+        let families = registry();
+        let fam = families[family_idx % families.len()];
+        let profile = CatalogProfile { points, services, requests };
+        let sc = fam.build(&profile, seed).unwrap();
+        let inst = sc.instance();
+        let m = inst.num_points();
+        // Deterministic Fisher–Yates driven by perm_seed.
+        let mut order: Vec<u32> = (0..m as u32).collect();
+        let mut st = perm_seed | 1;
+        for i in (1..m).rev() {
+            st ^= st << 13;
+            st ^= st >> 7;
+            st ^= st << 17;
+            let j = (st % (i as u64 + 1)) as usize;
+            order.swap(i, j);
+        }
+        let mut relabeled = PdOmflp::with_target_order(inst, order);
+        let mut reference = PdOmflp::new(inst);
+        for (step, r) in sc.requests.iter().enumerate() {
+            let a = relabeled.serve(r).unwrap();
+            let b = reference.serve(r).unwrap();
+            assert_eq!(a, b, "{}: outcome diverged at arrival {step}", fam.name);
+        }
+        assert_eq!(
+            relabeled.dual_sum().to_bits(),
+            reference.dual_sum().to_bits(),
+            "{}: dual sums diverged", fam.name
+        );
+        assert_eq!(
+            relabeled.solution().total_cost().to_bits(),
+            reference.solution().total_cost().to_bits(),
+            "{}: costs diverged", fam.name
+        );
     }
 }
 
