@@ -45,6 +45,14 @@ impl Metric for SharedMetric {
     fn coherent_order(&self) -> Option<Vec<u32>> {
         self.0.coherent_order()
     }
+
+    fn kd_coords(&self) -> Option<omfl_metric::KdCoords> {
+        self.0.kd_coords()
+    }
+
+    fn screen_distances(&self, q: PointId, others: &[u32], lo: &mut [f64], hi: &mut [f64]) -> bool {
+        self.0.screen_distances(q, others, lo, hi)
+    }
 }
 
 /// Cost adapter presenting the light sub-universe of a [`CostModel`].

@@ -31,9 +31,12 @@
 //! engine bit for bit.
 
 use crate::instance::Instance;
+use crate::kd::KdTree;
 use crate::solution::FacilityId;
 use omfl_commodity::CommodityId;
 use omfl_metric::PointId;
+use omfl_par::{ShardWriter, TaskPool};
+use std::sync::Arc;
 
 const NO_FACILITY: u32 = u32::MAX;
 
@@ -205,6 +208,7 @@ impl FacilityIndex {
 #[derive(Debug, Clone, Default)]
 pub struct PastIndex {
     points: usize,
+    services: usize,
     /// Members demanding `e` located at `ℓ`, flat `e·|M| + ℓ`
     /// (commodity-major: the candidate filter walks every `ℓ` for one `e`),
     /// in `(past index, slot)` push order (ascending — freeze appends).
@@ -215,6 +219,22 @@ pub struct PastIndex {
     by_loc: Vec<Vec<u32>>,
     /// Upper bound on `max(cap_total, caps[..])` over requests at `ℓ`.
     max_cap_any: Vec<f64>,
+    /// Block layout shared with the engine's [`OpeningTargetIndex`] (when
+    /// one is active): lets the shrink walks skip whole blocks whose
+    /// distance lower bound already exceeds every cap bound inside.
+    layout: Option<Arc<SpatialLayout>>,
+    /// Per block: locations in the block holding any past entries
+    /// (first-touch append order; the bucket-level decisions below are
+    /// order-independent, and the output is sorted).
+    block_locs: Vec<Vec<u32>>,
+    /// Whether a location already sits in its block's `block_locs` list.
+    loc_listed: Vec<bool>,
+    /// Per-block upper bound on `max_cap_e` over the block's buckets, flat
+    /// `e·nblocks + b`. Monotone-up on push; recomputed exactly for blocks
+    /// the shrink walk clamps. Never stale low, so skipping is sound.
+    block_cap_e: Vec<f64>,
+    /// Per-block upper bound on `max_cap_any`.
+    block_cap_any: Vec<f64>,
 }
 
 impl PastIndex {
@@ -222,11 +242,35 @@ impl PastIndex {
     pub fn new(points: usize, services: usize) -> Self {
         Self {
             points,
+            services,
             by_loc_e: vec![Vec::new(); points * services],
             max_cap_e: vec![0.0; points * services],
             by_loc: vec![Vec::new(); points],
             max_cap_any: vec![0.0; points],
+            layout: None,
+            block_locs: Vec::new(),
+            loc_listed: Vec::new(),
+            block_cap_e: Vec::new(),
+            block_cap_any: Vec::new(),
         }
+    }
+
+    /// Adopts the opening-target index's block layout so the shrink walks
+    /// can skip whole blocks by the same radius bounds the argmin scans
+    /// use. Must be installed before the first [`Self::push_request`]; the
+    /// candidate lists (content *and* order) are identical with or without
+    /// a layout — only the number of distance evaluations changes.
+    pub(crate) fn attach_layout(&mut self, layout: Arc<SpatialLayout>) {
+        debug_assert!(
+            self.by_loc.iter().all(Vec::is_empty),
+            "attach_layout must precede the first push_request"
+        );
+        let nblocks = layout.nblocks();
+        self.block_locs = vec![Vec::new(); nblocks];
+        self.loc_listed = vec![false; self.points];
+        self.block_cap_e = vec![0.0; self.services * nblocks];
+        self.block_cap_any = vec![0.0; nblocks];
+        self.layout = Some(layout);
     }
 
     /// Registers a freshly frozen request: its location, per-slot
@@ -240,12 +284,23 @@ impl PastIndex {
         cap_total: f64,
     ) {
         let l = loc.index();
+        let block = self
+            .layout
+            .as_ref()
+            .map(|lay| lay.pos[l] as usize / lay.block);
+        let nblocks = self.block_cap_any.len();
         let mut any = cap_total;
         for (slot, (&e, &cap)) in commodities.iter().zip(caps).enumerate() {
             let idx = e.index() * self.points + l;
             self.by_loc_e[idx].push((pi, slot as u16));
             if cap > self.max_cap_e[idx] {
                 self.max_cap_e[idx] = cap;
+            }
+            if let Some(b) = block {
+                let bidx = e.index() * nblocks + b;
+                if cap > self.block_cap_e[bidx] {
+                    self.block_cap_e[bidx] = cap;
+                }
             }
             if cap > any {
                 any = cap;
@@ -255,6 +310,15 @@ impl PastIndex {
         if any > self.max_cap_any[l] {
             self.max_cap_any[l] = any;
         }
+        if let Some(b) = block {
+            if !self.loc_listed[l] {
+                self.loc_listed[l] = true;
+                self.block_locs[b].push(l as u32);
+            }
+            if any > self.block_cap_any[b] {
+                self.block_cap_any[b] = any;
+            }
+        }
     }
 
     /// Candidate `(past index, slot)` members whose commodity-`e` cap *may*
@@ -263,6 +327,14 @@ impl PastIndex {
     /// ascending, i.e. the exact order the linear history walk would visit
     /// them in. Buckets that qualify have their bound clamped to the new
     /// distance (all surviving caps are at most that).
+    ///
+    /// With an attached layout the walk goes block by block: a block whose
+    /// certified distance lower bound (`d(at, rep) − radius`, slack
+    /// included) is at least its cap bound cannot contain a qualifying
+    /// bucket — `d(at, ℓ) ≥ dlb ≥ block cap ≥ bucket cap` for every `ℓ`
+    /// in it — so one distance read retires the whole block. Visited
+    /// blocks that clamp any bucket get their cap bound recomputed
+    /// exactly, keeping future skips tight.
     pub fn small_shrink_candidates(
         &mut self,
         inst: &Instance,
@@ -271,6 +343,42 @@ impl PastIndex {
     ) -> Vec<(u32, u16)> {
         let base = e.index() * self.points;
         let mut out = Vec::new();
+        if let Some(layout) = self.layout.clone() {
+            let nblocks = self.block_cap_any.len();
+            let cap_base = e.index() * nblocks;
+            for b in 0..nblocks {
+                let bcap = self.block_cap_e[cap_base + b];
+                if bcap <= 0.0 || self.block_locs[b].is_empty() {
+                    continue;
+                }
+                let d_rep = inst.distance(at, PointId(layout.rep[b]));
+                if dist_lower_bound(d_rep, layout.radius[b]) >= bcap {
+                    continue;
+                }
+                let mut touched = false;
+                for &l in &self.block_locs[b] {
+                    let idx = base + l as usize;
+                    if self.by_loc_e[idx].is_empty() {
+                        continue;
+                    }
+                    let dj = inst.distance(at, PointId(l));
+                    if dj < self.max_cap_e[idx] {
+                        out.extend_from_slice(&self.by_loc_e[idx]);
+                        self.max_cap_e[idx] = dj;
+                        touched = true;
+                    }
+                }
+                if touched {
+                    let mut cap = 0.0f64;
+                    for &l in &self.block_locs[b] {
+                        cap = cap.max(self.max_cap_e[base + l as usize]);
+                    }
+                    self.block_cap_e[cap_base + b] = cap;
+                }
+            }
+            out.sort_unstable();
+            return out;
+        }
         for l in 0..self.by_loc.len() {
             let idx = base + l;
             if self.by_loc_e[idx].is_empty() {
@@ -289,8 +397,43 @@ impl PastIndex {
     /// Candidate past-request indices for a *large* opening at `at` (any cap
     /// at the location may shrink). Sorted ascending — the history-walk
     /// order. Qualifying buckets have their bound clamped to `d(at, ℓ)`.
+    /// Block skipping as in [`Self::small_shrink_candidates`].
     pub fn large_shrink_candidates(&mut self, inst: &Instance, at: PointId) -> Vec<u32> {
         let mut out = Vec::new();
+        if let Some(layout) = self.layout.clone() {
+            for b in 0..self.block_cap_any.len() {
+                let bcap = self.block_cap_any[b];
+                if bcap <= 0.0 || self.block_locs[b].is_empty() {
+                    continue;
+                }
+                let d_rep = inst.distance(at, PointId(layout.rep[b]));
+                if dist_lower_bound(d_rep, layout.radius[b]) >= bcap {
+                    continue;
+                }
+                let mut touched = false;
+                for &l in &self.block_locs[b] {
+                    let li = l as usize;
+                    if self.by_loc[li].is_empty() {
+                        continue;
+                    }
+                    let dj = inst.distance(at, PointId(l));
+                    if dj < self.max_cap_any[li] {
+                        out.extend_from_slice(&self.by_loc[li]);
+                        self.max_cap_any[li] = dj;
+                        touched = true;
+                    }
+                }
+                if touched {
+                    let mut cap = 0.0f64;
+                    for &l in &self.block_locs[b] {
+                        cap = cap.max(self.max_cap_any[l as usize]);
+                    }
+                    self.block_cap_any[b] = cap;
+                }
+            }
+            out.sort_unstable();
+            return out;
+        }
         for l in 0..self.by_loc.len() {
             if self.by_loc[l].is_empty() {
                 continue;
@@ -399,7 +542,19 @@ pub struct OpeningTargetIndex {
     large: Vec<f64>,
     nblocks: usize,
     /// Block layout: the relabeling and the per-block location summaries.
-    layout: SpatialLayout,
+    /// Shared (via [`Self::layout_handle`]) with the engine's
+    /// [`PastIndex`] so both prune with the same radius bounds.
+    layout: Arc<SpatialLayout>,
+    /// Worker pool for the sharded scans; `None` runs them sequentially.
+    /// Results AND stats are bit-identical either way — the pool only
+    /// changes who executes each shard.
+    pool: Option<Arc<TaskPool>>,
+    /// Blocks per scan shard (defaults to [`SCAN_SHARD_BLOCKS`]; test
+    /// hook [`Self::set_scan_shard_blocks`] overrides it).
+    shard_blocks: usize,
+    /// Original id of the prepared query point, when the caller knows it
+    /// (unlocks kd range narrowing in [`Self::budget_move_candidates`]).
+    query_point: Option<PointId>,
     /// Reusable per-query buffer for the distance-aware block bounds
     /// (avoids an allocation per argmin).
     bound_scratch: Vec<f64>,
@@ -418,7 +573,7 @@ pub struct OpeningTargetIndex {
     scanned: u64,
 }
 
-/// Locations per prune block of the [`OpeningTargetIndex`].
+/// Default locations per prune block of the [`OpeningTargetIndex`].
 ///
 /// Smaller blocks mean tighter covering radii (the distance bound bites on
 /// geometries whose ball-of-`TARGET_BLOCK` radius is well under the typical
@@ -426,7 +581,31 @@ pub struct OpeningTargetIndex {
 /// already at the metric's distance scale) at the cost of one bound check
 /// per block per query; 16 is where the large catalog families' skip rates
 /// plateau without measurable bound-pass overhead.
+///
+/// Block size is a per-layout choice made at ingest (see
+/// [`HUGE_BLOCK`]); this constant is the default for graph closures,
+/// windowed fallbacks, and every point set below the huge threshold.
 pub const TARGET_BLOCK: usize = 16;
+
+/// Locations per prune block for *huge* kd-ingested Euclidean layouts
+/// (`|M| ≥` [`HUGE_BLOCK_MIN_POINTS`]). At that scale the per-query bound
+/// pass itself (`O(nblocks)`) becomes the floor cost of an argmin; 4×
+/// coarser blocks quarter it, and kd balls keep the covering radii tight
+/// enough that the skip rate holds (a 64-ball of a dense grid is only ~2×
+/// the radius of a 16-ball).
+pub const HUGE_BLOCK: usize = 64;
+
+/// Point-count threshold above which a kd-capable layout switches to
+/// [`HUGE_BLOCK`]-sized blocks.
+pub const HUGE_BLOCK_MIN_POINTS: usize = 65536;
+
+/// Blocks per shard of the sharded argmin scan (see
+/// [`OpeningTargetIndex::small_target`]). The shard partition is a pure
+/// function of the block count — never of the worker pool or thread count
+/// — so the skip/scan statistics are machine-portable and the bench floors
+/// on `block_skip_rate` stay meaningful. Below two shards' worth of blocks
+/// the scan runs the plain two-pass loop.
+pub const SCAN_SHARD_BLOCKS: usize = 128;
 
 /// Relative slack subtracted from the per-block distance lower bound
 /// `d(rep, r) − radius`, scaled by `d(rep, r) + radius`.
@@ -452,7 +631,7 @@ pub const RADIUS_BOUND_SLACK: f64 = 1e-9;
 /// distance bound collapse to zero — pure distance-free pruning, the exact
 /// pre-relabeling behavior.
 #[derive(Debug, Clone)]
-struct SpatialLayout {
+pub(crate) struct SpatialLayout {
     /// Relabeled position → original point id.
     perm: Vec<u32>,
     /// Original point id → relabeled position (inverse of `perm`).
@@ -466,12 +645,24 @@ struct SpatialLayout {
     /// zero and queries run the plain distance-free in-order scan (the
     /// exact pre-relabeling behavior).
     bounded: bool,
+    /// Locations per block of THIS layout ([`TARGET_BLOCK`] except for
+    /// huge kd-ingested point sets, which use [`HUGE_BLOCK`]).
+    block: usize,
     /// Per-block representative (original id) — the block medoid.
     rep: Vec<u32>,
     /// Covering radius `max_{m ∈ block} d(rep, m)`.
     radius: Vec<f64>,
     /// Smallest original id in the block (exact-tie skip certificate).
     min_id: Vec<u32>,
+    /// kd-tree over the metric's coordinate embedding, when it offers one
+    /// ([`omfl_metric::Metric::kd_coords`]). Used for the ball ingest and,
+    /// when `kd_isometric`, as a second pruning structure for the freeze
+    /// walk's candidate range queries.
+    kd: Option<KdTree>,
+    /// The embedding's distances are bit-identical to the metric's
+    /// (`KdCoords::isometric`) — the licence for using kd *distances*, not
+    /// just the kd *partition*.
+    kd_isometric: bool,
 }
 
 impl SpatialLayout {
@@ -483,10 +674,19 @@ impl SpatialLayout {
             pos: (0..points as u32).collect(),
             identity: true,
             bounded: false,
+            block: TARGET_BLOCK,
             rep: (0..nblocks).map(|b| (b * TARGET_BLOCK) as u32).collect(),
             radius: vec![f64::INFINITY; nblocks],
             min_id: (0..nblocks).map(|b| (b * TARGET_BLOCK) as u32).collect(),
+            kd: None,
+            kd_isometric: false,
         }
+    }
+
+    /// Number of prune blocks under this layout's block size.
+    #[inline]
+    fn nblocks(&self) -> usize {
+        self.perm.len().div_ceil(self.block)
     }
 
     /// Refines `seed_order` into distance balls and computes the per-block
@@ -496,16 +696,32 @@ impl SpatialLayout {
     /// fixed-size run of a chain can snake across a region far wider than a
     /// ball of the same cardinality (on small-world graph closures the
     /// chain-run radius matches the whole metric's distance scale, which
-    /// makes radius bounds inert). So blocks are rebuilt as greedy balls:
-    /// the next unassigned point in `seed_order` seeds a block, which takes
-    /// the `TARGET_BLOCK − 1` nearest unassigned points among the next
-    /// [`BALL_WINDOW`] in the order — the window keeps construction at
-    /// `O(|M| · BALL_WINDOW)` distance reads while the order's locality
-    /// makes it contain the true near neighbors. Ties break by order rank,
-    /// so the partition is deterministic. Each block then records its
-    /// medoid (the member minimizing its maximum in-block distance, first
-    /// winner on ties) and the covering radius the medoid realizes.
-    fn from_order(inst: &Instance, seed_order: Vec<u32>) -> Self {
+    /// makes radius bounds inert). So blocks are rebuilt as greedy balls —
+    /// two ingest paths, selected by the metric:
+    ///
+    /// * **kd ingest** (metrics offering [`omfl_metric::Metric::kd_coords`],
+    ///   `allow_kd` set): the next unassigned point of `seed_order` seeds a
+    ///   block and takes its `block − 1` *true* nearest unassigned points
+    ///   from [`KdTree::nearest_alive`], under the `(distance, seed-rank)`
+    ///   total order. The partition is a pure function of the coordinates
+    ///   and the seed order. Any deterministic partition is engine-safe
+    ///   (the relabeling proptests drive arbitrary ones), so the kd fold
+    ///   need not match the metric's distances here.
+    /// * **windowed ingest** (fallback): [`Self::group_into_balls`], which
+    ///   can only pick members from the next [`BALL_WINDOW`] points of the
+    ///   order — cheap, but a seed whose real neighbors sit beyond the
+    ///   window gets a needlessly fat radius.
+    ///
+    /// Each block then records its medoid (the member minimizing its
+    /// maximum in-block distance, first winner on ties) and the covering
+    /// radius the medoid realizes — always confirmed with *exact* metric
+    /// distances. Metrics offering certified f32 screening brackets
+    /// ([`omfl_metric::Metric::screen_distances`]) get the O(block²) medoid
+    /// pass narrowed first: a candidate whose screened eccentricity lower
+    /// bound exceeds some candidate's upper bound can be neither the
+    /// winner nor an earlier tie of the winner, so pruning it cannot
+    /// change the first-wins outcome.
+    fn from_order(inst: &Instance, seed_order: Vec<u32>, allow_kd: bool) -> Self {
         let points = inst.num_points();
         assert_eq!(
             seed_order.len(),
@@ -519,33 +735,99 @@ impl SpatialLayout {
                 seen[p as usize] = true;
             }
         }
-        let order = Self::group_into_balls(inst, &seed_order);
+        let metric = inst.metric();
+        let mut kd = None;
+        let mut kd_isometric = false;
+        if allow_kd {
+            if let Some(view) = metric.kd_coords() {
+                if view.dim > 0 && view.coords.len() == points * view.dim {
+                    kd_isometric = view.isometric;
+                    kd = Some(KdTree::build(view.coords, view.dim));
+                }
+            }
+        }
+        let block = if kd.is_some() && points >= HUGE_BLOCK_MIN_POINTS {
+            HUGE_BLOCK
+        } else {
+            TARGET_BLOCK
+        };
+        let order = match kd.as_mut() {
+            Some(tree) => Self::group_into_kd_balls(tree, &seed_order, block),
+            None => Self::group_into_balls(inst, &seed_order, block),
+        };
         let mut pos = vec![0u32; points];
         for (i, &p) in order.iter().enumerate() {
             pos[p as usize] = i as u32;
         }
         let identity = order.iter().enumerate().all(|(i, &p)| i as u32 == p);
-        let nblocks = points.div_ceil(TARGET_BLOCK);
+        let nblocks = points.div_ceil(block);
         let mut rep = Vec::with_capacity(nblocks);
         let mut radius = Vec::with_capacity(nblocks);
         let mut min_id = Vec::with_capacity(nblocks);
+        let mut lo = vec![0.0f64; block];
+        let mut hi = vec![0.0f64; block];
+        let mut maxlo = vec![0.0f64; block];
+        let mut maxhi = vec![0.0f64; block];
         for bi in 0..nblocks {
-            let start = bi * TARGET_BLOCK;
-            let end = (start + TARGET_BLOCK).min(points);
+            let start = bi * block;
+            let end = (start + block).min(points);
             let members = &order[start..end];
+            let n = members.len();
             let mut best_rep = members[0];
             let mut best_rad = f64::INFINITY;
-            for &c in members {
-                let mut far = 0.0f64;
-                for &m in members {
-                    let d = inst.distance(PointId(m), PointId(c));
-                    if d > far {
-                        far = d;
+            // Screened path: certified brackets on every pairwise distance
+            // give per-candidate eccentricity brackets `maxlo ≤ far(c) ≤
+            // maxhi`. Candidates with `maxlo > min_c maxhi` satisfy
+            // `far(c) > min far` strictly, so dropping them preserves both
+            // the minimum and the first-wins tie among the survivors.
+            let screened = n > 2 && {
+                let mut ok = true;
+                for (ci, &c) in members.iter().enumerate() {
+                    if !metric.screen_distances(PointId(c), members, &mut lo[..n], &mut hi[..n]) {
+                        ok = false;
+                        break;
+                    }
+                    let (mut ml, mut mh) = (0.0f64, 0.0f64);
+                    for i in 0..n {
+                        ml = ml.max(lo[i]);
+                        mh = mh.max(hi[i]);
+                    }
+                    maxlo[ci] = ml;
+                    maxhi[ci] = mh;
+                }
+                ok
+            };
+            if screened {
+                let min_hi = maxhi[..n].iter().copied().fold(f64::INFINITY, f64::min);
+                for (ci, &c) in members.iter().enumerate() {
+                    if maxlo[ci] > min_hi {
+                        continue;
+                    }
+                    let mut far = 0.0f64;
+                    for &m in members {
+                        let d = inst.distance(PointId(m), PointId(c));
+                        if d > far {
+                            far = d;
+                        }
+                    }
+                    if far < best_rad {
+                        best_rad = far;
+                        best_rep = c;
                     }
                 }
-                if far < best_rad {
-                    best_rad = far;
-                    best_rep = c;
+            } else {
+                for &c in members {
+                    let mut far = 0.0f64;
+                    for &m in members {
+                        let d = inst.distance(PointId(m), PointId(c));
+                        if d > far {
+                            far = d;
+                        }
+                    }
+                    if far < best_rad {
+                        best_rad = far;
+                        best_rep = c;
+                    }
                 }
             }
             rep.push(best_rep);
@@ -557,32 +839,70 @@ impl SpatialLayout {
             pos,
             identity,
             bounded: true,
+            block,
             rep,
             radius,
             min_id,
+            kd,
+            kd_isometric,
         }
     }
 
-    /// The greedy ball partition behind [`SpatialLayout::from_order`]:
-    /// repeatedly seed a block with the first remaining point of the seed
-    /// order and fill it with the `TARGET_BLOCK − 1` nearest points among
-    /// the next [`BALL_WINDOW`] remaining ones (ties by remaining rank).
-    /// Only the final block can be short. The output is the block-major
-    /// relabeling.
+    /// The kd ball partition: exact nearest-unassigned-neighbor balls over
+    /// the coordinate embedding, deterministic under the
+    /// `(distance, seed-rank)` total order. `O(|M| log |M|)`-ish distance
+    /// folds instead of the window path's `O(|M| · BALL_WINDOW)` metric
+    /// calls — and the balls are true balls, so covering radii are as
+    /// tight as the block size allows.
+    fn group_into_kd_balls(tree: &mut KdTree, seed_order: &[u32], block: usize) -> Vec<u32> {
+        let n = seed_order.len();
+        // rank[p] = seed-order position; u32::MAX doubles as "assigned".
+        let mut rank = vec![0u32; n];
+        for (i, &p) in seed_order.iter().enumerate() {
+            rank[p as usize] = i as u32;
+        }
+        let mut out = Vec::with_capacity(n);
+        let mut nn: Vec<(f64, u32, u32)> = Vec::with_capacity(block);
+        let mut q: Vec<f64> = Vec::new();
+        for &seed in seed_order {
+            if rank[seed as usize] == u32::MAX {
+                continue;
+            }
+            out.push(seed);
+            rank[seed as usize] = u32::MAX;
+            tree.deactivate(seed);
+            q.clear();
+            q.extend_from_slice(tree.point(seed));
+            tree.nearest_alive(&q, block - 1, &rank, &mut nn);
+            for &(_, _, p) in nn.iter() {
+                out.push(p);
+                rank[p as usize] = u32::MAX;
+                tree.deactivate(p);
+            }
+        }
+        out
+    }
+
+    /// The windowed greedy ball partition (fallback when the metric offers
+    /// no coordinate embedding): repeatedly seed a block with the first
+    /// remaining point of the seed order and fill it with the `block − 1`
+    /// nearest points among the next [`BALL_WINDOW`] remaining ones (ties
+    /// by remaining rank). Only the final block can be short. The output is
+    /// the block-major relabeling.
     ///
-    /// Cost: `O(|M| · BALL_WINDOW / TARGET_BLOCK)` distance reads and
-    /// `O(|M| · BALL_WINDOW / TARGET_BLOCK)` bookkeeping, window-local —
+    /// Cost: `O(|M| · BALL_WINDOW / block)` distance reads and
+    /// `O(|M| · BALL_WINDOW / block)` bookkeeping, window-local —
     /// every pick lives inside the candidate window, so only the window's
     /// *unpicked* entries are moved (order preserved) to sit ahead of the
     /// untouched tail, and no already-assigned stretch is ever re-walked.
     /// This runs inside the engine constructor, which the paired benches
     /// time, so the bound is load-bearing, not cosmetic.
-    fn group_into_balls(inst: &Instance, seed_order: &[u32]) -> Vec<u32> {
+    fn group_into_balls(inst: &Instance, seed_order: &[u32], block: usize) -> Vec<u32> {
         let n = seed_order.len();
         let mut rem = seed_order.to_vec();
         let mut out = Vec::with_capacity(n);
         let mut cand: Vec<(f64, u32)> = Vec::with_capacity(BALL_WINDOW);
-        let mut picked: Vec<u32> = Vec::with_capacity(TARGET_BLOCK);
+        let mut picked: Vec<u32> = Vec::with_capacity(block);
         let mut unpicked: Vec<u32> = Vec::with_capacity(BALL_WINDOW);
         let mut start = 0usize;
         while start < n {
@@ -600,7 +920,7 @@ impl SpatialLayout {
                     .then(a.1.cmp(&b.1))
             });
             picked.clear();
-            picked.extend(cand.iter().take(TARGET_BLOCK - 1).map(|&(_, i)| i));
+            picked.extend(cand.iter().take(block - 1).map(|&(_, i)| i));
             picked.sort_unstable();
             unpicked.clear();
             let mut pk = 0usize;
@@ -647,10 +967,25 @@ fn dist_lower_bound(d_rep: f64, radius: f64) -> f64 {
     (raw - RADIUS_BOUND_SLACK * (d_rep + radius)).max(0.0)
 }
 
+/// Executes `body(0..nshards)` on the pool when one is installed, inline
+/// otherwise. Each shard's work must be independent (ours are: disjoint
+/// [`ShardWriter`] chunks over shared read-only inputs), which makes the
+/// two execution modes indistinguishable — results and statistics alike.
+fn run_shards(pool: Option<&TaskPool>, nshards: usize, body: &(dyn Fn(usize) + Sync)) {
+    match pool {
+        Some(p) => p.run(nshards, body),
+        None => {
+            for s in 0..nshards {
+                body(s);
+            }
+        }
+    }
+}
+
 fn block_bounds(layout: &SpatialLayout, f_row: &[f64], b_row: &[f64], out: &mut [f64]) {
     for (bi, slot) in out.iter_mut().enumerate() {
-        let start = bi * TARGET_BLOCK;
-        let end = (start + TARGET_BLOCK).min(f_row.len());
+        let start = bi * layout.block;
+        let end = (start + layout.block).min(f_row.len());
         let mut min = f64::INFINITY;
         for &p in &layout.perm[start..end] {
             let p = p as usize;
@@ -675,10 +1010,28 @@ impl OpeningTargetIndex {
     /// The engine-facing constructor: blocks laid over the metric's
     /// [`omfl_metric::Metric::coherent_order`] with medoid/radius summaries
     /// (distance-aware pruning), or the identity fallback when the metric
-    /// offers no order.
+    /// offers no order. Metrics with a coordinate embedding get kd ball
+    /// ingest (plus [`HUGE_BLOCK`] blocks at huge `|M|`); the rest keep the
+    /// windowed ingest.
     pub fn for_instance(inst: &Instance, f_small: &[f64], f_full: &[f64]) -> Self {
         match inst.metric().coherent_order() {
             Some(order) => Self::with_order(inst, f_small, f_full, order),
+            None => Self::new(inst.num_points(), inst.num_commodities(), f_small, f_full),
+        }
+    }
+
+    /// [`Self::for_instance`] pinned to the pre-kd layout generation:
+    /// windowed ball ingest, [`TARGET_BLOCK`]-sized blocks, no kd tree.
+    /// Kept callable so the paired benches can time the current serve path
+    /// against the frozen baseline on identical instances.
+    pub fn for_instance_legacy(inst: &Instance, f_small: &[f64], f_full: &[f64]) -> Self {
+        match inst.metric().coherent_order() {
+            Some(order) => Self::with_layout(
+                SpatialLayout::from_order(inst, order, false),
+                inst.num_commodities(),
+                f_small,
+                f_full,
+            ),
             None => Self::new(inst.num_points(), inst.num_commodities(), f_small, f_full),
         }
     }
@@ -690,7 +1043,7 @@ impl OpeningTargetIndex {
     /// bit-identical under every one of them.
     pub fn with_order(inst: &Instance, f_small: &[f64], f_full: &[f64], order: Vec<u32>) -> Self {
         Self::with_layout(
-            SpatialLayout::from_order(inst, order),
+            SpatialLayout::from_order(inst, order, true),
             inst.num_commodities(),
             f_small,
             f_full,
@@ -704,7 +1057,7 @@ impl OpeningTargetIndex {
         f_full: &[f64],
     ) -> Self {
         let points = layout.perm.len();
-        let nblocks = points.div_ceil(TARGET_BLOCK);
+        let nblocks = layout.nblocks();
         let zeros = vec![0.0; points];
         let mut small = vec![f64::INFINITY; services * nblocks];
         for e in 0..services {
@@ -721,7 +1074,10 @@ impl OpeningTargetIndex {
             small,
             large,
             nblocks,
-            layout,
+            layout: Arc::new(layout),
+            pool: None,
+            shard_blocks: SCAN_SHARD_BLOCKS,
+            query_point: None,
             bound_scratch: Vec::with_capacity(nblocks),
             dlb: vec![0.0; nblocks],
             #[cfg(debug_assertions)]
@@ -729,6 +1085,53 @@ impl OpeningTargetIndex {
             skipped: 0,
             scanned: 0,
         }
+    }
+
+    /// A shared handle to the block layout, for [`PastIndex::attach_layout`].
+    pub(crate) fn layout_handle(&self) -> Arc<SpatialLayout> {
+        Arc::clone(&self.layout)
+    }
+
+    /// Installs (or removes) the worker pool behind the sharded scans.
+    /// Purely an execution choice: results and skip/scan statistics are
+    /// bit-identical with any pool, including none.
+    pub fn set_scan_pool(&mut self, pool: Option<Arc<TaskPool>>) {
+        self.pool = pool;
+    }
+
+    /// Overrides the blocks-per-shard granularity (test/diagnostic hook).
+    /// Changes the skip/scan *statistics* — the shard partition decides
+    /// which skips are attempted — but never a returned answer.
+    pub fn set_scan_shard_blocks(&mut self, blocks: usize) {
+        assert!(blocks > 0, "shards must hold at least one block");
+        self.shard_blocks = blocks;
+    }
+
+    /// The block partition as original-id member lists, in relabeled block
+    /// order (diagnostics and the ingest-equivalence tests).
+    pub fn block_partition(&self) -> Vec<Vec<u32>> {
+        let points = self.layout.perm.len();
+        (0..self.nblocks)
+            .map(|bi| {
+                let start = bi * self.layout.block;
+                let end = (start + self.layout.block).min(points);
+                self.layout.perm[start..end].to_vec()
+            })
+            .collect()
+    }
+
+    /// Per-block `(medoid, covering radius, min original id)` summaries
+    /// (diagnostics and the ingest-equivalence tests).
+    pub fn block_summaries(&self) -> Vec<(u32, f64, u32)> {
+        (0..self.nblocks)
+            .map(|bi| {
+                (
+                    self.layout.rep[bi],
+                    self.layout.radius[bi],
+                    self.layout.min_id[bi],
+                )
+            })
+            .collect()
     }
 
     /// Fingerprints a distance row by values (debug builds): rows may be
@@ -762,16 +1165,45 @@ impl OpeningTargetIndex {
     /// identical values are interchangeable — the bounds are pure functions
     /// of the values.
     pub fn prepare_query(&mut self, dist_row: &[f64]) {
+        self.prepare_query_at(None, dist_row);
+    }
+
+    /// [`Self::prepare_query`] with the query's original point id supplied
+    /// (the engine always knows it): identical bounds, plus the id unlocks
+    /// kd range narrowing in [`Self::budget_move_candidates`]. The bound
+    /// fill is sharded over the pool when one is installed — the values
+    /// are pure per-block functions of the row, so execution order is
+    /// invisible.
+    pub fn prepare_query_at(&mut self, at: Option<PointId>, dist_row: &[f64]) {
+        self.query_point = at;
         self.dlb.clear();
-        if !self.layout.bounded {
-            // No metric behind the layout: every distance bound is 0.
-            self.dlb.resize(self.nblocks, 0.0);
-        } else {
-            for bi in 0..self.nblocks {
-                self.dlb.push(dist_lower_bound(
-                    dist_row[self.layout.rep[bi] as usize],
-                    self.layout.radius[bi],
-                ));
+        self.dlb.resize(self.nblocks, 0.0);
+        if self.layout.bounded {
+            let layout = &self.layout;
+            match &self.pool {
+                Some(pool) if self.nblocks >= 2 * self.shard_blocks => {
+                    let shard_blocks = self.shard_blocks;
+                    let writer = ShardWriter::new(&mut self.dlb, shard_blocks);
+                    let nshards = writer.num_chunks();
+                    pool.run(nshards, |s| {
+                        let lo = s * shard_blocks;
+                        // Safety: shard `s` writes only its own chunk.
+                        let chunk = unsafe { writer.chunk(s) };
+                        for (j, slot) in chunk.iter_mut().enumerate() {
+                            let bi = lo + j;
+                            *slot = dist_lower_bound(
+                                dist_row[layout.rep[bi] as usize],
+                                layout.radius[bi],
+                            );
+                        }
+                    });
+                }
+                _ => {
+                    for (bi, slot) in self.dlb.iter_mut().enumerate() {
+                        *slot =
+                            dist_lower_bound(dist_row[layout.rep[bi] as usize], layout.radius[bi]);
+                    }
+                }
             }
         }
         #[cfg(debug_assertions)]
@@ -781,24 +1213,40 @@ impl OpeningTargetIndex {
     }
 
     /// Original ids whose distance to the prepared query row *could* be
-    /// below `cap` — an exact superset of `{p : dist_row[p] < cap}`,
-    /// assembled by dropping every block whose certified distance lower
-    /// bound is at least `cap` (such a block cannot contain a location
-    /// with `d < cap`). This narrows the engine's `O(|M|)` bid-reinvestment
-    /// walk per freeze to the blocks around the request; the caller still
-    /// applies its own `d < cap` test per candidate, so the filter only
-    /// has to be sound, never tight.
+    /// below `cap` — an exact superset of `{p : dist_row[p] < cap}`. The
+    /// caller still applies its own `d < cap` test per candidate, so the
+    /// filter only has to be sound, never tight; and the engine's
+    /// reinvestment updates are per-point min-folds, so any candidate
+    /// *order* is equivalent (the relabeling proptests drive this).
+    ///
+    /// Two filters, picked by what the layout knows:
+    ///
+    /// * **kd range query** (isometric embedding + known query point): the
+    ///   tree's distances are bit-identical to the metric's, so every
+    ///   point with `d < cap` lies within the slack-inflated radius — a
+    ///   near-exact candidate set instead of whole blocks.
+    /// * **block filter** (otherwise): drop every block whose certified
+    ///   distance lower bound is at least `cap` (such a block cannot
+    ///   contain a location with `d < cap`).
     pub fn budget_move_candidates(&self, _dist_row: &[f64], cap: f64, out: &mut Vec<u32>) {
         #[cfg(debug_assertions)]
         self.assert_prepared(_dist_row);
         out.clear();
+        if self.layout.kd_isometric {
+            if let (Some(kd), Some(at)) = (self.layout.kd.as_ref(), self.query_point) {
+                let r = cap * (1.0 + RADIUS_BOUND_SLACK);
+                kd.range(kd.point(at.0), r, out);
+                return;
+            }
+        }
         let points = self.layout.perm.len();
+        let block = self.layout.block;
         for (bi, &dlb) in self.dlb.iter().enumerate() {
             if dlb >= cap {
                 continue;
             }
-            let start = bi * TARGET_BLOCK;
-            let end = (start + TARGET_BLOCK).min(points);
+            let start = bi * block;
+            let end = (start + block).min(points);
             out.extend_from_slice(&self.layout.perm[start..end]);
         }
     }
@@ -827,6 +1275,8 @@ impl OpeningTargetIndex {
             &mut self.bound_scratch,
             &mut self.skipped,
             &mut self.scanned,
+            self.pool.as_deref(),
+            self.shard_blocks,
         )
     }
 
@@ -849,6 +1299,8 @@ impl OpeningTargetIndex {
             &mut self.bound_scratch,
             &mut self.skipped,
             &mut self.scanned,
+            self.pool.as_deref(),
+            self.shard_blocks,
         )
     }
 
@@ -863,8 +1315,11 @@ impl OpeningTargetIndex {
         bound_scratch: &mut Vec<f64>,
         skipped: &mut u64,
         scanned: &mut u64,
+        pool: Option<&TaskPool>,
+        shard_blocks: usize,
     ) -> (f64, PointId) {
         let m = f_row.len();
+        let block = layout.block;
         let mut best = f64::INFINITY;
         let mut best_id = u32::MAX;
         if !layout.bounded {
@@ -879,8 +1334,8 @@ impl OpeningTargetIndex {
                     continue;
                 }
                 *scanned += 1;
-                let start = bi * TARGET_BLOCK;
-                let end = (start + TARGET_BLOCK).min(m);
+                let start = bi * block;
+                let end = (start + block).min(m);
                 for p in start..end {
                     let v = opening_key(f_row[p], b_row[p]) + dist_row[p];
                     if v < best {
@@ -897,13 +1352,18 @@ impl OpeningTargetIndex {
         // ascending-id strict-`<` full scan returns, computed with the
         // identical float expression — so blocks may be visited in ANY
         // order, and the skip test stays conservative at every intermediate
-        // `best`. That freedom is worth a lot: scanning the minimum-bound
-        // block FIRST drops `best` to (almost always) the true optimum
-        // immediately, so the single in-order sweep afterwards prunes
-        // against the final answer instead of a slowly converging one.
+        // `best`. That freedom is worth a lot twice over: scanning the
+        // minimum-bound block FIRST drops `best` to (almost always) the
+        // true optimum immediately, and the remaining sweep can then be
+        // *sharded* — each shard sweeps its own block range seeded from
+        // that incumbent, and a lexicographic merge of the shard bests
+        // recovers the global answer. A shard skipping a block its local
+        // best certifies out is sound because the local best is always an
+        // *achieved* candidate: anything in the block is lex-≥ it, hence
+        // lex-≥ the global minimum, which is therefore never lost.
         let scan_block = |bi: usize, best: &mut f64, best_id: &mut u32| {
-            let start = bi * TARGET_BLOCK;
-            let end = (start + TARGET_BLOCK).min(m);
+            let start = bi * block;
+            let end = (start + block).min(m);
             if layout.identity {
                 // An identity ball partition (e.g. a sorted line): same
                 // lexicographic tracking, no gather.
@@ -925,38 +1385,126 @@ impl OpeningTargetIndex {
                 }
             }
         };
-        // Pass 1: per-block distance-aware bounds (budget bound plus the
-        // prepared per-block distance bound); remember the minimum.
-        let mut first = 0usize;
-        let mut first_bound = f64::INFINITY;
+        let nblocks = bounds.len();
+        let nshards = nblocks.div_ceil(shard_blocks);
         let query_bounds = bound_scratch;
         query_bounds.clear();
-        for (bi, &bmin) in bounds.iter().enumerate() {
-            let bound = bmin + dlb[bi];
-            if bound < first_bound {
-                first_bound = bound;
-                first = bi;
+
+        if nshards <= 1 {
+            // Single shard: the plain two-pass scan (the sharded path
+            // below degenerates to exactly this sequence — kept inline to
+            // spare small instances the shard bookkeeping).
+            let mut first = 0usize;
+            let mut first_bound = f64::INFINITY;
+            for (bi, &bmin) in bounds.iter().enumerate() {
+                let bound = bmin + dlb[bi];
+                if bound < first_bound {
+                    first_bound = bound;
+                    first = bi;
+                }
+                query_bounds.push(bound);
             }
-            query_bounds.push(bound);
+            scan_block(first, &mut best, &mut best_id);
+            *scanned += 1;
+            // Sweep the rest, skipping every block whose bound says it
+            // cannot improve the incumbent. Every key in a block is ≥ its
+            // bound (budget invariant plus the triangle inequality on the
+            // block summary). Strictly above the best: nothing can win.
+            // Exactly at the best: only a smaller original id could win an
+            // exact tie, and min_id certifies none exists in the block.
+            for (bi, &bound) in query_bounds.iter().enumerate() {
+                if bi == first {
+                    continue;
+                }
+                if bound > best || (bound == best && layout.min_id[bi] > best_id) {
+                    *skipped += 1;
+                    continue;
+                }
+                *scanned += 1;
+                scan_block(bi, &mut best, &mut best_id);
+            }
+            return (best, PointId(if best_id == u32::MAX { 0 } else { best_id }));
         }
+
+        // Sharded sweep. The shard partition is a pure function of the
+        // block count and `shard_blocks` — NEVER of the pool — so the
+        // skip/scan statistics are identical whether the shards run on a
+        // pool or sequentially right here, and identical across machines.
+        query_bounds.resize(nblocks, 0.0);
+        // Phase A: materialize the per-block bounds and find each shard's
+        // minimum-bound block (ties: lowest index).
+        let mut shard_first: Vec<(f64, u32)> = vec![(f64::INFINITY, u32::MAX); nshards];
+        {
+            let qb = ShardWriter::new(query_bounds, shard_blocks);
+            let sf = ShardWriter::new(&mut shard_first, 1);
+            let body = |s: usize| {
+                let lo = s * shard_blocks;
+                // Safety: shard `s` writes only its own chunks.
+                let chunk = unsafe { qb.chunk(s) };
+                let mut fb = f64::INFINITY;
+                let mut fi = lo as u32;
+                for (j, slot) in chunk.iter_mut().enumerate() {
+                    let bi = lo + j;
+                    let bound = bounds[bi] + dlb[bi];
+                    *slot = bound;
+                    if bound < fb {
+                        fb = bound;
+                        fi = bi as u32;
+                    }
+                }
+                unsafe { sf.chunk(s)[0] = (fb, fi) };
+            };
+            run_shards(pool, nshards, &body);
+        }
+        // Ascending strict-`<` merge: the lowest-index block of the global
+        // minimum bound, exactly as the sequential pass picks it.
+        let (mut first_bound, mut first) = (f64::INFINITY, 0usize);
+        for &(fb, fi) in &shard_first {
+            if fb < first_bound {
+                first_bound = fb;
+                first = fi as usize;
+            }
+        }
+        // Phase B: scan the global minimum-bound block — the incumbent
+        // every shard seeds from.
         scan_block(first, &mut best, &mut best_id);
         *scanned += 1;
-        // Pass 2: sweep the rest, skipping every block whose bound says it
-        // cannot improve the incumbent. Every key in a block is ≥ its bound
-        // (budget invariant plus the triangle inequality on the block
-        // summary). Strictly above the best: nothing can win. Exactly at
-        // the best: only a smaller original id could win an exact tie, and
-        // min_id certifies none exists in the block.
-        for (bi, &bound) in query_bounds.iter().enumerate() {
-            if bi == first {
-                continue;
+        // Phase C: per-shard in-order sweeps with per-shard local bests
+        // and counters.
+        let mut shard_best: Vec<(f64, u32, u64, u64)> = vec![(best, best_id, 0, 0); nshards];
+        {
+            let sb = ShardWriter::new(&mut shard_best, 1);
+            let qb: &[f64] = query_bounds;
+            let body = |s: usize| {
+                let lo = s * shard_blocks;
+                let hi = (lo + shard_blocks).min(nblocks);
+                let mut b = best;
+                let mut bid = best_id;
+                let (mut sk, mut sc) = (0u64, 0u64);
+                for (bi, &bound) in qb.iter().enumerate().take(hi).skip(lo) {
+                    if bi == first {
+                        continue;
+                    }
+                    if bound > b || (bound == b && layout.min_id[bi] > bid) {
+                        sk += 1;
+                        continue;
+                    }
+                    sc += 1;
+                    scan_block(bi, &mut b, &mut bid);
+                }
+                unsafe { sb.chunk(s)[0] = (b, bid, sk, sc) };
+            };
+            run_shards(pool, nshards, &body);
+        }
+        // Phase D: lexicographic merge (each shard best is an achieved
+        // candidate or the phase-B incumbent) plus the stats fold.
+        for &(v, id, sk, sc) in &shard_best {
+            if v < best || (v == best && id < best_id) {
+                best = v;
+                best_id = id;
             }
-            if bound > best || (bound == best && layout.min_id[bi] > best_id) {
-                *skipped += 1;
-                continue;
-            }
-            *scanned += 1;
-            scan_block(bi, &mut best, &mut best_id);
+            *skipped += sk;
+            *scanned += sc;
         }
         (best, PointId(if best_id == u32::MAX { 0 } else { best_id }))
     }
@@ -965,7 +1513,8 @@ impl OpeningTargetIndex {
     /// `key` — lower the block bound to match, `O(1)`.
     #[inline]
     pub fn note_small_bump(&mut self, e: CommodityId, p: PointId, key: f64) {
-        let idx = e.index() * self.nblocks + self.layout.pos[p.index()] as usize / TARGET_BLOCK;
+        let idx =
+            e.index() * self.nblocks + self.layout.pos[p.index()] as usize / self.layout.block;
         if key < self.small[idx] {
             self.small[idx] = key;
         }
@@ -974,7 +1523,7 @@ impl OpeningTargetIndex {
     /// `B̂[p]` grew: the t4 key fell to `key`.
     #[inline]
     pub fn note_large_bump(&mut self, p: PointId, key: f64) {
-        let idx = self.layout.pos[p.index()] as usize / TARGET_BLOCK;
+        let idx = self.layout.pos[p.index()] as usize / self.layout.block;
         if key < self.large[idx] {
             self.large[idx] = key;
         }
@@ -1135,6 +1684,47 @@ mod tests {
         // Large candidates cover every member at a qualifying location.
         let l = past.large_shrink_candidates(&inst, PointId(2));
         assert_eq!(l, vec![1]);
+    }
+
+    #[test]
+    fn past_index_block_pruning_matches_plain_walk() {
+        // A layout-attached PastIndex must return exactly the same shrink
+        // candidates — and clamp exactly the same bucket bounds — as the
+        // plain bucket walk, under an adversarial interleaving of pushes
+        // and (mutating) shrink queries over a shuffled relabeling.
+        let (m, s) = (96usize, 2usize);
+        let positions: Vec<f64> = (0..m).map(|p| (p as f64 * 7.3) % 50.0).collect();
+        let inst = inst(positions, s as u16);
+        let f_small = vec![1.0; m * s];
+        let f_full = vec![3.0; m];
+        let mut st = 0xFEEDu64;
+        let mut order: Vec<u32> = (0..m as u32).collect();
+        for i in (1..m).rev() {
+            let j = (xorshift(&mut st) % (i as u64 + 1)) as usize;
+            order.swap(i, j);
+        }
+        let idx = OpeningTargetIndex::with_order(&inst, &f_small, &f_full, order);
+        let mut pruned = PastIndex::new(m, s);
+        pruned.attach_layout(idx.layout_handle());
+        let mut plain = PastIndex::new(m, s);
+        let e = CommodityId(1);
+        for step in 0..400usize {
+            let at = PointId((xorshift(&mut st) % m as u64) as u32);
+            if step % 3 != 2 {
+                let cap = 0.5 + ((xorshift(&mut st) % 16) as f64) * 0.5;
+                let caps = [cap, cap * 0.75];
+                let demands = [CommodityId(0), e];
+                pruned.push_request(step as u32, at, &demands, &caps, cap);
+                plain.push_request(step as u32, at, &demands, &caps, cap);
+            } else {
+                let got = pruned.small_shrink_candidates(&inst, e, at);
+                let want = plain.small_shrink_candidates(&inst, e, at);
+                assert_eq!(got, want, "small candidates diverged at step {step}");
+                let got = pruned.large_shrink_candidates(&inst, at);
+                let want = plain.large_shrink_candidates(&inst, at);
+                assert_eq!(got, want, "large candidates diverged at step {step}");
+            }
+        }
     }
 
     /// Reference scan with the PD tie-breaking: ascending location, strict

@@ -1,0 +1,399 @@
+//! A deterministic kd-tree over a metric's coordinate embedding.
+//!
+//! Built from [`omfl_metric::KdCoords`], this serves the opening-target
+//! index twice:
+//!
+//! 1. **Ball ingest** — true nearest-neighbor balls for the block layout.
+//!    The windowed grouping it replaces (`BALL_WINDOW`) could only pick
+//!    ball members from the next 256 points of the coherent order, so a
+//!    seed whose real neighbors sat beyond the window got a needlessly fat
+//!    covering radius. [`KdTree::nearest_alive`] finds the exact `k`
+//!    nearest *unassigned* points under a total `(distance, seed-rank)`
+//!    order, so the ingest result is deterministic — a pure function of
+//!    the coordinates and the seed order, independent of traversal.
+//! 2. **Cold-query pruning** — [`KdTree::range`] enumerates every point
+//!    within a radius, which narrows the freeze walk's candidate set far
+//!    below whole blocks when caps are local. (Engine-safe because the
+//!    caller exact-tests every candidate; see
+//!    `OpeningTargetIndex::budget_move_candidates`.)
+//!
+//! Distances here are the ascending-axis L2 fold over the embedding — the
+//! exact fold `EuclideanMetric::distance` performs, so for `isometric`
+//! embeddings the tree's distances are bit-identical to the metric's.
+//! Non-isometric embeddings may only be used where any deterministic
+//! partition is acceptable (ball ingest), never for distance values.
+
+/// Leaf bucket size: small enough to keep box bounds tight, large enough
+/// that the per-node overhead stays negligible.
+const LEAF: usize = 16;
+
+const NO_NODE: u32 = u32::MAX;
+
+#[derive(Debug, Clone)]
+struct Node {
+    /// `idx[lo..hi]` are the points under this node.
+    lo: u32,
+    hi: u32,
+    /// Children (`NO_NODE` for leaves).
+    left: u32,
+    right: u32,
+    parent: u32,
+}
+
+/// See the module docs.
+#[derive(Debug, Clone)]
+pub(crate) struct KdTree {
+    dim: usize,
+    /// Row-major embedding, `n * dim`.
+    coords: Vec<f64>,
+    nodes: Vec<Node>,
+    /// Point ids, permuted so every node owns a contiguous range.
+    idx: Vec<u32>,
+    /// Per-node axis-aligned bounding box: `[node * 2dim .. +dim]` the low
+    /// corner, then the high corner.
+    bbox: Vec<f64>,
+    /// Point id → leaf node (for the alive-count walk).
+    leaf_of: Vec<u32>,
+    /// Per-node count of not-yet-deactivated points (ingest bookkeeping;
+    /// starts at the subtree size, monotonically decreases).
+    alive: Vec<u32>,
+}
+
+impl KdTree {
+    /// Builds the tree. `coords` is row-major with `dim` axes per point.
+    /// Deterministic: splits sort by `(coordinate, point id)`, the split
+    /// axis is the widest bounding-box extent (lowest axis on ties).
+    pub(crate) fn build(coords: Vec<f64>, dim: usize) -> Self {
+        assert!(dim > 0 && !coords.is_empty() && coords.len().is_multiple_of(dim));
+        let n = coords.len() / dim;
+        let mut tree = Self {
+            dim,
+            coords,
+            nodes: Vec::new(),
+            idx: (0..n as u32).collect(),
+            bbox: Vec::new(),
+            leaf_of: vec![NO_NODE; n],
+            alive: Vec::new(),
+        };
+        tree.split_range(0, n, NO_NODE);
+        for (node, meta) in tree.nodes.iter().enumerate() {
+            if meta.left == NO_NODE {
+                for &p in &tree.idx[meta.lo as usize..meta.hi as usize] {
+                    tree.leaf_of[p as usize] = node as u32;
+                }
+            }
+        }
+        tree
+    }
+
+    /// The embedding row of point `p`.
+    #[inline]
+    pub(crate) fn point(&self, p: u32) -> &[f64] {
+        let base = p as usize * self.dim;
+        &self.coords[base..base + self.dim]
+    }
+
+    /// Ascending-axis L2 fold — the `EuclideanMetric::distance` operation
+    /// sequence, hence bit-identical to it on isometric embeddings.
+    #[inline]
+    fn dist(&self, q: &[f64], p: u32) -> f64 {
+        let row = self.point(p);
+        let mut acc = 0.0f64;
+        for (a, b) in q.iter().zip(row) {
+            let d = a - b;
+            acc += d * d;
+        }
+        acc.sqrt()
+    }
+
+    /// Recursively builds the node over `idx[lo..hi]`; returns its index.
+    fn split_range(&mut self, lo: usize, hi: usize, parent: u32) -> u32 {
+        let node = self.nodes.len() as u32;
+        self.nodes.push(Node {
+            lo: lo as u32,
+            hi: hi as u32,
+            left: NO_NODE,
+            right: NO_NODE,
+            parent,
+        });
+        self.alive.push((hi - lo) as u32);
+        // Bounding box over the range.
+        let base = self.bbox.len();
+        self.bbox
+            .extend(std::iter::repeat_n(f64::INFINITY, self.dim));
+        self.bbox
+            .extend(std::iter::repeat_n(f64::NEG_INFINITY, self.dim));
+        for &p in &self.idx[lo..hi] {
+            for axis in 0..self.dim {
+                let c = self.coords[p as usize * self.dim + axis];
+                let lo_slot = &mut self.bbox[base + axis];
+                *lo_slot = lo_slot.min(c);
+                let hi_slot = &mut self.bbox[base + self.dim + axis];
+                *hi_slot = hi_slot.max(c);
+            }
+        }
+        if hi - lo > LEAF {
+            // Widest extent wins; ties break to the lowest axis, so the
+            // structure is a pure function of the coordinates.
+            let mut axis = 0;
+            let mut widest = f64::NEG_INFINITY;
+            for a in 0..self.dim {
+                let w = self.bbox[base + self.dim + a] - self.bbox[base + a];
+                if w > widest {
+                    widest = w;
+                    axis = a;
+                }
+            }
+            let dim = self.dim;
+            let coords = &self.coords;
+            self.idx[lo..hi].sort_unstable_by(|&a, &b| {
+                coords[a as usize * dim + axis]
+                    .partial_cmp(&coords[b as usize * dim + axis])
+                    .expect("finite coordinates")
+                    .then(a.cmp(&b))
+            });
+            let mid = lo + (hi - lo) / 2;
+            let left = self.split_range(lo, mid, node);
+            let right = self.split_range(mid, hi, node);
+            self.nodes[node as usize].left = left;
+            self.nodes[node as usize].right = right;
+        }
+        node
+    }
+
+    /// Lower bound on the distance from `q` to any point in `node`'s box
+    /// (same fold shape as [`KdTree::dist`], so it never exceeds any member
+    /// distance by more than the shared rounding — compared strictly, see
+    /// the call sites).
+    #[inline]
+    fn box_dist(&self, node: u32, q: &[f64]) -> f64 {
+        let base = node as usize * 2 * self.dim;
+        let mut acc = 0.0f64;
+        for (axis, &c) in q.iter().enumerate() {
+            let lo = self.bbox[base + axis];
+            let hi = self.bbox[base + self.dim + axis];
+            let d = if c < lo {
+                lo - c
+            } else if c > hi {
+                c - hi
+            } else {
+                0.0
+            };
+            acc += d * d;
+        }
+        acc.sqrt()
+    }
+
+    /// Marks `p` assigned: decrements alive counts on its leaf-to-root path.
+    pub(crate) fn deactivate(&mut self, p: u32) {
+        let mut node = self.leaf_of[p as usize];
+        while node != NO_NODE {
+            debug_assert!(self.alive[node as usize] > 0);
+            self.alive[node as usize] -= 1;
+            node = self.nodes[node as usize].parent;
+        }
+    }
+
+    /// The `k` alive points nearest to `q` under the total order
+    /// `(distance, rank[p])` — an exact top-k, independent of traversal
+    /// order: a subtree is pruned only when its box bound *strictly*
+    /// exceeds the current k-th distance, which proves every point in it
+    /// strictly worse. Fewer than `k` alive points returns all of them.
+    /// Results land in `out`, sorted ascending by the order key.
+    pub(crate) fn nearest_alive(
+        &self,
+        q: &[f64],
+        k: usize,
+        rank: &[u32],
+        out: &mut Vec<(f64, u32, u32)>,
+    ) {
+        out.clear();
+        if k == 0 || self.nodes.is_empty() {
+            return;
+        }
+        self.knn_node(0, q, k, rank, out);
+    }
+
+    fn knn_node(
+        &self,
+        node: u32,
+        q: &[f64],
+        k: usize,
+        rank: &[u32],
+        out: &mut Vec<(f64, u32, u32)>,
+    ) {
+        let meta = &self.nodes[node as usize];
+        if self.alive[node as usize] == 0 {
+            return;
+        }
+        if out.len() == k && self.box_dist(node, q) > out[k - 1].0 {
+            return;
+        }
+        if meta.left == NO_NODE {
+            for &p in &self.idx[meta.lo as usize..meta.hi as usize] {
+                if rank[p as usize] == u32::MAX {
+                    continue; // assigned (rank doubles as the alive flag)
+                }
+                let d = self.dist(q, p);
+                let key = (d, rank[p as usize], p);
+                if out.len() == k {
+                    let worst = (out[k - 1].0, out[k - 1].1);
+                    if (key.0, key.1) >= worst {
+                        continue;
+                    }
+                    out.pop();
+                }
+                let at = out.partition_point(|e| (e.0, e.1) < (key.0, key.1));
+                out.insert(at, key);
+            }
+            return;
+        }
+        // Nearer child first: pure pruning heuristic, the (dist, rank)
+        // top-k is traversal-invariant.
+        let (l, r) = (meta.left, meta.right);
+        let (dl, dr) = (self.box_dist(l, q), self.box_dist(r, q));
+        let (first, second) = if dl <= dr { (l, r) } else { (r, l) };
+        self.knn_node(first, q, k, rank, out);
+        self.knn_node(second, q, k, rank, out);
+    }
+
+    /// Appends every point with `dist(q, p) ≤ r` to `out`, in a
+    /// deterministic (left-to-right traversal) order. Subtrees are pruned
+    /// only when the box bound strictly exceeds `r`.
+    pub(crate) fn range(&self, q: &[f64], r: f64, out: &mut Vec<u32>) {
+        if self.nodes.is_empty() {
+            return;
+        }
+        self.range_node(0, q, r, out);
+    }
+
+    fn range_node(&self, node: u32, q: &[f64], r: f64, out: &mut Vec<u32>) {
+        let meta = &self.nodes[node as usize];
+        if self.box_dist(node, q) > r {
+            return;
+        }
+        if meta.left == NO_NODE {
+            for &p in &self.idx[meta.lo as usize..meta.hi as usize] {
+                if self.dist(q, p) <= r {
+                    out.push(p);
+                }
+            }
+            return;
+        }
+        self.range_node(meta.left, q, r, out);
+        self.range_node(meta.right, q, r, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cloud(n: usize, dim: usize, salt: u64) -> Vec<f64> {
+        let mut st = 0x0DD5EED ^ salt;
+        (0..n * dim)
+            .map(|_| {
+                st ^= st << 13;
+                st ^= st >> 7;
+                st ^= st << 17;
+                ((st % 10000) as f64 - 5000.0) * 0.01
+            })
+            .collect()
+    }
+
+    fn brute_knn(
+        coords: &[f64],
+        dim: usize,
+        q: &[f64],
+        k: usize,
+        rank: &[u32],
+    ) -> Vec<(f64, u32, u32)> {
+        let n = coords.len() / dim;
+        let mut all: Vec<(f64, u32, u32)> = (0..n as u32)
+            .filter(|&p| rank[p as usize] != u32::MAX)
+            .map(|p| {
+                let mut acc = 0.0f64;
+                for axis in 0..dim {
+                    let d = q[axis] - coords[p as usize * dim + axis];
+                    acc += d * d;
+                }
+                (acc.sqrt(), rank[p as usize], p)
+            })
+            .collect();
+        all.sort_by(|a, b| (a.0, a.1).partial_cmp(&(b.0, b.1)).unwrap());
+        all.truncate(k);
+        all
+    }
+
+    #[test]
+    fn knn_matches_brute_force_under_deletions() {
+        for dim in [1usize, 2, 3] {
+            let coords = cloud(230, dim, dim as u64);
+            let mut tree = KdTree::build(coords.clone(), dim);
+            // Ranks: a fixed shuffle of 0..n, u32::MAX marks deleted.
+            let n = 230u32;
+            let mut rank: Vec<u32> = (0..n).map(|p| (p * 73) % n).collect();
+            for probe in 0..24u32 {
+                let q: Vec<f64> = tree.point((probe * 9) % n).to_vec();
+                let mut got = Vec::new();
+                tree.nearest_alive(&q, 7, &rank, &mut got);
+                let want = brute_knn(&coords, dim, &q, 7, &rank);
+                assert_eq!(got, want, "dim {dim}, probe {probe}");
+                // Delete the found points, as the ball ingest does.
+                for &(_, _, p) in &got {
+                    rank[p as usize] = u32::MAX;
+                    tree.deactivate(p);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn range_query_is_exhaustive_and_sound() {
+        let dim = 2;
+        let coords = cloud(300, dim, 9);
+        let tree = KdTree::build(coords.clone(), dim);
+        for probe in [0u32, 17, 151, 299] {
+            let q = tree.point(probe).to_vec();
+            for r in [0.0, 3.0, 17.5, 1.0e4] {
+                let mut got = Vec::new();
+                tree.range(&q, r, &mut got);
+                let mut sorted = got.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                assert_eq!(sorted.len(), got.len(), "no duplicates");
+                for p in 0..300u32 {
+                    let d = {
+                        let mut acc = 0.0;
+                        for axis in 0..dim {
+                            let dd = q[axis] - coords[p as usize * dim + axis];
+                            acc += dd * dd;
+                        }
+                        acc.sqrt()
+                    };
+                    assert_eq!(
+                        sorted.binary_search(&p).is_ok(),
+                        d <= r,
+                        "probe {probe}, r {r}, point {p}, d {d}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn build_handles_duplicates_and_tiny_inputs() {
+        // All-coincident points must still split (ids break ties).
+        let coords = vec![1.0; 40 * 2];
+        let tree = KdTree::build(coords, 2);
+        let mut got = Vec::new();
+        tree.range(&[1.0, 1.0], 0.0, &mut got);
+        assert_eq!(got.len(), 40);
+        let one = KdTree::build(vec![3.5], 1);
+        let rank = vec![0u32];
+        let mut out = Vec::new();
+        one.nearest_alive(&[0.0], 4, &rank, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].2, 0);
+    }
+}

@@ -31,6 +31,7 @@ pub mod bounds;
 pub mod heavy;
 pub mod index;
 pub mod instance;
+mod kd;
 #[cfg(feature = "naive-ref")]
 pub mod naive;
 pub mod pd;

@@ -81,6 +81,8 @@ use crate::{harmonic, CoreError, EPS};
 use omfl_commodity::{CommodityId, CommoditySet};
 use omfl_metric::blocked::BlockedRowCache;
 use omfl_metric::PointId;
+use omfl_par::TaskPool;
+use std::sync::Arc;
 
 /// One opening target: `(value, realizing location)`.
 pub type OpeningTarget = (f64, PointId);
@@ -232,6 +234,10 @@ enum Targets {
     Coherent,
     /// Incremental index over an explicit relabeling (test hook).
     Order(Vec<u32>),
+    /// The PR 5 incremental layout generation: windowed ball ingest,
+    /// 16-point blocks, no kd tree, no `PastIndex` block pruning, no
+    /// worker pool. The frozen baseline for the `huge` paired bench.
+    Legacy,
 }
 
 /// Per-member outcome inside one arrival.
@@ -279,6 +285,16 @@ struct ServeScratch {
 /// locality for metrics up to ~100k points; only the scan-mode baseline
 /// ([`PdOmflp::with_full_scans`]) still falls back to per-call lookups.
 pub const DENSE_DISTANCE_CAP: usize = 1024;
+
+/// Point-count threshold at which [`PdOmflp::new`] engages the sharded-scan
+/// worker pool (when [`omfl_par::default_threads`] reports more than one
+/// thread). Below it the per-arrival scans are far too short for fan-out to
+/// pay; above it each t3/t4 argmin spans thousands of blocks and the
+/// shard sweeps parallelize cleanly. The pool changes *nothing* observable
+/// — results and skip/scan statistics are bit-identical at any thread
+/// count (the shard partition is a pure function of the block count; see
+/// [`crate::index::SCAN_SHARD_BLOCKS`]).
+pub const PAR_SCAN_MIN_POINTS: usize = 65536;
 
 impl<'a> PdOmflp<'a> {
     /// Creates the algorithm over an instance, with the incremental t3/t4
@@ -328,6 +344,38 @@ impl<'a> PdOmflp<'a> {
         Self::with_parts(inst, dist, Targets::FullScans)
     }
 
+    /// The PR 5 serve path, frozen: the incremental opening-target index
+    /// with windowed ball ingest and 16-point blocks, but no kd tree, no
+    /// `PastIndex` block pruning and no worker pool. Same distance backend
+    /// policy as [`PdOmflp::new`], so a paired bench against it isolates
+    /// exactly this PR's serve-path changes. Behaviorally bit-identical to
+    /// [`PdOmflp::new`] — the layout generation is engine-invisible.
+    pub fn with_reference_layout(inst: &'a Instance) -> Self {
+        let m = inst.num_points();
+        let dist = if m <= DENSE_DISTANCE_CAP {
+            DistanceBackend::Dense(Self::dense_matrix(inst))
+        } else {
+            DistanceBackend::Blocked(BlockedRowCache::with_default_budget(m))
+        };
+        Self::with_parts(inst, dist, Targets::Legacy)
+    }
+
+    /// Test/bench hook: forces the sharded-scan worker pool (`threads ≤ 1`
+    /// removes it) and the blocks-per-shard granularity, regardless of
+    /// instance size. Answers are bit-identical under every configuration;
+    /// shard size also changes which skips are *attempted* (the stats),
+    /// the pool never changes anything observable. No-op in scan mode.
+    pub fn configure_parallel_scans(&mut self, threads: usize, shard_blocks: usize) {
+        if let Some(t) = &mut self.targets {
+            t.set_scan_pool(if threads > 1 {
+                Some(Arc::new(TaskPool::new(threads)))
+            } else {
+                None
+            });
+            t.set_scan_shard_blocks(shard_blocks);
+        }
+    }
+
     fn dense_matrix(inst: &Instance) -> Vec<f64> {
         let m = inst.num_points();
         let mut dmat = vec![0.0; m * m];
@@ -352,19 +400,38 @@ impl<'a> PdOmflp<'a> {
             }
             f_full[p] = inst.large_cost(PointId(p as u32));
         }
-        let targets = match mode {
+        let legacy = matches!(mode, Targets::Legacy);
+        let mut targets = match mode {
             Targets::FullScans => None,
             Targets::Coherent => Some(OpeningTargetIndex::for_instance(inst, &f_small, &f_full)),
             Targets::Order(order) => Some(OpeningTargetIndex::with_order(
                 inst, &f_small, &f_full, order,
             )),
+            Targets::Legacy => Some(OpeningTargetIndex::for_instance_legacy(
+                inst, &f_small, &f_full,
+            )),
         };
+        let mut past_index = PastIndex::new(m, s);
+        if let Some(t) = &mut targets {
+            if !legacy {
+                // Share the target index's spatial layout with the shrink
+                // walk so it can skip whole blocks, and fan the per-arrival
+                // block scans out over a worker pool once they are long
+                // enough to amortize it. Both are engine-invisible: results
+                // and skip/scan statistics stay bit-identical.
+                past_index.attach_layout(t.layout_handle());
+                let threads = omfl_par::default_threads();
+                if m >= PAR_SCAN_MIN_POINTS && threads > 1 {
+                    t.set_scan_pool(Some(Arc::new(TaskPool::new(threads))));
+                }
+            }
+        }
         Self {
             inst,
             sol: Solution::new(),
             past: Vec::new(),
             index: FacilityIndex::new(m, s),
-            past_index: PastIndex::new(m, s),
+            past_index,
             b_small: vec![0.0; m * s],
             b_large: vec![0.0; m],
             f_small,
@@ -812,7 +879,7 @@ impl OnlineAlgorithm for PdOmflp<'_> {
         // One pass of per-block distance bounds for this arrival, shared by
         // every t3/t4 argmin below and the freeze walk afterwards.
         if let Some(t) = &mut self.targets {
-            t.prepare_query(dist_row);
+            t.prepare_query_at(Some(loc), dist_row);
         }
 
         // Per-commodity targets t1 (connect) / t3 (temp open) and joint

@@ -4,7 +4,7 @@
 //! paper's "clients appear at locations in the network" scenario when a
 //! geometric embedding is more natural than a graph.
 
-use crate::{check_finite, Metric, MetricError, PointId};
+use crate::{check_finite, simd, KdCoords, Metric, MetricError, PointId};
 
 /// Which norm induces the metric.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,9 +30,25 @@ pub struct EuclideanMetric {
     coords: Vec<f64>,
     /// `coords` transposed: `coords_t[axis * len + p] == coords[p * dim + axis]`.
     coords_t: Vec<f64>,
+    /// `coords_t` narrowed to f32 — the screening store behind
+    /// [`Metric::screen_distances`]. Half the bandwidth of the exact
+    /// columns; never used to produce a distance value directly, only
+    /// certified `[lo, hi]` brackets (see `screen_distances`).
+    screen_t: Vec<f32>,
+    /// Per-axis absolute slack covering the worst-case error of an f32
+    /// coordinate difference: `4·ε₃₂·max|coord|` on that axis. (Narrowing
+    /// each coordinate costs ≤ ε₃₂/2·|c| ≤ ε₃₂/2·M each, and the f32
+    /// subtraction rounds once more at ≤ ε₃₂/2·|Δ| ≤ ε₃₂·M — about
+    /// 2·ε₃₂·M in total, stored doubled for margin.)
+    screen_slack: Vec<f64>,
     dim: usize,
     norm: Norm,
 }
+
+/// Relative margin absorbing the f64 rounding of the screen's own
+/// accumulation (and of the exact path it brackets): a handful of ulps per
+/// axis, generously covered at 1e-12.
+const SCREEN_REL_SLACK: f64 = 1e-12;
 
 impl EuclideanMetric {
     /// Builds a metric from per-point coordinate rows (all of length `dim`).
@@ -66,9 +82,20 @@ impl EuclideanMetric {
                 coords_t[axis * n + p] = coords[p * dim + axis];
             }
         }
+        let screen_t: Vec<f32> = coords_t.iter().map(|&c| c as f32).collect();
+        let screen_slack: Vec<f64> = (0..dim)
+            .map(|axis| {
+                let max_abs = coords_t[axis * n..(axis + 1) * n]
+                    .iter()
+                    .fold(0.0f64, |m, &c| m.max(c.abs()));
+                4.0 * f64::from(f32::EPSILON) * max_abs
+            })
+            .collect();
         Ok(Self {
             coords,
             coords_t,
+            screen_t,
+            screen_slack,
             dim,
             norm,
         })
@@ -137,13 +164,17 @@ impl Metric for EuclideanMetric {
 
     /// Bulk row fill over the column-major coordinate copy: one streaming
     /// pass per axis accumulating into `out`, then (for L2) one sqrt pass.
+    /// The per-axis passes run through the runtime-dispatched SIMD kernels
+    /// in [`crate::simd`] (AVX/SSE2, scalar off x86-64).
     ///
     /// Bit-identity with the per-call loop: per point, the accumulator
     /// starts at 0.0 and folds the axes in ascending order with the exact
     /// same operations (`+= (x−y)²` / `+= |x−y|` / `max`), which is
     /// precisely the fold [`EuclideanMetric::distance`] performs — only the
     /// loop nest is interchanged, and per-point operation order is what
-    /// determines the float result.
+    /// determines the float result. The SIMD kernels preserve this because
+    /// each lane applies the identical scalar operation sequence to one
+    /// point (no FMA, no reassociation — see the `simd` module docs).
     fn fill_row(&self, q: PointId, out: &mut [f64]) {
         let n = self.len();
         assert!(out.len() <= n, "row buffer longer than the space");
@@ -154,31 +185,22 @@ impl Metric for EuclideanMetric {
                 for axis in 0..self.dim {
                     let qa = self.coords[qb + axis];
                     let col = &self.coords_t[axis * n..axis * n + out.len()];
-                    for (slot, &c) in out.iter_mut().zip(col) {
-                        let d = c - qa;
-                        *slot += d * d;
-                    }
+                    simd::accumulate_squared(out, col, qa);
                 }
-                for slot in out.iter_mut() {
-                    *slot = slot.sqrt();
-                }
+                simd::sqrt_in_place(out);
             }
             Norm::L1 => {
                 for axis in 0..self.dim {
                     let qa = self.coords[qb + axis];
                     let col = &self.coords_t[axis * n..axis * n + out.len()];
-                    for (slot, &c) in out.iter_mut().zip(col) {
-                        *slot += (c - qa).abs();
-                    }
+                    simd::accumulate_abs(out, col, qa);
                 }
             }
             Norm::LInf => {
                 for axis in 0..self.dim {
                     let qa = self.coords[qb + axis];
                     let col = &self.coords_t[axis * n..axis * n + out.len()];
-                    for (slot, &c) in out.iter_mut().zip(col) {
-                        *slot = slot.max((c - qa).abs());
-                    }
+                    simd::fold_max_abs(out, col, qa);
                 }
             }
         }
@@ -227,6 +249,65 @@ impl Metric for EuclideanMetric {
             .collect();
         keyed.sort_unstable();
         Some(keyed.into_iter().map(|(_, p)| p).collect())
+    }
+
+    /// The stored coordinates themselves. `isometric` only under L2, where
+    /// an ascending-axis L2 fold over them *is* [`EuclideanMetric::distance`];
+    /// L1/L∞ coordinates are spatially correlated with the metric (good for
+    /// partitioning) but an L2 fold over them is not the metric distance.
+    fn kd_coords(&self) -> Option<KdCoords> {
+        Some(KdCoords {
+            coords: self.coords.clone(),
+            dim: self.dim,
+            isometric: self.norm == Norm::L2,
+        })
+    }
+
+    /// f32-store screening with certified brackets.
+    ///
+    /// Per axis, the screened absolute difference `a = |fl₃₂(c_p) − fl₃₂(c_q)|`
+    /// (computed in f32, widened) differs from the exact `|c_p − c_q|` by at
+    /// most the stored per-axis slack, so `[max(a−s, 0), a+s]` brackets the
+    /// exact axis term. The norm fold over these per-axis brackets is
+    /// monotone in every argument, hence brackets the exact fold; a final
+    /// relative margin absorbs the f64 rounding of both folds. The result
+    /// is `lo ≤ distance(q, p) ≤ hi` — *guaranteed*, so callers may prune
+    /// on these bounds and stay bit-identical after exact confirmation.
+    fn screen_distances(&self, q: PointId, others: &[u32], lo: &mut [f64], hi: &mut [f64]) -> bool {
+        assert!(others.len() <= lo.len() && others.len() <= hi.len());
+        let n = self.len();
+        for ((&p, lo), hi) in others.iter().zip(lo.iter_mut()).zip(hi.iter_mut()) {
+            let p = p as usize;
+            let (mut alo, mut ahi) = (0.0f64, 0.0f64);
+            for axis in 0..self.dim {
+                let base = axis * n;
+                let a = f64::from(self.screen_t[base + p] - self.screen_t[base + q.index()]).abs();
+                let s = self.screen_slack[axis];
+                let al = (a - s).max(0.0);
+                let ah = a + s;
+                match self.norm {
+                    Norm::L2 => {
+                        alo += al * al;
+                        ahi += ah * ah;
+                    }
+                    Norm::L1 => {
+                        alo += al;
+                        ahi += ah;
+                    }
+                    Norm::LInf => {
+                        alo = alo.max(al);
+                        ahi = ahi.max(ah);
+                    }
+                }
+            }
+            if self.norm == Norm::L2 {
+                alo = alo.sqrt();
+                ahi = ahi.sqrt();
+            }
+            *lo = (alo * (1.0 - SCREEN_REL_SLACK)).max(0.0);
+            *hi = ahi * (1.0 + SCREEN_REL_SLACK);
+        }
+        true
     }
 }
 
@@ -326,6 +407,114 @@ mod tests {
                             d.to_bits(),
                             m.distance(PointId(p as u32), PointId(q)).to_bits(),
                             "norm {norm:?}, row {q}, entry {p}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The same adversarial point cloud as the bulk-fill test: the SIMD
+    /// dispatch must be invisible — rows computed with the explicit kernels
+    /// and with the scalar fallback agree bit for bit.
+    #[test]
+    fn simd_toggle_never_changes_row_bits() {
+        let mut pts = Vec::new();
+        let mut state = 0xA5EDu64;
+        for _ in 0..53 {
+            let mut row = Vec::new();
+            for _ in 0..3 {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                row.push(((state % 20000) as f64 - 10000.0) * 0.59);
+            }
+            pts.push(row);
+        }
+        for norm in [Norm::L1, Norm::L2, Norm::LInf] {
+            let m = EuclideanMetric::new(&pts, norm).unwrap();
+            for q in [0u32, 11, 52] {
+                let mut on = vec![f64::NAN; 53];
+                m.fill_row(PointId(q), &mut on);
+                simd::set_simd_enabled(false);
+                let mut off = vec![f64::NAN; 53];
+                m.fill_row(PointId(q), &mut off);
+                simd::set_simd_enabled(true);
+                for (p, (a, b)) in on.iter().zip(&off).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "norm {norm:?}, row {q}, entry {p}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Screening brackets must contain the exact distance for every pair,
+    /// including coincident points and large-magnitude coordinates where
+    /// f32 narrowing loses real bits.
+    #[test]
+    fn screen_bounds_bracket_exact_distances() {
+        let mut pts = Vec::new();
+        let mut state = 0xBEEFu64;
+        for i in 0..64 {
+            let mut row = Vec::new();
+            for _ in 0..2 {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                // Mix tiny offsets with 1e8-scale magnitudes: the f32 store
+                // cannot represent these exactly, so the slack must carry.
+                let v = ((state % 65536) as f64 - 32768.0) * 0.001;
+                row.push(if i % 3 == 0 { v * 1.0e8 } else { v });
+            }
+            pts.push(row);
+        }
+        // A duplicate point exercises the d = 0 corner.
+        pts.push(pts[0].clone());
+        let others: Vec<u32> = (0..pts.len() as u32).collect();
+        for norm in [Norm::L1, Norm::L2, Norm::LInf] {
+            let m = EuclideanMetric::new(&pts, norm).unwrap();
+            let mut lo = vec![f64::NAN; others.len()];
+            let mut hi = vec![f64::NAN; others.len()];
+            for q in [0u32, 9, 64] {
+                assert!(m.screen_distances(PointId(q), &others, &mut lo, &mut hi));
+                for (i, &p) in others.iter().enumerate() {
+                    let d = m.distance(PointId(q), PointId(p));
+                    assert!(
+                        lo[i] <= d && d <= hi[i],
+                        "norm {norm:?}: screen [{}, {}] misses d({q},{p}) = {d}",
+                        lo[i],
+                        hi[i]
+                    );
+                    assert!(lo[i] >= 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kd_coords_are_isometric_exactly_for_l2() {
+        let pts = unit_square();
+        for (norm, iso) in [(Norm::L1, false), (Norm::L2, true), (Norm::LInf, false)] {
+            let m = EuclideanMetric::new(&pts, norm).unwrap();
+            let kd = m.kd_coords().expect("euclidean metrics embed");
+            assert_eq!(kd.dim, 2);
+            assert_eq!(kd.coords.len(), 8);
+            assert_eq!(kd.isometric, iso);
+            if iso {
+                // Ascending-axis L2 fold over the coords == distance, bitwise.
+                for a in 0..4usize {
+                    for b in 0..4usize {
+                        let mut acc = 0.0f64;
+                        for axis in 0..2 {
+                            let d = kd.coords[a * 2 + axis] - kd.coords[b * 2 + axis];
+                            acc += d * d;
+                        }
+                        assert_eq!(
+                            acc.sqrt().to_bits(),
+                            m.distance(PointId(a as u32), PointId(b as u32)).to_bits()
                         );
                     }
                 }

@@ -22,10 +22,36 @@ pub mod dense;
 pub mod euclidean;
 pub mod graph;
 pub mod line;
+pub mod simd;
 pub mod tree;
 pub mod validate;
 
 use std::fmt;
+
+/// A coordinate embedding of the point set, for kd-tree consumers.
+///
+/// Returned by [`Metric::kd_coords`] when the metric's points live in (or
+/// embed into) a low-dimensional real space. `coords` is row-major
+/// (`point * dim + axis`), one row per point in id order.
+///
+/// `isometric` asserts that the **L2 distance over these coordinates,
+/// folded over axes in ascending order exactly as
+/// [`euclidean::EuclideanMetric::distance`] does, is bit-identical to
+/// [`Metric::distance`]**. Consumers may then substitute their own L2
+/// computation over the coordinates for `distance` calls with no float
+/// divergence (up to the documented per-op rounding of any *different*
+/// fold they choose). When `isometric` is `false` the coordinates are only
+/// spatially correlated with the metric (e.g. an L1/L∞ norm over the same
+/// points) — good enough to build partitions, never for distance values.
+#[derive(Debug, Clone)]
+pub struct KdCoords {
+    /// Row-major coordinates, `len * dim` entries, all finite.
+    pub coords: Vec<f64>,
+    /// Dimension of the embedding (≥ 1).
+    pub dim: usize,
+    /// See the type docs: ascending-axis L2 over `coords` equals `distance`.
+    pub isometric: bool,
+}
 
 /// Index of a point of the finite metric space.
 ///
@@ -168,6 +194,35 @@ pub trait Metric: Send + Sync {
         best
     }
 
+    /// A coordinate embedding of the points for kd-tree partitioning, or
+    /// `None` when the metric has no cheap low-dimensional one (graphs,
+    /// arbitrary dense matrices). See [`KdCoords`] for the contract; the
+    /// embedding must be deterministic, like [`Metric::coherent_order`].
+    fn kd_coords(&self) -> Option<KdCoords> {
+        None
+    }
+
+    /// Certified low-precision distance screening: on success, fills
+    /// `lo[i] ≤ distance(q, others[i]) ≤ hi[i]` for every candidate and
+    /// returns `true`. The bounds are typically computed from a reduced
+    /// (f32) coordinate store with a per-axis error slack, so they are
+    /// cheap but **guaranteed to bracket the exact f64 value** — callers
+    /// prune candidates whose bounds prove them non-optimal and confirm the
+    /// survivors with [`Metric::distance`], keeping every downstream result
+    /// bit-identical to a full exact pass.
+    ///
+    /// The default returns `false` (no screening available); callers must
+    /// then fall back to exact distances for all candidates.
+    fn screen_distances(
+        &self,
+        _q: PointId,
+        _others: &[u32],
+        _lo: &mut [f64],
+        _hi: &mut [f64],
+    ) -> bool {
+        false
+    }
+
     /// Diameter of the space (maximum pairwise distance). O(n²).
     fn diameter(&self) -> f64 {
         let n = self.len();
@@ -201,6 +256,14 @@ impl Metric for Box<dyn Metric> {
 
     fn coherent_order(&self) -> Option<Vec<u32>> {
         self.as_ref().coherent_order()
+    }
+
+    fn kd_coords(&self) -> Option<KdCoords> {
+        self.as_ref().kd_coords()
+    }
+
+    fn screen_distances(&self, q: PointId, others: &[u32], lo: &mut [f64], hi: &mut [f64]) -> bool {
+        self.as_ref().screen_distances(q, others, lo, hi)
     }
 }
 

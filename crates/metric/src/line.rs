@@ -4,7 +4,7 @@
 //! line) use exactly this class of metrics, so line metrics are the primary
 //! adversarial substrate.
 
-use crate::{check_finite, Metric, MetricError, PointId};
+use crate::{check_finite, KdCoords, Metric, MetricError, PointId};
 
 /// A finite metric of points on ℝ with `d(a, b) = |x_a − x_b|`.
 #[derive(Debug, Clone)]
@@ -100,6 +100,20 @@ impl Metric for LineMetric {
     /// consecutive ranks are metric neighbors, the best possible 1-D order.
     fn coherent_order(&self) -> Option<Vec<u32>> {
         Some(self.by_position.clone())
+    }
+
+    /// The positions as a 1-D embedding. Isometric: in round-to-nearest
+    /// IEEE arithmetic `√(fl(r·r)) = |r|` exactly for the one-axis L2 fold
+    /// (absent overflow/deep-subnormal squares, which the magnitude guard
+    /// rules out), so the Euclidean-style fold reproduces `|x_a − x_b|` bit
+    /// for bit.
+    fn kd_coords(&self) -> Option<KdCoords> {
+        let max_abs = self.positions.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+        Some(KdCoords {
+            coords: self.positions.clone(),
+            dim: 1,
+            isometric: max_abs < 1.0e150,
+        })
     }
 }
 

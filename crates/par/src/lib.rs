@@ -29,8 +29,9 @@
 //! stolen from, which is rare for coarse items.
 
 use std::collections::VecDeque;
+use std::marker::PhantomData;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex};
 
 /// Applies `f` to every index/item pair, spreading work over `threads` OS
 /// threads with work stealing. Results are returned in input order
@@ -140,6 +141,238 @@ where
         .into_iter()
         .map(|s| s.expect("every item executed exactly once"))
         .collect()
+}
+
+/// A persistent pool for *within-task* parallelism: fan a closure over
+/// `0..ntasks` indices, block until all complete, reuse the same OS threads
+/// for the next fan-out.
+///
+/// [`parallel_map`] spawns a scope per call, which is fine for coarse
+/// experiment cells but far too heavy for a hot path that fans out many
+/// times per arrival (the per-block argmin shards run in the tens of
+/// microseconds). `TaskPool` keeps `threads − 1` workers parked on a
+/// condvar; [`TaskPool::run`] publishes one task per call, participates
+/// with the calling thread, and returns only when every index has executed.
+///
+/// The pool provides **execution** only — no results, no ordering. Callers
+/// that need deterministic output write into disjoint per-index slots (see
+/// [`ShardWriter`]) and merge sequentially afterwards; with that pattern,
+/// results are bit-identical whether the pool has 1 participant or 16.
+/// With `threads ≤ 1` (or on a machine without spare cores) `run` executes
+/// inline on the caller, exercising the exact same code path minus the
+/// handoff.
+pub struct TaskPool {
+    shared: std::sync::Arc<PoolShared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    threads: usize,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Workers park here between tasks.
+    work_cv: Condvar,
+    /// The submitter parks here until `finished == ntasks`.
+    done_cv: Condvar,
+}
+
+struct PoolState {
+    /// Bumped once per `run`; a worker mid-claim compares epochs so a stale
+    /// wake-up can never execute indices of a later task.
+    epoch: u64,
+    task: Option<RawTask>,
+    ntasks: usize,
+    next: usize,
+    finished: usize,
+    shutdown: bool,
+}
+
+/// Lifetime-erased pointer to the current task closure. Safety: `run`
+/// blocks until `finished == ntasks`, so the pointee outlives every
+/// dereference; workers only dereference it for indices claimed under the
+/// mutex while the epoch matches.
+#[derive(Clone, Copy)]
+struct RawTask(*const (dyn Fn(usize) + Sync));
+unsafe impl Send for RawTask {}
+
+impl TaskPool {
+    /// Builds a pool with `threads` total participants (the caller counts
+    /// as one, so `threads − 1` workers are spawned; `threads ≤ 1` spawns
+    /// none and `run` executes inline).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = std::sync::Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                epoch: 0,
+                task: None,
+                ntasks: 0,
+                next: 0,
+                finished: 0,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let workers = (1..threads)
+            .map(|_| {
+                let shared = std::sync::Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Self {
+            shared,
+            workers,
+            threads,
+        }
+    }
+
+    /// Total participants (caller + workers).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Executes `f(i)` for every `i in 0..ntasks`, each exactly once, and
+    /// returns when all have completed. Panics in `f` propagate (workers
+    /// that panic poison the pool mutex, turning later runs into panics
+    /// rather than silent index loss).
+    pub fn run<F: Fn(usize) + Sync>(&self, ntasks: usize, f: F) {
+        if ntasks == 0 {
+            return;
+        }
+        if self.workers.is_empty() || ntasks == 1 {
+            for i in 0..ntasks {
+                f(i);
+            }
+            return;
+        }
+        let erased: &(dyn Fn(usize) + Sync) = &f;
+        // Safety: see RawTask — we block below until every index finished.
+        let raw = RawTask(unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(erased)
+                as *const _
+        });
+        let mut st = self.shared.state.lock().expect("pool poisoned");
+        st.epoch += 1;
+        st.task = Some(raw);
+        st.ntasks = ntasks;
+        st.next = 0;
+        st.finished = 0;
+        let epoch = st.epoch;
+        self.shared.work_cv.notify_all();
+        // Participate: claim indices until none remain.
+        while st.next < st.ntasks {
+            let i = st.next;
+            st.next += 1;
+            drop(st);
+            f(i);
+            st = self.shared.state.lock().expect("pool poisoned");
+            st.finished += 1;
+        }
+        while st.finished < st.ntasks {
+            st = self.shared.done_cv.wait(st).expect("pool poisoned");
+        }
+        debug_assert_eq!(st.epoch, epoch);
+        st.task = None;
+    }
+}
+
+impl Drop for TaskPool {
+    fn drop(&mut self) {
+        if let Ok(mut st) = self.shared.state.lock() {
+            st.shutdown = true;
+        }
+        self.shared.work_cv.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for TaskPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskPool")
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    let mut st = shared.state.lock().expect("pool poisoned");
+    loop {
+        // Park until there is claimable work (or shutdown).
+        while !(st.shutdown || st.task.is_some() && st.next < st.ntasks) {
+            st = shared.work_cv.wait(st).expect("pool poisoned");
+        }
+        if st.shutdown {
+            return;
+        }
+        let raw = st.task.expect("checked above");
+        let epoch = st.epoch;
+        while st.epoch == epoch && st.next < st.ntasks {
+            let i = st.next;
+            st.next += 1;
+            drop(st);
+            // Safety: index claimed under the mutex for the matching epoch;
+            // the submitter keeps the closure alive until all indices finish.
+            unsafe { (*raw.0)(i) };
+            st = shared.state.lock().expect("pool poisoned");
+            st.finished += 1;
+            if st.finished == st.ntasks && st.epoch == epoch {
+                shared.done_cv.notify_all();
+            }
+        }
+    }
+}
+
+/// Disjoint parallel writes into one slice, chunked by a fixed length.
+///
+/// The safe-Rust obstacle to "each pool task writes its own shard of this
+/// buffer" is that `&mut [T]` cannot be shared across closures; this wrapper
+/// hands out raw chunk views instead. The caller promises (unsafe contract
+/// on [`ShardWriter::chunk`]) that no chunk index is accessed concurrently
+/// from two threads — which the [`TaskPool`] guarantees when each task `i`
+/// touches only chunk `i`.
+pub struct ShardWriter<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    chunk: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+unsafe impl<T: Send> Send for ShardWriter<'_, T> {}
+unsafe impl<T: Send> Sync for ShardWriter<'_, T> {}
+
+impl<'a, T> ShardWriter<'a, T> {
+    /// Wraps `slice`, to be written in chunks of `chunk` elements (the last
+    /// chunk may be shorter). `chunk` must be positive.
+    pub fn new(slice: &'a mut [T], chunk: usize) -> Self {
+        assert!(chunk > 0, "chunk length must be positive");
+        Self {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            chunk,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Number of chunks.
+    pub fn num_chunks(&self) -> usize {
+        self.len.div_ceil(self.chunk)
+    }
+
+    /// Mutable view of chunk `i`.
+    ///
+    /// # Safety
+    ///
+    /// Each chunk index must be accessed by at most one thread at a time —
+    /// in the intended pattern, pool task `i` calls `chunk(i)` and nothing
+    /// else, so the views are disjoint by construction.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn chunk(&self, i: usize) -> &mut [T] {
+        let start = i * self.chunk;
+        assert!(start < self.len, "chunk {i} out of range");
+        let len = self.chunk.min(self.len - start);
+        std::slice::from_raw_parts_mut(self.ptr.add(start), len)
+    }
 }
 
 /// A reasonable default worker count: the `OMFL_THREADS` environment
@@ -338,6 +571,62 @@ mod tests {
         let s = summarize(&[5.0]);
         assert_eq!(s.mean, 5.0);
         assert_eq!(s.std, 0.0);
+    }
+
+    #[test]
+    fn task_pool_runs_every_index_exactly_once() {
+        for threads in [1usize, 2, 4, 7] {
+            let pool = TaskPool::new(threads);
+            for ntasks in [0usize, 1, 2, 3, 16, 100] {
+                let hits: Vec<AtomicUsize> = (0..ntasks).map(|_| AtomicUsize::new(0)).collect();
+                pool.run(ntasks, |i| {
+                    hits[i].fetch_add(1, Ordering::SeqCst);
+                });
+                for (i, h) in hits.iter().enumerate() {
+                    assert_eq!(
+                        h.load(Ordering::SeqCst),
+                        1,
+                        "threads {threads}, ntasks {ntasks}, index {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn task_pool_is_reusable_with_uneven_work() {
+        let pool = TaskPool::new(4);
+        for round in 0..50u64 {
+            let acc: Vec<AtomicUsize> = (0..13).map(|_| AtomicUsize::new(0)).collect();
+            pool.run(13, |i| {
+                // Skew the work so claims interleave differently per round.
+                let spins = if i % 5 == 0 { 2000 } else { 3 };
+                let mut x = seed_for(round, i as u64);
+                for _ in 0..spins {
+                    x = seed_for(x, i as u64);
+                }
+                acc[i].store((x as usize).max(1), Ordering::SeqCst);
+            });
+            assert!(acc.iter().all(|a| a.load(Ordering::SeqCst) > 0));
+        }
+    }
+
+    #[test]
+    fn shard_writer_partitions_exactly() {
+        let mut buf = vec![0u64; 103];
+        let writer = ShardWriter::new(&mut buf, 10);
+        assert_eq!(writer.num_chunks(), 11);
+        let pool = TaskPool::new(3);
+        pool.run(writer.num_chunks(), |i| {
+            // Safety: task i touches only chunk i.
+            let chunk = unsafe { writer.chunk(i) };
+            for (j, slot) in chunk.iter_mut().enumerate() {
+                *slot = (i * 10 + j) as u64 + 1;
+            }
+        });
+        for (k, &v) in buf.iter().enumerate() {
+            assert_eq!(v, k as u64 + 1);
+        }
     }
 
     #[test]
