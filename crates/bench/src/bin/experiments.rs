@@ -5,7 +5,8 @@
 //! experiments                      run all (quick mode)
 //! experiments --full thm2-lb ...   run selected experiments at full size
 //! experiments --out results/       also write CSVs (default: results/)
-//! experiments --emit-json [dir]    write BENCH_pd.json / BENCH_sweep.json
+//! experiments --emit-json [dir]    write BENCH_pd.json / BENCH_sweep.json /
+//!                                  BENCH_serve.json
 //! experiments --check-json [dir]   re-run the smoke profile and fail on
 //!                                  missing keys, a >1.5x perf regression
 //!                                  on any >=1ms cell, a speedup below its
@@ -24,7 +25,7 @@ use std::path::{Path, PathBuf};
 /// Runs the bench smoke profile and either writes (`emit`) or verifies
 /// (`check`) the `BENCH_*.json` artifacts in `dir`.
 fn run_json_mode(dir: &Path, emit: bool) {
-    let (pd_doc, sweep_doc) = match perfjson::smoke_profile_json() {
+    let (pd_doc, sweep_doc, serve_doc) = match perfjson::smoke_profile_json() {
         Ok(docs) => docs,
         Err(e) => {
             eprintln!("bench smoke profile failed: {e}");
@@ -33,13 +34,17 @@ fn run_json_mode(dir: &Path, emit: bool) {
     };
     let pd_path = dir.join("BENCH_pd.json");
     let sweep_path = dir.join("BENCH_sweep.json");
+    let serve_path = dir.join("BENCH_serve.json");
     if emit {
         std::fs::create_dir_all(dir).expect("bench output dir");
         std::fs::write(&pd_path, &pd_doc).expect("write BENCH_pd.json");
         std::fs::write(&sweep_path, &sweep_doc).expect("write BENCH_sweep.json");
+        std::fs::write(&serve_path, &serve_doc).expect("write BENCH_serve.json");
         println!("wrote {}", pd_path.display());
         println!("wrote {}", sweep_path.display());
+        println!("wrote {}", serve_path.display());
         print!("{pd_doc}");
+        print!("{serve_doc}");
         return;
     }
     // The fresh run is persisted unconditionally: on failure CI uploads it
@@ -50,11 +55,14 @@ fn run_json_mode(dir: &Path, emit: bool) {
     std::fs::write(fresh_dir.join("BENCH_pd.json"), &pd_doc).expect("write fresh BENCH_pd.json");
     std::fs::write(fresh_dir.join("BENCH_sweep.json"), &sweep_doc)
         .expect("write fresh BENCH_sweep.json");
+    std::fs::write(fresh_dir.join("BENCH_serve.json"), &serve_doc)
+        .expect("write fresh BENCH_serve.json");
 
     let mut failed = false;
     for (path, fresh, label) in [
         (&pd_path, &pd_doc, "BENCH_pd.json"),
         (&sweep_path, &sweep_doc, "BENCH_sweep.json"),
+        (&serve_path, &serve_doc, "BENCH_serve.json"),
     ] {
         let committed = match std::fs::read_to_string(path) {
             Ok(c) => c,
@@ -94,7 +102,7 @@ fn run_json_mode(dir: &Path, emit: bool) {
         eprintln!("    cargo run --release -p omfl-bench --bin experiments -- --emit-json .");
         eprintln!(
             "In CI, download the 'bench-fresh-json' artifact of this run and commit its \
-             files as the new BENCH_pd.json / BENCH_sweep.json."
+             files as the new BENCH_pd.json / BENCH_sweep.json / BENCH_serve.json."
         );
         std::process::exit(1);
     }

@@ -20,7 +20,14 @@
 //!   record their deterministic `block_skip_rate`;
 //! * **`BENCH_sweep.json`** — per (engine × family) serve wall-clock
 //!   (mean/std/min/max over trials) for the whole catalog under the
-//!   work-stealing sweep.
+//!   work-stealing sweep;
+//! * **`BENCH_serve.json`** — the multi-tenant serve loop (`omfl_serve`):
+//!   the machine-independent `digest_match` determinism cell (aggregate
+//!   reports bit-identical across shard/thread configs
+//!   [`SERVE_DETERMINISM_CONFIGS`], hard-gated at 1.0), the
+//!   `arrivals_per_sec` throughput cell (gated as a ratio against the
+//!   committed baseline, dev-box target ≥ 1M/s aggregate), and
+//!   informational p50/p99 latency and backpressure telemetry.
 //!
 //! The committed files at the repo root are the baseline; CI re-runs the
 //! smoke profile and [`check`]s the fresh numbers against them: missing
@@ -41,10 +48,12 @@ use omfl_core::algorithm::OnlineAlgorithm;
 use omfl_core::naive::NaivePd;
 use omfl_core::pd::PdOmflp;
 use omfl_core::CoreError;
-use omfl_par::{summarize, Summary};
+use omfl_par::{summarize, Summary, TaskPool};
+use omfl_serve::{ServeConfig, ServeError, Server};
 use omfl_sim::sweep::timed_sweep;
-use omfl_sim::Engine;
+use omfl_sim::{ArrivalSource, Engine};
 use omfl_workload::catalog::{self, CatalogProfile};
+use omfl_workload::Scenario;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -103,6 +112,13 @@ pub const MIN_HUGE_PD_SPEEDUP: f64 = 1.5;
 /// leaves room for deliberate profile tweaks, not for regressions back
 /// toward the 27–39% id-order era.
 pub const MIN_BLOCK_SKIP_RATE: f64 = 0.65;
+
+/// Shard/thread configurations the serve determinism cell compares. The
+/// acceptance contract is that the aggregate [`omfl_serve::ServeReport`] is
+/// bit-identical across all of them; `digest_match` in `BENCH_serve.json`
+/// records the comparison as 1.0/0.0 and CI hard-gates it at 1.0 — the one
+/// serve gate no machine difference can excuse.
+pub const SERVE_DETERMINISM_CONFIGS: [usize; 4] = [1, 2, 7, 16];
 
 /// The PD hot-path bench profile: `zipf-services` at 4096 requests with a
 /// service-heavy shape — the regime the index layer targets, where the
@@ -457,6 +473,168 @@ pub fn pd_huge_bench(profile: &CatalogProfile, repeats: usize) -> Result<PdHugeB
     })
 }
 
+/// The serve bench profile: 16 light tenants at 2048 requests each (32768
+/// arrivals aggregate). Tenants are deliberately small (16 points, 8
+/// services): this cell prices the *multiplexing layer* — ring, shards,
+/// locks, snapshots — per arrival, not PD's own per-request cost, which
+/// `BENCH_pd.json` already gates at heavier shapes. The dev-box target for
+/// the throughput cell is ≥ 1M arrivals/sec aggregate.
+pub fn serve_profile() -> (usize, CatalogProfile) {
+    (
+        16,
+        CatalogProfile {
+            points: 16,
+            services: 8,
+            requests: 2048,
+        },
+    )
+}
+
+/// One multi-tenant serve measurement for `BENCH_serve.json`.
+#[derive(Debug, Clone)]
+pub struct ServeBench {
+    /// Workload family every tenant runs.
+    pub family: &'static str,
+    /// Tenant count.
+    pub tenants: usize,
+    /// Aggregate arrivals per run.
+    pub arrivals: usize,
+    /// Shards the throughput runs used.
+    pub shards: usize,
+    /// Pool worker threads the throughput runs used.
+    pub pool_threads: usize,
+    /// Serve-loop wall seconds over the timed repeats.
+    pub serve: Summary,
+    /// `true` iff the aggregate reports of all
+    /// [`SERVE_DETERMINISM_CONFIGS`] were bit-identical.
+    pub digest_match: bool,
+    /// The shared digest of the determinism runs.
+    pub digest: u64,
+    /// Median per-arrival serve latency (ns) of the last timed repeat.
+    pub latency_p50_ns: u64,
+    /// 99th-percentile per-arrival serve latency (ns) of the last repeat.
+    pub latency_p99_ns: u64,
+    /// Producer blocking episodes of the last timed repeat.
+    pub backpressure_waits: u64,
+}
+
+impl ServeBench {
+    /// Aggregate arrivals per second at the mean serve wall time.
+    pub fn arrivals_per_sec(&self) -> f64 {
+        self.arrivals as f64 / self.serve.mean.max(1e-12)
+    }
+}
+
+fn serve_run(
+    scenarios: &[Scenario],
+    source: &ArrivalSource,
+    shards: usize,
+    pool: &TaskPool,
+) -> Result<(omfl_serve::ServeReport, omfl_serve::ServeTelemetry), CoreError> {
+    let server = Server::new(scenarios, Engine::Pd).expect("pd tenants always box");
+    // Micro-batches amortize the per-batch pool barrier: at 1024 arrivals
+    // per batch the dispatch overhead is a few percent of the engine work;
+    // at 128 it dominated and halved aggregate throughput.
+    let cfg = ServeConfig {
+        shards,
+        micro_batch: 1024,
+        queue_capacity: 8192,
+    };
+    server.serve(source, &cfg, pool).map_err(|e| match e {
+        ServeError::Tenant(_, core) => core,
+        other => CoreError::BadInstance(other.to_string()),
+    })
+}
+
+/// Times the multi-tenant serve loop on a fleet of `tenants` independent
+/// `zipf-services` scenarios (distinct seeds), multiplexed over one
+/// [`TaskPool`].
+///
+/// Protocol: one serve per [`SERVE_DETERMINISM_CONFIGS`] entry first (each
+/// at `shards == threads`) — these double as warm-up and must produce
+/// bit-identical aggregate reports — then `repeats` timed runs at the
+/// throughput configuration: 16 shards on a pool sized by
+/// [`omfl_par::default_threads`] (the hardware the box actually has — a
+/// single-core runner serves inline, a dev box fans out).
+pub fn serve_bench(
+    tenants: usize,
+    profile: &CatalogProfile,
+    repeats: usize,
+) -> Result<ServeBench, CoreError> {
+    let family = catalog::by_name("zipf-services").expect("catalog family");
+    let scenarios = (0..tenants)
+        .map(|t| family.build(profile, omfl_par::seed_for(0x5E12FE, t as u64)))
+        .collect::<Result<Vec<_>, _>>()?;
+    let lens: Vec<usize> = scenarios.iter().map(|s| s.requests.len()).collect();
+    let source = ArrivalSource::round_robin(&lens);
+
+    let mut determinism_reports = Vec::new();
+    for &n in SERVE_DETERMINISM_CONFIGS.iter() {
+        let pool = TaskPool::new(n);
+        let (report, _) = serve_run(&scenarios, &source, n, &pool)?;
+        determinism_reports.push(report);
+    }
+    let digest_match = determinism_reports
+        .windows(2)
+        .all(|w| w[0] == w[1] && w[0].digest == w[1].digest);
+
+    let shards = 16;
+    let pool = TaskPool::new(omfl_par::default_threads());
+    let mut secs = Vec::with_capacity(repeats);
+    let mut last_telemetry = None;
+    for _ in 0..repeats {
+        let (report, telemetry) = serve_run(&scenarios, &source, shards, &pool)?;
+        // A throughput number for a run that diverged from the determinism
+        // panel would be a number about a different computation.
+        assert_eq!(
+            report.digest, determinism_reports[0].digest,
+            "throughput run diverged from the determinism panel"
+        );
+        secs.push(telemetry.wall_secs);
+        last_telemetry = Some(telemetry);
+    }
+    let telemetry = last_telemetry.expect("at least one timed repeat");
+    Ok(ServeBench {
+        family: family.name,
+        tenants,
+        arrivals: source.len(),
+        shards,
+        pool_threads: pool.threads(),
+        serve: summarize(&secs),
+        digest_match,
+        digest: determinism_reports[0].digest,
+        latency_p50_ns: telemetry.latency_p50_ns,
+        latency_p99_ns: telemetry.latency_p99_ns,
+        backpressure_waits: telemetry.backpressure_waits,
+    })
+}
+
+/// Renders `BENCH_serve.json`: the deterministic `digest_match` cell (CI
+/// hard-gates it at 1.0), the gated throughput cell, and informational
+/// latency/backpressure telemetry. See the README's serve section for the
+/// cell layout.
+pub fn serve_json(b: &ServeBench) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"family\": \"{}\",", b.family);
+    let _ = writeln!(out, "  \"tenants\": {},", b.tenants);
+    let _ = writeln!(out, "  \"arrivals\": {},", b.arrivals);
+    let _ = writeln!(out, "  \"shards\": {},", b.shards);
+    let _ = writeln!(out, "  \"pool_threads\": {},", b.pool_threads);
+    let _ = writeln!(
+        out,
+        "  \"digest_match\": {},",
+        if b.digest_match { "1.0" } else { "0.0" }
+    );
+    summary_json(&mut out, "serve_secs", &b.serve, "  ");
+    out.push_str(",\n");
+    let _ = writeln!(out, "  \"arrivals_per_sec\": {:.1},", b.arrivals_per_sec());
+    let _ = writeln!(out, "  \"latency_p50_ns\": {},", b.latency_p50_ns);
+    let _ = writeln!(out, "  \"latency_p99_ns\": {},", b.latency_p99_ns);
+    let _ = writeln!(out, "  \"backpressure_waits\": {}", b.backpressure_waits);
+    out.push_str("}\n");
+    out
+}
+
 fn summary_json(out: &mut String, key: &str, s: &Summary, indent: &str) {
     let _ = write!(
         out,
@@ -752,6 +930,30 @@ pub fn check(fresh: &str, committed: &str, label: &str) -> Result<Vec<String>, V
                  {now:.2}x below the {MIN_HUGE_PD_SPEEDUP}x floor (baseline {base:.2}x)"
             ));
         }
+        if key == "digest_match" && now != 1.0 {
+            errors.push(format!(
+                "{label}: serve aggregate reports diverged across shard/thread \
+                 configs {SERVE_DETERMINISM_CONFIGS:?} — the serve loop lost \
+                 determinism (this gate is machine-independent)"
+            ));
+        }
+        if key == "arrivals_per_sec" && base > 0.0 {
+            let ratio = base / now.max(1e-12);
+            let wall_gated = c_nums
+                .get("serve_secs.mean")
+                .is_some_and(|&w| w >= MIN_GATED_SECS);
+            if ratio > REGRESSION_FACTOR && wall_gated {
+                errors.push(format!(
+                    "{label}: serve throughput fell {ratio:.2}x \
+                     ({base:.0} -> {now:.0} arrivals/sec)"
+                ));
+            } else {
+                notes.push(format!(
+                    "{label}: serve throughput {:.2}x of baseline ({now:.0} arrivals/sec)",
+                    now / base
+                ));
+            }
+        }
         if key.ends_with("block_skip_rate") && now < MIN_BLOCK_SKIP_RATE {
             errors.push(format!(
                 "{label}: '{key}' = {:.1}% below the {:.0}% floor (baseline \
@@ -769,10 +971,10 @@ pub fn check(fresh: &str, committed: &str, label: &str) -> Result<Vec<String>, V
     }
 }
 
-/// The smoke profile both `--emit-json` and `--check-json` run: PD hot path
-/// plus catalog sweep timings. Returns `(BENCH_pd.json, BENCH_sweep.json)`
-/// contents.
-pub fn smoke_profile_json() -> Result<(String, String), CoreError> {
+/// The smoke profile both `--emit-json` and `--check-json` run: PD hot
+/// path, catalog sweep timings, and the multi-tenant serve loop. Returns
+/// `(BENCH_pd.json, BENCH_sweep.json, BENCH_serve.json)` contents.
+pub fn smoke_profile_json() -> Result<(String, String, String), CoreError> {
     let pd = pd_bench(&pd_profile(), 5)?;
     let large = pd_large_bench(&pd_large_profile(), 3)?;
     let euclid_large = pd_euclid_large_bench(&pd_euclid_large_profile(), 3)?;
@@ -782,7 +984,9 @@ pub fn smoke_profile_json() -> Result<(String, String), CoreError> {
     // contend for cores and per-cell wall-clock becomes too noisy to gate
     // the regression factor on.
     let sweep_doc = sweep_json(&sweep_profile(), 2020, 3, 1)?;
-    Ok((pd_doc, sweep_doc))
+    let (tenants, profile) = serve_profile();
+    let serve_doc = serve_json(&serve_bench(tenants, &profile, 3)?);
+    Ok((pd_doc, sweep_doc, serve_doc))
 }
 
 #[cfg(test)]
@@ -902,6 +1106,48 @@ mod tests {
         assert!(errs[0].contains("stopped engaging"));
         let engaged = r#"{ "large": { "block_skip_rate": 0.72 } }"#;
         assert!(check(engaged, base_s, "t").is_ok());
+    }
+
+    #[test]
+    fn emitted_serve_json_round_trips() {
+        let profile = CatalogProfile {
+            points: 12,
+            services: 8,
+            requests: 48,
+        };
+        let b = serve_bench(3, &profile, 2).unwrap();
+        assert!(b.digest_match, "tiny serve bench must be deterministic");
+        let doc = serve_json(&b);
+        let (nums, strs) = parse_flat(&doc).unwrap();
+        assert_eq!(strs["family"], "zipf-services");
+        assert_eq!(nums["tenants"], 3.0);
+        assert_eq!(nums["arrivals"], 144.0);
+        assert_eq!(nums["digest_match"], 1.0);
+        assert!(nums["serve_secs.mean"] > 0.0);
+        assert!(nums["arrivals_per_sec"] > 0.0);
+        assert!(nums.contains_key("latency_p50_ns"));
+        assert!(nums.contains_key("latency_p99_ns"));
+        assert!(nums.contains_key("backpressure_waits"));
+    }
+
+    #[test]
+    fn check_gates_serve_determinism_and_throughput() {
+        // A digest mismatch fails regardless of every timing.
+        let base = r#"{ "digest_match": 1.0, "serve_secs": { "mean": 0.02 }, "arrivals_per_sec": 2000000.0 }"#;
+        let diverged = r#"{ "digest_match": 0.0, "serve_secs": { "mean": 0.02 }, "arrivals_per_sec": 2000000.0 }"#;
+        let errs = check(diverged, base, "t").unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("lost")), "{errs:?}");
+        // Throughput collapse beyond the factor fails on a >= 1 ms cell.
+        let slow = r#"{ "digest_match": 1.0, "serve_secs": { "mean": 0.04 }, "arrivals_per_sec": 1000000.0 }"#;
+        let errs = check(slow, base, "t").unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("throughput")), "{errs:?}");
+        // A mild dip stays a note, not an error.
+        let mild = r#"{ "digest_match": 1.0, "serve_secs": { "mean": 0.025 }, "arrivals_per_sec": 1600000.0 }"#;
+        assert!(check(mild, base, "t").is_ok());
+        // Sub-millisecond serve cells exempt the throughput ratio too.
+        let sub_base = r#"{ "digest_match": 1.0, "serve_secs": { "mean": 0.0005 }, "arrivals_per_sec": 2000000.0 }"#;
+        let sub_noisy = r#"{ "digest_match": 1.0, "serve_secs": { "mean": 0.0005 }, "arrivals_per_sec": 200000.0 }"#;
+        assert!(check(sub_noisy, sub_base, "t").is_ok());
     }
 
     #[test]

@@ -29,6 +29,53 @@ pub struct ServeOutcome {
     pub served_by_large: bool,
 }
 
+/// A cheap, self-contained aggregate of live engine state, for publication
+/// behind snapshot handles: a serve shard clones one of these after each
+/// micro-batch and swaps it into an `Arc`, so metrics and bound checks read
+/// a consistent view without ever stalling (or borrowing into) the engine.
+///
+/// `PartialEq` compares costs as exact `f64` values — the serve determinism
+/// suite asserts snapshots are *bit-identical* across shard/thread counts.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EngineSnapshot {
+    /// Requests served so far.
+    pub arrivals: usize,
+    /// Facilities opened so far / of them large (full configuration).
+    pub facilities: usize,
+    /// Large facilities among them.
+    pub large_facilities: usize,
+    /// Construction cost paid so far.
+    pub construction_cost: f64,
+    /// Connection cost paid so far.
+    pub connection_cost: f64,
+    /// `Σ_r Σ_e a_{re}` over served requests — 0 for engines without duals.
+    pub dual_sum: f64,
+    /// The engine's dual-feasibility lower bound on OPT (Corollary 17
+    /// scaling for PD) — 0 for engines without one.
+    pub dual_lower_bound: f64,
+}
+
+impl EngineSnapshot {
+    /// The generic projection every engine supports: counters and costs
+    /// read from the solution under construction, dual fields zero.
+    pub fn from_solution(sol: &Solution) -> Self {
+        Self {
+            arrivals: sol.num_requests(),
+            facilities: sol.facilities().len(),
+            large_facilities: sol.num_large_facilities(),
+            construction_cost: sol.construction_cost(),
+            connection_cost: sol.connection_cost(),
+            dual_sum: 0.0,
+            dual_lower_bound: 0.0,
+        }
+    }
+
+    /// Construction + connection cost.
+    pub fn total_cost(&self) -> f64 {
+        self.construction_cost + self.connection_cost
+    }
+}
+
 /// An online algorithm for the OMFLP.
 pub trait OnlineAlgorithm {
     /// Serves the next request, updating internal state irrevocably.
@@ -39,6 +86,13 @@ pub trait OnlineAlgorithm {
 
     /// Short algorithm name for experiment tables.
     fn name(&self) -> &'static str;
+
+    /// A read-only aggregate of the current state, cheap enough to take
+    /// once per micro-batch. Engines with richer state (PD's duals)
+    /// override this to fill the extra fields.
+    fn snapshot(&self) -> EngineSnapshot {
+        EngineSnapshot::from_solution(self.solution())
+    }
 }
 
 /// Serves an entire request sequence, returning the final total cost.

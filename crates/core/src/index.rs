@@ -235,6 +235,20 @@ pub struct PastIndex {
     block_cap_e: Vec<f64>,
     /// Per-block upper bound on `max_cap_any`.
     block_cap_any: Vec<f64>,
+    /// Upper bound on `cap_total` alone over requests at `ℓ` — the
+    /// component of `max_cap_any` that only *large* openings shrink, kept
+    /// separately so the cross-family clamp passes can recompute
+    /// `max_cap_any` from parts without engine data.
+    max_cap_total: Vec<f64>,
+    /// Commodities with a non-empty bucket at `ℓ` (first-touch order):
+    /// lets a large opening clamp every per-commodity bound at a visited
+    /// location without scanning the full service universe.
+    commodities_at: Vec<Vec<u32>>,
+    /// Blocks retired without per-location distance reads by the
+    /// layout-pruned shrink walks.
+    blocks_skipped: u64,
+    /// Blocks the layout-pruned shrink walks actually scanned.
+    blocks_scanned: u64,
 }
 
 impl PastIndex {
@@ -252,7 +266,19 @@ impl PastIndex {
             loc_listed: Vec::new(),
             block_cap_e: Vec::new(),
             block_cap_any: Vec::new(),
+            max_cap_total: vec![0.0; points],
+            commodities_at: vec![Vec::new(); points],
+            blocks_skipped: 0,
+            blocks_scanned: 0,
         }
+    }
+
+    /// `(blocks skipped, blocks scanned)` by the layout-pruned shrink walks
+    /// since construction. Pure observability — the counters never feed
+    /// back into candidate selection. Both stay 0 without an attached
+    /// layout.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.blocks_skipped, self.blocks_scanned)
     }
 
     /// Adopts the opening-target index's block layout so the shrink walks
@@ -289,9 +315,15 @@ impl PastIndex {
             .as_ref()
             .map(|lay| lay.pos[l] as usize / lay.block);
         let nblocks = self.block_cap_any.len();
+        if cap_total > self.max_cap_total[l] {
+            self.max_cap_total[l] = cap_total;
+        }
         let mut any = cap_total;
         for (slot, (&e, &cap)) in commodities.iter().zip(caps).enumerate() {
             let idx = e.index() * self.points + l;
+            if self.by_loc_e[idx].is_empty() {
+                self.commodities_at[l].push(e.index() as u32);
+            }
             self.by_loc_e[idx].push((pi, slot as u16));
             if cap > self.max_cap_e[idx] {
                 self.max_cap_e[idx] = cap;
@@ -335,6 +367,15 @@ impl PastIndex {
     /// in it — so one distance read retires the whole block. Visited
     /// blocks that clamp any bucket get their cap bound recomputed
     /// exactly, keeping future skips tight.
+    ///
+    /// Clamping a commodity bucket also re-tightens the location's
+    /// *any*-cap bound from its parts (`max_cap_total` ∨ the per-commodity
+    /// bounds present at the location): without this cross-family clamp a
+    /// stream of small openings would leave `max_cap_any` — and hence the
+    /// large walk's block bounds — permanently stale-high. The caller
+    /// contract (the PD engine's `post_open_small`) is that every returned
+    /// member with `d(at, ℓ) < cap` has its cap shrunk to that distance
+    /// before bounds are read again.
     pub fn small_shrink_candidates(
         &mut self,
         inst: &Instance,
@@ -349,14 +390,19 @@ impl PastIndex {
             for b in 0..nblocks {
                 let bcap = self.block_cap_e[cap_base + b];
                 if bcap <= 0.0 || self.block_locs[b].is_empty() {
+                    self.blocks_skipped += 1;
                     continue;
                 }
                 let d_rep = inst.distance(at, PointId(layout.rep[b]));
                 if dist_lower_bound(d_rep, layout.radius[b]) >= bcap {
+                    self.blocks_skipped += 1;
                     continue;
                 }
+                self.blocks_scanned += 1;
                 let mut touched = false;
-                for &l in &self.block_locs[b] {
+                let mut any_touched = false;
+                for i in 0..self.block_locs[b].len() {
+                    let l = self.block_locs[b][i];
                     let idx = base + l as usize;
                     if self.by_loc_e[idx].is_empty() {
                         continue;
@@ -366,6 +412,7 @@ impl PastIndex {
                         out.extend_from_slice(&self.by_loc_e[idx]);
                         self.max_cap_e[idx] = dj;
                         touched = true;
+                        any_touched |= self.retighten_any(l as usize);
                     }
                 }
                 if touched {
@@ -374,6 +421,13 @@ impl PastIndex {
                         cap = cap.max(self.max_cap_e[base + l as usize]);
                     }
                     self.block_cap_e[cap_base + b] = cap;
+                }
+                if any_touched {
+                    let mut cap = 0.0f64;
+                    for &l in &self.block_locs[b] {
+                        cap = cap.max(self.max_cap_any[l as usize]);
+                    }
+                    self.block_cap_any[b] = cap;
                 }
             }
             out.sort_unstable();
@@ -388,30 +442,65 @@ impl PastIndex {
             if dj < self.max_cap_e[idx] {
                 out.extend_from_slice(&self.by_loc_e[idx]);
                 self.max_cap_e[idx] = dj;
+                self.retighten_any(l);
             }
         }
         out.sort_unstable();
         out
     }
 
+    /// Recomputes the location's any-cap bound from its parts after a
+    /// per-commodity bound clamped. `max(max_cap_total, per-commodity
+    /// bounds at ℓ)` dominates every member's `max(cap_total, caps[..])`,
+    /// so the result is a sound upper bound; it is applied only when it
+    /// tightens (the stored bound may already be lower from a large-walk
+    /// clamp). Returns whether the stored bound changed.
+    fn retighten_any(&mut self, l: usize) -> bool {
+        let mut any = self.max_cap_total[l];
+        for &e2 in &self.commodities_at[l] {
+            any = any.max(self.max_cap_e[e2 as usize * self.points + l]);
+        }
+        if any < self.max_cap_any[l] {
+            self.max_cap_any[l] = any;
+            true
+        } else {
+            false
+        }
+    }
+
     /// Candidate past-request indices for a *large* opening at `at` (any cap
     /// at the location may shrink). Sorted ascending — the history-walk
     /// order. Qualifying buckets have their bound clamped to `d(at, ℓ)`.
     /// Block skipping as in [`Self::small_shrink_candidates`].
+    ///
+    /// A large opening shrinks *every* cap at a qualifying location to at
+    /// most `d(at, ℓ)` (the caller walks all members there and clamps both
+    /// `cap_total` and each per-commodity cap), so the pass also clamps
+    /// `max_cap_total` and every per-commodity bound at the location —
+    /// the cross-family clamp that keeps the small walks' block bounds
+    /// from going permanently stale-high on shrink-heavy streams. Touched
+    /// blocks get the affected `block_cap_e` rows recomputed exactly.
     pub fn large_shrink_candidates(&mut self, inst: &Instance, at: PointId) -> Vec<u32> {
         let mut out = Vec::new();
+        let mut touched_e: Vec<u32> = Vec::new();
         if let Some(layout) = self.layout.clone() {
-            for b in 0..self.block_cap_any.len() {
+            let nblocks = self.block_cap_any.len();
+            for b in 0..nblocks {
                 let bcap = self.block_cap_any[b];
                 if bcap <= 0.0 || self.block_locs[b].is_empty() {
+                    self.blocks_skipped += 1;
                     continue;
                 }
                 let d_rep = inst.distance(at, PointId(layout.rep[b]));
                 if dist_lower_bound(d_rep, layout.radius[b]) >= bcap {
+                    self.blocks_skipped += 1;
                     continue;
                 }
+                self.blocks_scanned += 1;
                 let mut touched = false;
-                for &l in &self.block_locs[b] {
+                touched_e.clear();
+                for i in 0..self.block_locs[b].len() {
+                    let l = self.block_locs[b][i];
                     let li = l as usize;
                     if self.by_loc[li].is_empty() {
                         continue;
@@ -421,6 +510,7 @@ impl PastIndex {
                         out.extend_from_slice(&self.by_loc[li]);
                         self.max_cap_any[li] = dj;
                         touched = true;
+                        self.clamp_location_bounds(li, dj, Some(&mut touched_e));
                     }
                 }
                 if touched {
@@ -429,6 +519,17 @@ impl PastIndex {
                         cap = cap.max(self.max_cap_any[l as usize]);
                     }
                     self.block_cap_any[b] = cap;
+                }
+                touched_e.sort_unstable();
+                touched_e.dedup();
+                for &e in &touched_e {
+                    let cap_base = e as usize * nblocks;
+                    let base = e as usize * self.points;
+                    let mut cap = 0.0f64;
+                    for &l in &self.block_locs[b] {
+                        cap = cap.max(self.max_cap_e[base + l as usize]);
+                    }
+                    self.block_cap_e[cap_base + b] = cap;
                 }
             }
             out.sort_unstable();
@@ -442,10 +543,33 @@ impl PastIndex {
             if dj < self.max_cap_any[l] {
                 out.extend_from_slice(&self.by_loc[l]);
                 self.max_cap_any[l] = dj;
+                self.clamp_location_bounds(l, dj, None);
             }
         }
         out.sort_unstable();
         out
+    }
+
+    /// Clamps `max_cap_total` and every per-commodity bound at `ℓ` to `dj`
+    /// after a large opening qualified the location: once the caller's
+    /// shrink pass completes, no cap of any family there exceeds `dj`.
+    /// Commodities whose bound actually tightened are appended to
+    /// `touched_e` (when collecting for a block-row recompute).
+    fn clamp_location_bounds(&mut self, l: usize, dj: f64, touched_e: Option<&mut Vec<u32>>) {
+        if dj < self.max_cap_total[l] {
+            self.max_cap_total[l] = dj;
+        }
+        let mut sink = touched_e;
+        for i in 0..self.commodities_at[l].len() {
+            let e = self.commodities_at[l][i];
+            let idx = e as usize * self.points + l;
+            if dj < self.max_cap_e[idx] {
+                self.max_cap_e[idx] = dj;
+                if let Some(sink) = sink.as_deref_mut() {
+                    sink.push(e);
+                }
+            }
+        }
     }
 }
 
@@ -1725,6 +1849,78 @@ mod tests {
                 assert_eq!(got, want, "large candidates diverged at step {step}");
             }
         }
+    }
+
+    #[test]
+    fn past_index_block_bounds_recover_after_cross_family_shrinks() {
+        // Six tight clusters (16 points, width 1.875) a thousand apart,
+        // plus one probe point per cluster ~5 away; every cluster point
+        // holds a past request with all caps 8. One *large* opening per
+        // cluster shrinks every cap there to the intra-cluster distance
+        // (≤ 1.875). Before the cross-family clamp, the *small* walk's
+        // block bounds stayed at the stale-high 8 forever, so a probe at
+        // distance ~4 (> true caps, < stale bound) kept scanning every
+        // cluster block on every opening — this test pins the recovery:
+        // all probe walks must skip all blocks without one location read.
+        let (m, s) = (102usize, 1usize);
+        let positions: Vec<f64> = (0..m)
+            .map(|p| {
+                if p < 96 {
+                    (p / 16) as f64 * 1000.0 + (p % 16) as f64 * 0.125
+                } else {
+                    (p - 96) as f64 * 1000.0 + 5.0
+                }
+            })
+            .collect();
+        let inst = inst(positions, s as u16);
+        let f_small = vec![1.0; m * s];
+        let f_full = vec![3.0; m];
+        let idx = OpeningTargetIndex::with_order(&inst, &f_small, &f_full, (0..m as u32).collect());
+        let mut past = PastIndex::new(m, s);
+        past.attach_layout(idx.layout_handle());
+        let e = CommodityId(0);
+        for p in 0..96u32 {
+            past.push_request(p, PointId(p), &[e], &[8.0], 8.0);
+        }
+        // Shrink-heavy phase: a large opening at each cluster head clamps
+        // every bound in the cluster (the caller contract shrinks the true
+        // caps to the same distances).
+        for c in 0..6u32 {
+            let got = past.large_shrink_candidates(&inst, PointId(c * 16));
+            assert_eq!(got.len(), 16, "cluster {c}: every member qualifies");
+        }
+        // Recovery: small-opening probes from ~4–5 away see distance lower
+        // bounds above every recovered cap bound, so the walks retire all
+        // blocks without any per-location distance reads.
+        let (skipped0, scanned0) = past.stats();
+        for c in 0..6u32 {
+            let got = past.small_shrink_candidates(&inst, e, PointId(96 + c));
+            assert!(
+                got.is_empty(),
+                "cluster {c}: no cap exceeds the probe distance"
+            );
+        }
+        let (skipped, scanned) = past.stats();
+        assert_eq!(scanned, scanned0, "stale-high bounds kept blocks scannable");
+        assert!(skipped > skipped0);
+        // And the small→large direction: small openings at the cluster
+        // heads can only tighten further; large probes must skip too.
+        for c in 0..6u32 {
+            past.small_shrink_candidates(&inst, e, PointId(c * 16));
+        }
+        let (_, scanned1) = past.stats();
+        for c in 0..6u32 {
+            let got = past.large_shrink_candidates(&inst, PointId(96 + c));
+            assert!(
+                got.is_empty(),
+                "cluster {c}: no any-cap exceeds the probe distance"
+            );
+        }
+        let (_, scanned2) = past.stats();
+        assert_eq!(
+            scanned2, scanned1,
+            "any-cap block bounds must have recovered"
+        );
     }
 
     /// Reference scan with the PD tie-breaking: ascending location, strict

@@ -541,6 +541,12 @@ impl<'a> PdOmflp<'a> {
         self.targets.as_ref().map(|t| t.stats())
     }
 
+    /// `(blocks skipped, blocks scanned)` by the past-index shrink walks
+    /// (both 0 unless the block layout is attached, i.e. incremental mode).
+    pub fn past_index_stats(&self) -> (u64, u64) {
+        self.past_index.stats()
+    }
+
     /// `(hits, misses, evictions)` of the blocked distance-row cache;
     /// `None` for the dense and per-call backends.
     pub fn distance_cache_stats(&self) -> Option<(u64, u64, u64)> {
@@ -1073,6 +1079,16 @@ impl OnlineAlgorithm for PdOmflp<'_> {
 
     fn name(&self) -> &'static str {
         "pd-omflp"
+    }
+
+    /// The generic counters plus the PD-specific duals: the accumulated
+    /// dual sum and the Corollary 17 lower bound on OPT — the fields the
+    /// serve layer's live bound checks read off the snapshot handle.
+    fn snapshot(&self) -> crate::algorithm::EngineSnapshot {
+        let mut snap = crate::algorithm::EngineSnapshot::from_solution(&self.sol);
+        snap.dual_sum = self.dual_sum;
+        snap.dual_lower_bound = self.scaled_dual_lower_bound();
+        snap
     }
 }
 

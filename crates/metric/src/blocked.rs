@@ -29,6 +29,8 @@
 //! float storage at most `budget_bytes` (one row may exceed the budget on
 //! purpose: caching degrades gracefully to "the most recent row" rather
 //! than disabling itself). The map and stamps add `O(capacity_rows)` words.
+//! The degenerate `|M| = 0` metric has no rows: capacity is 0 and reads
+//! return the empty row instead of dividing by zero.
 
 use std::collections::HashMap;
 
@@ -61,11 +63,18 @@ pub struct BlockedRowCache {
 
 impl BlockedRowCache {
     /// A cache for rows of `points` entries under `budget_bytes` of row
-    /// storage. At least one row is always cacheable.
+    /// storage. At least one row is always cacheable — except in the
+    /// degenerate zero-point metric, where there are no rows at all: the
+    /// cache comes up with capacity 0 and every read returns the empty row
+    /// (serve tenants may construct their engine before any location
+    /// exists, and must not panic here).
     pub fn new(points: usize, budget_bytes: usize) -> Self {
-        assert!(points > 0, "metric rows must be non-empty");
-        let row_bytes = points * std::mem::size_of::<f64>();
-        let capacity = (budget_bytes / row_bytes).clamp(1, points);
+        let capacity = if points == 0 {
+            0
+        } else {
+            let row_bytes = points * std::mem::size_of::<f64>();
+            (budget_bytes / row_bytes).clamp(1, points)
+        };
         Self {
             points,
             capacity,
@@ -119,6 +128,11 @@ impl BlockedRowCache {
     /// callback receives the row buffer and must write every entry with the
     /// verbatim metric results). Returns the cached slice.
     pub fn row_with(&mut self, loc: u32, fill: impl FnOnce(&mut [f64])) -> &[f64] {
+        if self.points == 0 {
+            // Zero-point metric: the only row is the empty row, and caching
+            // it would require a slot the capacity-0 cache does not have.
+            return &[];
+        }
         self.tick += 1;
         let slot = match self.map.get(&loc) {
             Some(&slot) => {
@@ -183,6 +197,20 @@ mod tests {
         // Never more slots than rows exist.
         let c = BlockedRowCache::new(4, usize::MAX / 16);
         assert_eq!(c.capacity_rows(), 4);
+    }
+
+    #[test]
+    fn zero_points_yields_an_empty_capacity_cache() {
+        // Serve tenants can build their engine before any location exists;
+        // the degenerate metric must not divide by zero or panic on reads.
+        let mut c = BlockedRowCache::new(0, DEFAULT_ROW_CACHE_BYTES);
+        assert_eq!(c.points(), 0);
+        assert_eq!(c.capacity_rows(), 0);
+        assert_eq!(c.cached_rows(), 0);
+        assert!(c.cached_row(0).is_none());
+        let row = c.row_with(0, |_| panic!("no row to fill"));
+        assert!(row.is_empty());
+        assert_eq!(c.stats(), (0, 0, 0));
     }
 
     #[test]

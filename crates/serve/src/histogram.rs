@@ -1,0 +1,134 @@
+//! Log-scale latency histogram for per-arrival serve times.
+//!
+//! Power-of-two nanosecond buckets: bucket `b` covers `[2^(b-1), 2^b)` ns
+//! (bucket 0 is `0..1` ns). 64 buckets cover every representable `u64`
+//! duration, recording is two instructions, and merging shard-local
+//! histograms is a vector add — so the serve hot loop pays almost nothing
+//! for p50/p99 output. Quantiles are reported as the upper bound of the
+//! containing bucket, i.e. with a factor-2 resolution, which is plenty for
+//! a latency cell whose interesting failures are order-of-magnitude
+//! regressions.
+
+const BUCKETS: usize = 64;
+
+/// A fixed-size log2 histogram of nanosecond latencies.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: [0; BUCKETS],
+            count: 0,
+        }
+    }
+
+    /// Records one latency sample in nanoseconds.
+    pub fn record(&mut self, ns: u64) {
+        let b = (u64::BITS - ns.leading_zeros()) as usize; // 0 -> 0, 1 -> 1, ...
+        self.buckets[b.min(BUCKETS - 1)] += 1;
+        self.count += 1;
+    }
+
+    /// Folds another histogram (e.g. a shard's) into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as the upper bound in nanoseconds
+    /// of the bucket containing it; 0 for an empty histogram.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return if b == 0 { 1 } else { 1u64 << b.min(63) };
+            }
+        }
+        u64::MAX
+    }
+
+    /// Median latency upper bound in nanoseconds.
+    pub fn p50_ns(&self) -> u64 {
+        self.quantile_ns(0.50)
+    }
+
+    /// 99th-percentile latency upper bound in nanoseconds.
+    pub fn p99_ns(&self) -> u64 {
+        self.quantile_ns(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50_ns(), 0);
+        assert_eq!(h.p99_ns(), 0);
+    }
+
+    #[test]
+    fn quantiles_bound_their_bucket() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..99 {
+            h.record(100); // bucket [64, 128) -> upper bound 128
+        }
+        h.record(1_000_000); // bucket upper bound 2^20
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.p50_ns(), 128);
+        assert_eq!(h.quantile_ns(0.98), 128);
+        assert_eq!(h.p99_ns(), 128, "the 99th of 100 samples is still fast");
+        assert_eq!(h.quantile_ns(1.0), 1 << 20);
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_in_one() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut whole = LatencyHistogram::new();
+        for (i, ns) in [0u64, 1, 7, 300, 5_000, u64::MAX].iter().enumerate() {
+            if i % 2 == 0 { &mut a } else { &mut b }.record(*ns);
+            whole.record(*ns);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        for q in [0.1, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(a.quantile_ns(q), whole.quantile_ns(q));
+        }
+    }
+
+    #[test]
+    fn extreme_samples_stay_in_range() {
+        let mut h = LatencyHistogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.quantile_ns(0.0), 1);
+        assert_eq!(h.quantile_ns(1.0), 1 << 63);
+    }
+}

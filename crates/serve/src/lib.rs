@@ -1,0 +1,392 @@
+//! Multi-tenant serve loop: many independent engine instances (tenants)
+//! multiplexed over one [`omfl_par::TaskPool`].
+//!
+//! The paper's engines serve one request stream each; a provider runs
+//! *many* such streams at once — one engine per tenant/region — and cares
+//! about aggregate throughput, tail latency and live state visibility.
+//! This crate is that serving layer:
+//!
+//! - **Ingest**: arrivals enter as `(tenant, request index)` pairs through
+//!   a bounded [`ArrivalRing`] in micro-batches; a full ring blocks the
+//!   producer (backpressure) and the blocking episodes are first-class
+//!   bench output.
+//! - **Sharding**: tenant `t` is owned by shard `t % shards`, forever.
+//!   Shards run as tasks on a shared long-lived [`TaskPool`] (one
+//!   [`TaskPool::run`] per micro-batch), so a fleet of servers can
+//!   multiplex one pool; each shard serves its tenants' arrivals in batch
+//!   order, preserving every tenant's stream order.
+//! - **Snapshots**: after each micro-batch a shard publishes a cheap
+//!   [`EngineSnapshot`] per touched tenant through a [`SnapshotHandle`],
+//!   so metrics and bound checks read consistent state without ever
+//!   taking an engine lock on the serve path.
+//! - **Determinism**: the deterministic [`ServeReport`] (per-tenant
+//!   reports, aggregate costs, digest) is bit-identical for a given
+//!   arrival order at *any* shard count, thread count or micro-batch
+//!   size, because per-tenant serve order is the canonical stream order
+//!   regardless of how batches are cut. Wall-clock results (throughput,
+//!   latency percentiles, backpressure) live in the separate
+//!   [`ServeTelemetry`] — the same split as the sweep harness's
+//!   `SweepCell` vs `TimedCell`.
+//!
+//! [`EngineSnapshot`]: omfl_core::algorithm::EngineSnapshot
+//! [`TaskPool`]: omfl_par::TaskPool
+//! [`TaskPool::run`]: omfl_par::TaskPool::run
+
+pub mod histogram;
+pub mod ring;
+pub mod snapshot;
+
+pub use histogram::LatencyHistogram;
+pub use ring::{Arrival, ArrivalRing};
+pub use snapshot::SnapshotHandle;
+
+use omfl_core::algorithm::OnlineAlgorithm;
+use omfl_core::CoreError;
+use omfl_par::TaskPool;
+use omfl_sim::{boxed_engine, ArrivalSource, Engine, SimReport, StreamingMetrics};
+use omfl_workload::Scenario;
+use std::fmt;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Errors from building or running a server.
+#[derive(Debug)]
+pub enum ServeError {
+    /// An engine failed while serving or its solution failed verification;
+    /// the tenant index says whose.
+    Tenant(usize, CoreError),
+    /// The engine kind cannot be constructed as a long-lived boxed tenant
+    /// engine (the projected baselines borrow owned sub-instances).
+    UnsupportedEngine(&'static str),
+    /// More tenants than the `u32` arrival encoding can address.
+    TooManyTenants(usize),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Tenant(t, e) => write!(f, "tenant {t}: {e}"),
+            ServeError::UnsupportedEngine(name) => {
+                write!(f, "engine {name} cannot run as a boxed tenant engine")
+            }
+            ServeError::TooManyTenants(n) => write!(f, "{n} tenants exceed u32 addressing"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Tenant(_, e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Serve-loop knobs. The defaults suit tests; benches size them
+/// explicitly.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Shard count (clamped to ≥ 1). Tenant `t` is owned by shard
+    /// `t % shards`; more shards than tenants leaves some idle.
+    pub shards: usize,
+    /// Arrivals per micro-batch drained from the ring (clamped to ≥ 1).
+    /// Also the snapshot-publication granularity.
+    pub micro_batch: usize,
+    /// Ring capacity — the backpressure bound on ingest runahead.
+    pub queue_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            shards: 4,
+            micro_batch: 64,
+            queue_capacity: 1024,
+        }
+    }
+}
+
+/// The deterministic outcome of one serve run: per-tenant reports in
+/// tenant order plus tenant-order aggregates. Bit-identical across shard
+/// counts, thread counts and micro-batch sizes for a fixed arrival order —
+/// the CI gate compares `digest` across configurations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Engine kind every tenant ran.
+    pub engine: &'static str,
+    /// One finished report per tenant, in tenant order.
+    pub tenants: Vec<SimReport>,
+    /// Total arrivals served across tenants.
+    pub arrivals: usize,
+    /// Aggregate construction + connection cost.
+    pub total_cost: f64,
+    /// Aggregate construction part.
+    pub construction_cost: f64,
+    /// Aggregate connection part.
+    pub connection_cost: f64,
+    /// Facilities opened across tenants / of them large.
+    pub facilities: usize,
+    /// Large facilities among them.
+    pub large_facilities: usize,
+    /// FNV-1a fold of every deterministic field (costs as exact bit
+    /// patterns), for cheap cross-configuration identity checks.
+    pub digest: u64,
+}
+
+/// Wall-clock measurements of one serve run — deliberately outside
+/// [`ServeReport`] so determinism checks never compare timings.
+#[derive(Debug, Clone)]
+pub struct ServeTelemetry {
+    /// End-to-end wall time of the serve loop.
+    pub wall_secs: f64,
+    /// Aggregate arrivals per second (`arrivals / wall_secs`).
+    pub arrivals_per_sec: f64,
+    /// Median per-arrival serve latency (log2-bucket upper bound, ns).
+    pub latency_p50_ns: u64,
+    /// 99th-percentile per-arrival serve latency (ns).
+    pub latency_p99_ns: u64,
+    /// Producer blocking episodes on the full ring.
+    pub backpressure_waits: u64,
+    /// Shards the run used.
+    pub shards: usize,
+    /// Worker threads in the pool it ran on (plus the caller).
+    pub pool_threads: usize,
+}
+
+struct TenantState<'a> {
+    scenario: &'a Scenario,
+    engine: Box<dyn OnlineAlgorithm + Send + 'a>,
+    metrics: StreamingMetrics,
+    histogram: LatencyHistogram,
+    handle: SnapshotHandle,
+    error: Option<CoreError>,
+}
+
+/// A multi-tenant server: one long-lived engine per scenario, sharded over
+/// a task pool. Build with [`Server::new`], grab [`SnapshotHandle`]s, then
+/// [`Server::serve`] a canonical arrival stream to completion.
+pub struct Server<'a> {
+    engine_kind: Engine,
+    tenants: Vec<Mutex<TenantState<'a>>>,
+}
+
+impl<'a> Server<'a> {
+    /// Builds one boxed engine per scenario. Fails for engine kinds that
+    /// cannot live as boxed tenants (see [`ServeError::UnsupportedEngine`]).
+    pub fn new(scenarios: &'a [Scenario], engine: Engine) -> Result<Self, ServeError> {
+        if scenarios.len() > u32::MAX as usize {
+            return Err(ServeError::TooManyTenants(scenarios.len()));
+        }
+        let tenants = scenarios
+            .iter()
+            .map(|scenario| {
+                let boxed = boxed_engine(scenario, engine)
+                    .ok_or(ServeError::UnsupportedEngine(engine.name()))?;
+                Ok(Mutex::new(TenantState {
+                    scenario,
+                    engine: boxed,
+                    metrics: StreamingMetrics::with_capacity(scenario.requests.len()),
+                    histogram: LatencyHistogram::new(),
+                    handle: SnapshotHandle::new(),
+                    error: None,
+                }))
+            })
+            .collect::<Result<Vec<_>, ServeError>>()?;
+        Ok(Self {
+            engine_kind: engine,
+            tenants,
+        })
+    }
+
+    /// Tenants multiplexed by this server.
+    pub fn num_tenants(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// The snapshot handle for one tenant. Handles are cheap clones of a
+    /// shared slot: take them before serving and read them from any thread
+    /// while the run is in flight (or after — they keep the final state).
+    pub fn snapshot_handle(&self, tenant: usize) -> SnapshotHandle {
+        self.tenants[tenant]
+            .lock()
+            .expect("tenant poisoned")
+            .handle
+            .clone()
+    }
+
+    /// Runs the serve loop to completion over a canonical arrival stream,
+    /// consuming the server (engines finish into reports).
+    ///
+    /// A producer thread feeds the ring from `source` in micro-batches;
+    /// the calling thread drains micro-batches and dispatches each across
+    /// shards via `pool.run`. An arrival `(t, i)` must satisfy
+    /// `t < num_tenants()` and index a request of tenant `t`'s scenario in
+    /// ascending per-tenant order — [`ArrivalSource`] guarantees this.
+    pub fn serve(
+        self,
+        source: &ArrivalSource,
+        cfg: &ServeConfig,
+        pool: &TaskPool,
+    ) -> Result<(ServeReport, ServeTelemetry), ServeError> {
+        let shards = cfg.shards.max(1);
+        let micro_batch = cfg.micro_batch.max(1);
+        let ring = ArrivalRing::new(cfg.queue_capacity);
+        let tenants = &self.tenants;
+
+        let started = Instant::now();
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                for chunk in source.order().chunks(micro_batch) {
+                    if !ring.push_batch(chunk) {
+                        return; // consumer stopped early
+                    }
+                }
+                ring.close();
+            });
+
+            let mut batch: Vec<Arrival> = Vec::with_capacity(micro_batch);
+            while ring.drain_into(&mut batch, micro_batch) {
+                pool.run(shards, |s| {
+                    let mut touched = [0u64; 4]; // bitmap for up to 256 tenants
+                    for &(t, i) in batch.iter() {
+                        let t = t as usize;
+                        if t % shards != s {
+                            continue;
+                        }
+                        let mut tenant = tenants[t].lock().expect("tenant poisoned");
+                        if tenant.error.is_some() {
+                            continue;
+                        }
+                        let scenario = tenant.scenario;
+                        let request = &scenario.requests[i as usize];
+                        let t0 = Instant::now();
+                        match tenant.engine.serve(request) {
+                            Ok(out) => {
+                                let total = tenant.engine.solution().total_cost();
+                                tenant.histogram.record(t0.elapsed().as_nanos() as u64);
+                                tenant.metrics.observe(&out, total);
+                                if let Some(w) = touched.get_mut(t / 64) {
+                                    *w |= 1 << (t % 64);
+                                } else {
+                                    let snap = tenant.engine.snapshot();
+                                    tenant.handle.publish(snap);
+                                }
+                            }
+                            Err(e) => tenant.error = Some(e),
+                        }
+                    }
+                    // Publish once per touched tenant per micro-batch, not
+                    // per arrival — snapshot freshness is batch-granular.
+                    for (w, &bits) in touched.iter().enumerate() {
+                        let mut bits = bits;
+                        while bits != 0 {
+                            let t = w * 64 + bits.trailing_zeros() as usize;
+                            bits &= bits - 1;
+                            let tenant = tenants[t].lock().expect("tenant poisoned");
+                            let snap = tenant.engine.snapshot();
+                            tenant.handle.publish(snap);
+                        }
+                    }
+                });
+                batch.clear();
+                if tenants
+                    .iter()
+                    .any(|t| t.lock().expect("tenant poisoned").error.is_some())
+                {
+                    // Unblock the producer; it gives up, the remaining
+                    // queued arrivals drain, and the error surfaces from
+                    // the tenant states below.
+                    ring.close();
+                }
+            }
+        });
+        let wall_secs = started.elapsed().as_secs_f64();
+        let (_, backpressure_waits) = ring.stats();
+
+        let mut reports = Vec::with_capacity(self.tenants.len());
+        let mut latency = LatencyHistogram::new();
+        for (t, tenant) in self.tenants.into_iter().enumerate() {
+            let state = tenant.into_inner().expect("tenant poisoned");
+            if let Some(e) = state.error {
+                return Err(ServeError::Tenant(t, e));
+            }
+            state
+                .engine
+                .solution()
+                .verify(state.scenario.instance())
+                .map_err(|e| ServeError::Tenant(t, e))?;
+            latency.merge(&state.histogram);
+            reports.push(state.metrics.finish(
+                self.engine_kind,
+                state.scenario,
+                state.engine.solution(),
+            ));
+        }
+
+        let report = ServeReport::from_tenants(self.engine_kind.name(), reports);
+        let telemetry = ServeTelemetry {
+            wall_secs,
+            arrivals_per_sec: report.arrivals as f64 / wall_secs.max(1e-12),
+            latency_p50_ns: latency.p50_ns(),
+            latency_p99_ns: latency.p99_ns(),
+            backpressure_waits,
+            shards,
+            pool_threads: pool.threads(),
+        };
+        Ok((report, telemetry))
+    }
+}
+
+impl ServeReport {
+    /// Aggregates per-tenant reports in tenant order (the only order that
+    /// makes float accumulation reproducible) and seals the digest.
+    fn from_tenants(engine: &'static str, tenants: Vec<SimReport>) -> Self {
+        let mut report = ServeReport {
+            engine,
+            arrivals: 0,
+            total_cost: 0.0,
+            construction_cost: 0.0,
+            connection_cost: 0.0,
+            facilities: 0,
+            large_facilities: 0,
+            digest: 0,
+            tenants,
+        };
+        for t in &report.tenants {
+            report.arrivals += t.requests;
+            report.total_cost += t.total_cost;
+            report.construction_cost += t.construction_cost;
+            report.connection_cost += t.connection_cost;
+            report.facilities += t.facilities;
+            report.large_facilities += t.large_facilities;
+        }
+        report.digest = report.compute_digest();
+        report
+    }
+
+    fn compute_digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf29ce484222325;
+        const PRIME: u64 = 0x100000001b3;
+        let mut h = OFFSET;
+        let mut mix = |x: u64| h = (h ^ x).wrapping_mul(PRIME);
+        mix(self.tenants.len() as u64);
+        for t in &self.tenants {
+            mix(t.requests as u64);
+            mix(t.facilities as u64);
+            mix(t.large_facilities as u64);
+            mix(t.large_serves as u64);
+            mix(t.total_cost.to_bits());
+            mix(t.construction_cost.to_bits());
+            mix(t.connection_cost.to_bits());
+            mix(t.latency.mean.to_bits());
+            mix(t.latency.p50.to_bits());
+            mix(t.latency.p95.to_bits());
+            mix(t.latency.max.to_bits());
+            for &c in &t.cost_over_time {
+                mix(c.to_bits());
+            }
+        }
+        h
+    }
+}

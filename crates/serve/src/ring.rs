@@ -1,0 +1,202 @@
+//! Bounded multi-producer arrival ring with blocking backpressure.
+//!
+//! The serve loop ingests arrivals from this ring instead of iterating a
+//! `Vec`: producers [`push_batch`] `(tenant, request index)` pairs and block
+//! while the ring is full (backpressure — the counter is first-class bench
+//! output), the consumer [`drain_into`]s micro-batches and blocks while the
+//! ring is empty. FIFO order is preserved end to end, which is all the
+//! determinism contract needs: the canonical arrival order goes in, the
+//! canonical arrival order comes out, however the batches are cut.
+//!
+//! [`push_batch`]: ArrivalRing::push_batch
+//! [`drain_into`]: ArrivalRing::drain_into
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// One queued arrival: `(tenant, index into that tenant's request stream)`.
+pub type Arrival = (u32, u32);
+
+#[derive(Debug)]
+struct RingState {
+    queue: VecDeque<Arrival>,
+    closed: bool,
+    /// Producer-side blocking episodes (not items): how often a push found
+    /// the ring full and had to wait for the consumer.
+    backpressure_waits: u64,
+    pushed: u64,
+}
+
+/// A bounded FIFO of arrivals shared between producer threads and the serve
+/// consumer. Capacity is the backpressure knob: a full ring blocks
+/// producers until the consumer drains, so ingest can never outrun serve by
+/// more than `capacity` arrivals.
+#[derive(Debug)]
+pub struct ArrivalRing {
+    inner: Mutex<RingState>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl ArrivalRing {
+    /// Creates a ring holding at most `capacity` queued arrivals
+    /// (`capacity` is clamped to at least 1 — a zero-capacity ring could
+    /// never transfer anything).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            inner: Mutex::new(RingState {
+                queue: VecDeque::with_capacity(capacity),
+                closed: false,
+                backpressure_waits: 0,
+                pushed: 0,
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Maximum queued arrivals.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Enqueues a batch in order, blocking whenever the ring is full.
+    /// Returns `false` (dropping the rest of the batch) if the ring was
+    /// closed while pushing — the consumer is gone, there is nobody left
+    /// to serve the arrivals.
+    pub fn push_batch(&self, items: &[Arrival]) -> bool {
+        let mut state = self.inner.lock().expect("ring poisoned");
+        for (k, &item) in items.iter().enumerate() {
+            while state.queue.len() >= self.capacity && !state.closed {
+                state.backpressure_waits += 1;
+                state = self.not_full.wait(state).expect("ring poisoned");
+            }
+            if state.closed {
+                return false;
+            }
+            state.queue.push_back(item);
+            state.pushed += 1;
+            // Wake the consumer as soon as anything is available; the
+            // remaining items of this batch keep appending under the lock.
+            if k == 0 || state.queue.len() == 1 {
+                self.not_empty.notify_one();
+            }
+        }
+        self.not_empty.notify_one();
+        true
+    }
+
+    /// Moves up to `max` arrivals into `buf` (appending), blocking while
+    /// the ring is empty and still open. Returns `false` only when the
+    /// ring is closed *and* drained — the stream is over.
+    pub fn drain_into(&self, buf: &mut Vec<Arrival>, max: usize) -> bool {
+        let mut state = self.inner.lock().expect("ring poisoned");
+        while state.queue.is_empty() {
+            if state.closed {
+                return false;
+            }
+            state = self.not_empty.wait(state).expect("ring poisoned");
+        }
+        let take = max.max(1).min(state.queue.len());
+        buf.extend(state.queue.drain(..take));
+        self.not_full.notify_all();
+        true
+    }
+
+    /// Marks the stream complete (idempotent): blocked producers give up,
+    /// the consumer drains what remains and then stops.
+    pub fn close(&self) {
+        let mut state = self.inner.lock().expect("ring poisoned");
+        state.closed = true;
+        self.not_full.notify_all();
+        self.not_empty.notify_all();
+    }
+
+    /// `(arrivals pushed, producer blocking episodes)` so far.
+    pub fn stats(&self) -> (u64, u64) {
+        let state = self.inner.lock().expect("ring poisoned");
+        (state.pushed, state.backpressure_waits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_survives_batching() {
+        let ring = ArrivalRing::new(4);
+        let items: Vec<Arrival> = (0..10).map(|i| (i % 3, i / 3)).collect();
+        let ring = Arc::new(ring);
+        let producer = {
+            let ring = Arc::clone(&ring);
+            let items = items.clone();
+            std::thread::spawn(move || {
+                for chunk in items.chunks(3) {
+                    assert!(ring.push_batch(chunk));
+                }
+                ring.close();
+            })
+        };
+        let mut out = Vec::new();
+        while ring.drain_into(&mut out, 2) {}
+        producer.join().unwrap();
+        assert_eq!(out, items);
+        let (pushed, _) = ring.stats();
+        assert_eq!(pushed, 10);
+    }
+
+    #[test]
+    fn full_ring_blocks_producer_and_counts_backpressure() {
+        let ring = Arc::new(ArrivalRing::new(1));
+        let producer = {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || ring.push_batch(&[(0, 0), (0, 1), (0, 2)]))
+        };
+        let mut out = Vec::new();
+        while out.len() < 3 {
+            assert!(ring.drain_into(&mut out, 1));
+        }
+        assert!(producer.join().unwrap());
+        let (pushed, waits) = ring.stats();
+        assert_eq!(pushed, 3);
+        assert!(
+            waits >= 2,
+            "capacity-1 ring must block the producer at least twice, saw {waits}"
+        );
+    }
+
+    #[test]
+    fn close_releases_everyone() {
+        let ring = Arc::new(ArrivalRing::new(1));
+        assert!(ring.push_batch(&[(0, 0)]));
+        let blocked_producer = {
+            let ring = Arc::clone(&ring);
+            // Full ring: this blocks until close, then reports failure.
+            std::thread::spawn(move || ring.push_batch(&[(0, 1)]))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        ring.close();
+        assert!(!blocked_producer.join().unwrap());
+        let mut out = Vec::new();
+        assert!(ring.drain_into(&mut out, 8), "queued item still drains");
+        assert_eq!(out, vec![(0, 0)]);
+        assert!(!ring.drain_into(&mut out, 8), "then the stream is over");
+        assert!(!ring.push_batch(&[(0, 9)]), "closed ring refuses pushes");
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let ring = ArrivalRing::new(0);
+        assert_eq!(ring.capacity(), 1);
+        assert!(ring.push_batch(&[]));
+        ring.close();
+        let mut out = Vec::new();
+        assert!(!ring.drain_into(&mut out, 4));
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,77 @@
+//! Snapshot publication: read engine state without stalling serve.
+//!
+//! Each tenant's engine lives behind a shard-owned lock for the whole
+//! stream; letting metrics or bound checks take that lock would stall the
+//! serve hot path. Instead the shard *publishes* a cheap
+//! [`EngineSnapshot`] after every micro-batch it serves for the tenant,
+//! and readers clone an `Arc` out of the slot under a lock held for a few
+//! instructions — never the engine lock. Readers therefore see a
+//! consistent, possibly slightly stale view (at most one micro-batch
+//! behind), which is the documented freshness contract.
+
+use omfl_core::algorithm::EngineSnapshot;
+use std::sync::{Arc, Mutex};
+
+/// A cloneable handle onto one tenant's latest published snapshot.
+///
+/// Clones share the same slot: handles taken before a serve run keep
+/// observing it as shards publish. A handle outlives the server (the slot
+/// is reference-counted); after the run it simply keeps returning the
+/// final snapshot.
+#[derive(Debug, Clone, Default)]
+pub struct SnapshotHandle {
+    slot: Arc<Mutex<Arc<EngineSnapshot>>>,
+}
+
+impl SnapshotHandle {
+    /// A fresh handle holding the default (all-zero) snapshot — what a
+    /// traffic-less tenant reports for the whole run.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The latest published snapshot. Cheap (one short lock, one `Arc`
+    /// clone) and never blocks on the serve path.
+    pub fn read(&self) -> Arc<EngineSnapshot> {
+        Arc::clone(&self.slot.lock().expect("snapshot slot poisoned"))
+    }
+
+    /// Publishes a new snapshot, replacing the previous one atomically
+    /// from the readers' point of view.
+    pub fn publish(&self, snap: EngineSnapshot) {
+        *self.slot.lock().expect("snapshot slot poisoned") = Arc::new(snap);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_handle_reads_default() {
+        let h = SnapshotHandle::new();
+        assert_eq!(*h.read(), EngineSnapshot::default());
+        assert_eq!(h.read().arrivals, 0);
+        assert_eq!(h.read().total_cost(), 0.0);
+    }
+
+    #[test]
+    fn clones_observe_publications() {
+        let h = SnapshotHandle::new();
+        let reader = h.clone();
+        let old = reader.read();
+        let snap = EngineSnapshot {
+            arrivals: 3,
+            facilities: 2,
+            large_facilities: 1,
+            construction_cost: 5.0,
+            connection_cost: 1.5,
+            dual_sum: 4.0,
+            dual_lower_bound: 0.25,
+        };
+        h.publish(snap);
+        assert_eq!(*reader.read(), snap);
+        // A snapshot taken before the publication is immutable.
+        assert_eq!(*old, EngineSnapshot::default());
+    }
+}

@@ -24,6 +24,7 @@ use omfl_core::pd::PdOmflp;
 use omfl_core::randalg::RandOmflp;
 use omfl_core::solution::Solution;
 use omfl_core::CoreError;
+use omfl_par::seed_for;
 use omfl_workload::composite::service_network;
 use omfl_workload::demand::{default_bundles, DemandModel};
 use omfl_workload::Scenario;
@@ -235,6 +236,123 @@ pub fn with_engine<R>(
     }
 }
 
+/// Boxes an engine that borrows only the scenario — the long-lived-tenant
+/// constructor the serve layer uses (a tenant owns its engine for the whole
+/// stream, so the scoped [`with_engine`] closure shape does not fit).
+///
+/// The projected baselines (per-commodity, all-large) build owned
+/// sub-instances the boxed engine would have to borrow from, so they return
+/// `None` here; [`with_engine`] remains the constructor covering all four.
+/// A caller that wants a boxed baseline can build the parts itself in an
+/// enclosing scope and box the engine borrowing them.
+pub fn boxed_engine<'a>(
+    scenario: &'a Scenario,
+    engine: Engine,
+) -> Option<Box<dyn OnlineAlgorithm + Send + 'a>> {
+    match engine {
+        Engine::Pd => Some(Box::new(PdOmflp::new(scenario.instance()))),
+        Engine::Rand { seed } => Some(Box::new(RandOmflp::new(scenario.instance(), seed))),
+        Engine::PerCommodity | Engine::AllLarge => None,
+    }
+}
+
+/// A deterministic multi-tenant arrival source: the canonical interleaving
+/// of many request streams, yielded as `(tenant, request index)` pairs in
+/// micro-batches — the streaming replacement for iterating each scenario's
+/// `Vec<Request>`, built to feed a serve layer's ring buffer.
+///
+/// Invariants: each tenant's indices appear exactly once and in ascending
+/// order (a tenant's engine must see its own stream in arrival order), and
+/// the whole interleaving is a pure function of the tenant lengths (and
+/// seed), never of thread scheduling — so any consumer that preserves
+/// per-tenant order reproduces bit-identical per-tenant results no matter
+/// how the batches are cut.
+#[derive(Debug, Clone)]
+pub struct ArrivalSource {
+    order: Vec<(u32, u32)>,
+    next: usize,
+}
+
+impl ArrivalSource {
+    /// Strict round-robin over the tenants (skipping exhausted ones): the
+    /// fairest deterministic schedule, and the default for benches.
+    pub fn round_robin(tenant_lens: &[usize]) -> Self {
+        let total: usize = tenant_lens.iter().sum();
+        let mut order = Vec::with_capacity(total);
+        let mut cursor = vec![0usize; tenant_lens.len()];
+        while order.len() < total {
+            for (t, len) in tenant_lens.iter().enumerate() {
+                if cursor[t] < *len {
+                    order.push((t as u32, cursor[t] as u32));
+                    cursor[t] += 1;
+                }
+            }
+        }
+        Self { order, next: 0 }
+    }
+
+    /// A seeded weighted-random merge (SplitMix64 via `omfl_par::seed_for`):
+    /// each step draws a tenant with probability proportional to its
+    /// remaining arrivals — bursty, uneven interleavings for adversarial
+    /// tests, still a pure function of `(tenant_lens, seed)`.
+    pub fn interleaved(tenant_lens: &[usize], seed: u64) -> Self {
+        let total: usize = tenant_lens.iter().sum();
+        let mut order = Vec::with_capacity(total);
+        let mut remaining: Vec<usize> = tenant_lens.to_vec();
+        let mut cursor = vec![0usize; tenant_lens.len()];
+        let mut left = total;
+        for step in 0..total as u64 {
+            let mut r = (seed_for(seed, step) % left as u64) as usize;
+            let t = remaining
+                .iter()
+                .position(|&rem| {
+                    if r < rem {
+                        true
+                    } else {
+                        r -= rem;
+                        false
+                    }
+                })
+                .expect("left == sum(remaining)");
+            order.push((t as u32, cursor[t] as u32));
+            cursor[t] += 1;
+            remaining[t] -= 1;
+            left -= 1;
+        }
+        Self { order, next: 0 }
+    }
+
+    /// Total arrivals in the stream.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether the stream holds no arrivals at all.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Arrivals not yet yielded.
+    pub fn remaining(&self) -> usize {
+        self.order.len() - self.next
+    }
+
+    /// Yields the next micro-batch of up to `max` arrivals (empty once the
+    /// stream is exhausted; `max = 0` is an explicit empty batch).
+    pub fn next_batch(&mut self, max: usize) -> &[(u32, u32)] {
+        let start = self.next;
+        let end = (start + max).min(self.order.len());
+        self.next = end;
+        &self.order[start..end]
+    }
+
+    /// The full canonical order (for consumers that want to feed a ring
+    /// from a producer thread at their own pace).
+    pub fn order(&self) -> &[(u32, u32)] {
+        &self.order
+    }
+}
+
 /// Runs one engine over a scenario and collects the report. The finished
 /// solution is verified against the instance — an infeasible run surfaces
 /// as an error, never as a silently wrong table row.
@@ -376,5 +494,74 @@ mod tests {
         assert!((s.mean - 2.5).abs() < 1e-12);
         assert_eq!(s.max, 4.0);
         assert!(s.p50 >= 2.0 && s.p50 <= 3.0);
+    }
+
+    #[test]
+    fn boxed_engine_matches_scoped_engine() {
+        // The long-lived constructor must drive the same stream to the same
+        // solution as the scoped `with_engine` path.
+        let scenario = build_scenario(&small_cfg()).unwrap();
+        for engine in [Engine::Pd, Engine::Rand { seed: 7 }] {
+            let mut boxed = boxed_engine(&scenario, engine).unwrap();
+            for r in &scenario.requests {
+                boxed.serve(r).unwrap();
+            }
+            let scoped = run_engine(&scenario, engine).unwrap();
+            assert_eq!(boxed.solution().total_cost(), scoped.total_cost);
+            assert_eq!(boxed.snapshot().arrivals, scenario.requests.len());
+        }
+        // Projected baselines borrow owned parts and are not boxable here.
+        assert!(boxed_engine(&scenario, Engine::PerCommodity).is_none());
+        assert!(boxed_engine(&scenario, Engine::AllLarge).is_none());
+    }
+
+    /// Every tenant's indices must appear exactly once, in ascending order.
+    fn assert_canonical(src: &ArrivalSource, lens: &[usize]) {
+        let mut next = vec![0u32; lens.len()];
+        for &(t, i) in src.order() {
+            assert_eq!(i, next[t as usize], "tenant {t} stream out of order");
+            next[t as usize] += 1;
+        }
+        for (t, len) in lens.iter().enumerate() {
+            assert_eq!(next[t] as usize, *len, "tenant {t} incomplete");
+        }
+    }
+
+    #[test]
+    fn arrival_source_round_robin_is_canonical() {
+        let lens = [3usize, 0, 5, 1];
+        let src = ArrivalSource::round_robin(&lens);
+        assert_canonical(&src, &lens);
+        assert_eq!(src.len(), 9);
+        // Round-robin interleaves fairly: first cycle hits each live tenant.
+        assert_eq!(&src.order()[..3], &[(0, 0), (2, 0), (3, 0)]);
+    }
+
+    #[test]
+    fn arrival_source_interleaved_is_canonical_and_seeded() {
+        let lens = [4usize, 7, 0, 2, 9];
+        let a = ArrivalSource::interleaved(&lens, 11);
+        let b = ArrivalSource::interleaved(&lens, 11);
+        let c = ArrivalSource::interleaved(&lens, 12);
+        assert_canonical(&a, &lens);
+        assert_eq!(a.order(), b.order(), "same seed, same interleaving");
+        assert_ne!(a.order(), c.order(), "different seed should reshuffle");
+    }
+
+    #[test]
+    fn arrival_source_batches_cover_the_stream_once() {
+        let lens = [5usize, 3];
+        let mut src = ArrivalSource::round_robin(&lens);
+        let full: Vec<_> = src.order().to_vec();
+        let mut seen = Vec::new();
+        assert!(src.next_batch(0).is_empty(), "max = 0 is an empty batch");
+        while src.remaining() > 0 {
+            let batch: Vec<_> = src.next_batch(3).to_vec();
+            assert!(!batch.is_empty());
+            seen.extend(batch);
+        }
+        assert_eq!(seen, full);
+        assert!(src.next_batch(3).is_empty(), "exhausted source stays empty");
+        assert!(ArrivalSource::round_robin(&[]).is_empty());
     }
 }

@@ -37,6 +37,7 @@ pub use omfl_commodity as commodity;
 pub use omfl_core as core;
 pub use omfl_metric as metric;
 pub use omfl_par as par;
+pub use omfl_serve as serve;
 pub use omfl_sim as sim;
 pub use omfl_workload as workload;
 
@@ -63,6 +64,7 @@ pub mod prelude {
         dense::DenseMetric, euclidean::EuclideanMetric, graph::GraphMetric, line::LineMetric,
         Metric, PointId,
     };
+    pub use omfl_serve::{ServeConfig, ServeReport, Server};
     pub use omfl_sim::{Engine, SimReport};
     pub use omfl_workload::catalog::CatalogProfile;
     pub use omfl_workload::scenario::Scenario;
