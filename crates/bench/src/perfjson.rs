@@ -13,11 +13,12 @@
 //!   blocked row cache buy at large metrics), and the `euclid-large` cell
 //!   (`euclid-grid-large` at |M| = 16384 — where distance-aware block
 //!   pruning and the bulk Euclidean `fill_row` carry the speedup), plus
-//!   the `huge` cell (`euclid-grid-large` at |M| = 262144, the current
+//!   the `huge` cell (`euclid-grid-large` at |M| = 1048576, the current
 //!   engine vs the frozen PR 5 path `PdOmflp::with_reference_layout` with
 //!   SIMD dispatch off — isolating the SIMD kernels, kd-ball ingest,
-//!   64-point blocks and block-pruned shrink walk). The large cells also
-//!   record their deterministic `block_skip_rate`;
+//!   64-point blocks, block-pruned shrink walk, kd-bounded partial row
+//!   fills, and the sharded + f32-screened freeze walk). The large cells
+//!   also record their deterministic `block_skip_rate`;
 //! * **`BENCH_sweep.json`** — per (engine × family) serve wall-clock
 //!   (mean/std/min/max over trials) for the whole catalog under the
 //!   work-stealing sweep;
@@ -94,12 +95,15 @@ pub const MIN_LARGE_PD_SPEEDUP: f64 = 2.5;
 pub const MIN_EUCLID_LARGE_PD_SPEEDUP: f64 = 2.0;
 
 /// Floor on the `huge.speedup` cell: the current serve path (SIMD
-/// `fill_row`, kd-ball ingest, 64-point blocks, block-pruned shrink walk)
+/// `fill_row`, kd-ball ingest, 64-point blocks, block-pruned shrink walk,
+/// kd-bounded partial row fills, sharded + f32-screened freeze walk)
 /// against the frozen PR 5 path ([`PdOmflp::with_reference_layout`] with
-/// SIMD dispatch forced off) at |M| ≥ 262144. Both engines are
-/// incremental, so this ratio isolates exactly this PR's wins and is far
-/// more machine-portable than a wall-clock cell; observed 1.7–2.2× run to
-/// run on the (single-core, contended) dev box, so 1.5× is the collapse
+/// SIMD dispatch forced off) at |M| = 1048576. Both engines are
+/// incremental, so this ratio isolates the post-PR 5 serve-path wins and
+/// is far more machine-portable than a wall-clock cell. At 1M points the
+/// reference pays a full-row fill per arrival while the current engine
+/// fills only the coverage set; observed 1.7–2.4× run to run on the
+/// (single-core, contended) dev box, so 1.5× stays the collapse
 /// detector, not the acceptance bar.
 pub const MIN_HUGE_PD_SPEEDUP: f64 = 1.5;
 
@@ -162,13 +166,16 @@ pub fn pd_euclid_large_profile() -> CatalogProfile {
 }
 
 /// The huge-metric PD profile: `euclid-grid-large` scales `points` by 64×,
-/// so this reaches |M| = 262144 — the "push toward 1M" regime where the
-/// SIMD row fill, the coarser 64-point blocks and the kd-ball layout are
-/// the levers. Requests are kept moderate: at this size each arrival
-/// already costs a 262144-point row fill plus the block scans.
+/// so this reaches |M| = 1048576 — the 1M-point target regime. The frozen
+/// reference still pays a full 1M-point row fill per arrival; the current
+/// engine fills only the kd-bounded coverage set the pruned scans can
+/// touch and walks the freeze reinvestment sharded and screened, so per
+/// arrival it does work proportional to the coverage, not to |M|.
+/// Requests are kept moderate: the *reference* runs still cost
+/// |requests| × |M| distance evaluations each.
 pub fn pd_huge_profile() -> CatalogProfile {
     CatalogProfile {
-        points: 4096,
+        points: 16384,
         services: 8,
         requests: 1024,
     }
@@ -380,9 +387,11 @@ pub fn pd_euclid_large_bench(
 
 /// The `huge` cell measurement: the current serve path against the frozen
 /// PR 5 path on the same instance. Unlike [`PdLargeBench`], *both* engines
-/// here are incremental — the reference differs only in what this PR
-/// changed (scalar distance kernels, windowed ball ingest, 16-point
-/// blocks, no kd tree, no block-pruned shrink walk, no pool).
+/// here are incremental — the reference differs only in the post-PR 5
+/// serve-path work (scalar distance kernels, windowed ball ingest,
+/// 16-point blocks, no kd tree, no block-pruned shrink walk, no pool,
+/// full per-arrival row fills instead of kd-bounded partial ones, and the
+/// serial full-walk freeze instead of the sharded screened one).
 #[derive(Debug, Clone)]
 pub struct PdHugeBench {
     /// Workload family name.

@@ -35,7 +35,7 @@ use crate::kd::KdTree;
 use crate::solution::FacilityId;
 use omfl_commodity::CommodityId;
 use omfl_metric::PointId;
-use omfl_par::{ShardWriter, TaskPool};
+use omfl_par::{ScatterWriter, ShardWriter, TaskPool};
 use std::sync::Arc;
 
 const NO_FACILITY: u32 = u32::MAX;
@@ -687,6 +687,15 @@ pub struct OpeningTargetIndex {
     /// once per arrival and shared by every t3/t4 argmin and the freeze
     /// walk narrowing of that arrival.
     dlb: Vec<f64>,
+    /// Per-block distance *upper* bounds for the prepared query row:
+    /// `dub[b] ≥ max_{m ∈ b} d(m, r)` (triangle bound through the block
+    /// medoid, slack-inflated like [`dist_lower_bound`]). Only
+    /// [`Self::query_scan_cover`] reads it — it caps the incumbent any
+    /// pruned scan of this arrival can reach, which is what makes the
+    /// partial-row coverage prediction sound.
+    dub: Vec<f64>,
+    /// Scratch for [`Self::query_scan_cover`]'s per-block marks.
+    cover_marks: Vec<bool>,
     /// Fingerprint of the prepared row (debug builds): catches callers
     /// querying with a distance row that was never prepared.
     #[cfg(debug_assertions)]
@@ -1091,6 +1100,16 @@ fn dist_lower_bound(d_rep: f64, radius: f64) -> f64 {
     (raw - RADIUS_BOUND_SLACK * (d_rep + radius)).max(0.0)
 }
 
+/// The certified *upper* bound on `d(m, r)` over the same block: the
+/// triangle bound `d(rep, r) + radius`, inflated by the relative slack so
+/// the same rounding argument that keeps [`dist_lower_bound`] sound keeps
+/// this one sound from above. `radius = ∞` yields ∞ — no information, the
+/// distance-free fallback.
+#[inline]
+fn dist_upper_bound(d_rep: f64, radius: f64) -> f64 {
+    (d_rep + radius) * (1.0 + RADIUS_BOUND_SLACK)
+}
+
 /// Executes `body(0..nshards)` on the pool when one is installed, inline
 /// otherwise. Each shard's work must be independent (ours are: disjoint
 /// [`ShardWriter`] chunks over shared read-only inputs), which makes the
@@ -1204,6 +1223,8 @@ impl OpeningTargetIndex {
             query_point: None,
             bound_scratch: Vec::with_capacity(nblocks),
             dlb: vec![0.0; nblocks],
+            dub: vec![f64::INFINITY; nblocks],
+            cover_marks: Vec::new(),
             #[cfg(debug_assertions)]
             query_tag: None,
             skipped: 0,
@@ -1302,30 +1323,34 @@ impl OpeningTargetIndex {
         self.query_point = at;
         self.dlb.clear();
         self.dlb.resize(self.nblocks, 0.0);
+        self.dub.clear();
+        self.dub.resize(self.nblocks, f64::INFINITY);
         if self.layout.bounded {
             let layout = &self.layout;
             match &self.pool {
                 Some(pool) if self.nblocks >= 2 * self.shard_blocks => {
                     let shard_blocks = self.shard_blocks;
-                    let writer = ShardWriter::new(&mut self.dlb, shard_blocks);
-                    let nshards = writer.num_chunks();
+                    let lo_w = ShardWriter::new(&mut self.dlb, shard_blocks);
+                    let hi_w = ShardWriter::new(&mut self.dub, shard_blocks);
+                    let nshards = lo_w.num_chunks();
                     pool.run(nshards, |s| {
                         let lo = s * shard_blocks;
-                        // Safety: shard `s` writes only its own chunk.
-                        let chunk = unsafe { writer.chunk(s) };
-                        for (j, slot) in chunk.iter_mut().enumerate() {
+                        // Safety: shard `s` writes only its own chunks.
+                        let lchunk = unsafe { lo_w.chunk(s) };
+                        let hchunk = unsafe { hi_w.chunk(s) };
+                        for (j, (lslot, hslot)) in lchunk.iter_mut().zip(hchunk).enumerate() {
                             let bi = lo + j;
-                            *slot = dist_lower_bound(
-                                dist_row[layout.rep[bi] as usize],
-                                layout.radius[bi],
-                            );
+                            let d_rep = dist_row[layout.rep[bi] as usize];
+                            *lslot = dist_lower_bound(d_rep, layout.radius[bi]);
+                            *hslot = dist_upper_bound(d_rep, layout.radius[bi]);
                         }
                     });
                 }
                 _ => {
-                    for (bi, slot) in self.dlb.iter_mut().enumerate() {
-                        *slot =
-                            dist_lower_bound(dist_row[layout.rep[bi] as usize], layout.radius[bi]);
+                    for bi in 0..self.nblocks {
+                        let d_rep = dist_row[layout.rep[bi] as usize];
+                        self.dlb[bi] = dist_lower_bound(d_rep, layout.radius[bi]);
+                        self.dub[bi] = dist_upper_bound(d_rep, layout.radius[bi]);
                     }
                 }
             }
@@ -1373,6 +1398,224 @@ impl OpeningTargetIndex {
             let end = (start + block).min(points);
             out.extend_from_slice(&self.layout.perm[start..end]);
         }
+    }
+
+    /// Whether this index can drive a *partial* distance row: prepared
+    /// bounds plus [`Self::query_scan_cover`] predict every entry the
+    /// arrival's pruned scans can touch. Requires real radius summaries —
+    /// the no-metric fallback scans distance-free and may read anything.
+    pub fn partial_rows_supported(&self) -> bool {
+        self.layout.bounded
+    }
+
+    /// The ids a partial distance row must cover *before*
+    /// [`Self::prepare_query_at`] can run on it: every block representative
+    /// (the bound pass reads exactly those) plus the row's two endpoints
+    /// (the debug-build row fingerprint reads them).
+    pub fn seed_cover_ids(&self, out: &mut Vec<u32>) {
+        out.clear();
+        out.extend_from_slice(&self.layout.rep);
+        let m = self.layout.perm.len() as u32;
+        out.push(0);
+        out.push(m - 1);
+    }
+
+    /// Predicts, from the prepared per-block bounds alone, every original
+    /// id whose distance entry the arrival's t3/t4 pruned scans could read
+    /// — the coverage a partial row needs so those scans are bit-identical
+    /// to running them over a full row.
+    ///
+    /// For each scan (one per member commodity, plus t4): the scan first
+    /// visits the minimum-bound block `first`, whose incumbent is at most
+    /// `v̂ = bounds[first] + dub[first]` (the block minimum's witness sits
+    /// within `dub[first]` of the query; float addition is monotonic, so
+    /// the computed incumbent never exceeds the computed `v̂`). Every later
+    /// block is scanned only while its bound is ≤ the current incumbent,
+    /// which only falls from the phase-B value — so
+    /// `{b : bounds[b] + dlb[b] ≤ v̂}` (which contains `first`) is a
+    /// superset of the scanned set at ANY shard partition and thread
+    /// count. The union of those supersets over all of the arrival's
+    /// scans, expanded to block members, is the returned cover.
+    ///
+    /// Sound because t3/t4 run once per arrival, before any bump or
+    /// rebuild moves the bounds (the engine's serve order); a cover
+    /// computed from the same bounds the scans will read cannot go stale
+    /// within the arrival. Consumers that outlive the arrival's scans
+    /// (openings, cap shrinks) read full rows and trigger the row cache's
+    /// coverage fallback instead.
+    pub fn query_scan_cover(&mut self, members: &[CommodityId], out: &mut Vec<u32>) {
+        out.clear();
+        let nblocks = self.nblocks;
+        let (small, large) = (&self.small, &self.large);
+        let (dlb, dub): (&[f64], &[f64]) = (&self.dlb, &self.dub);
+        let marks = &mut self.cover_marks;
+        marks.clear();
+        marks.resize(nblocks, false);
+        let mut mark_scan = |bounds: &[f64]| {
+            let (mut first_bound, mut first) = (f64::INFINITY, 0usize);
+            for bi in 0..nblocks {
+                let bound = bounds[bi] + dlb[bi];
+                if bound < first_bound {
+                    first_bound = bound;
+                    first = bi;
+                }
+            }
+            let vhat = bounds[first] + dub[first];
+            for bi in 0..nblocks {
+                if bounds[bi] + dlb[bi] <= vhat {
+                    marks[bi] = true;
+                }
+            }
+        };
+        for &e in members {
+            mark_scan(&small[e.index() * nblocks..(e.index() + 1) * nblocks]);
+        }
+        mark_scan(large);
+        let points = self.layout.perm.len();
+        let block = self.layout.block;
+        for (bi, &marked) in marks.iter().enumerate() {
+            if marked {
+                let start = bi * block;
+                let end = (start + block).min(points);
+                out.extend_from_slice(&self.layout.perm[start..end]);
+            }
+        }
+    }
+
+    /// The freeze walk: reinvests a served request's caps into the bid
+    /// matrices and folds the moved keys into the block bounds, sharded
+    /// over the worker pool with the same pure-function-of-`nblocks`
+    /// partition as the t3/t4 scans.
+    ///
+    /// Bit-identical to the serial walk at any thread count because every
+    /// write is keyed by block membership: a point lives in exactly one
+    /// block and a block in exactly one shard, so each `b_small[e·m + p]` /
+    /// `b_large[p]` slot takes its single `+= (cap − d)` from one shard,
+    /// and each block-bound slot min-folds only its own block's keys
+    /// (min-folds commute — the fold is order-free). The update set is
+    /// exactly `{p : d(p, r) < cap}` however it is narrowed.
+    ///
+    /// Distances come from `full_row` when the caller has one (verbatim
+    /// backend values); otherwise each block is screened once through the
+    /// metric's certified f32 brackets ([`omfl_metric::Metric::screen_distances`])
+    /// — a survivor (bracket low end under some cap) gets one exact
+    /// `d(p, r)` confirmation, reused across every cap of the request. A
+    /// certified `lo ≥ cap` skip is exact: it implies `d ≥ cap`, and the
+    /// walk adds nothing at `d ≥ cap`. Blocks whose prepared distance
+    /// lower bound already meets every cap are skipped whole.
+    #[allow(clippy::too_many_arguments)]
+    pub fn freeze_reinvest(
+        &mut self,
+        inst: &Instance,
+        loc: PointId,
+        full_row: Option<&[f64]>,
+        members: &[CommodityId],
+        caps: &[f64],
+        cap_total: f64,
+        b_small: &mut [f64],
+        b_large: &mut [f64],
+        f_small: &[f64],
+        f_full: &[f64],
+    ) {
+        debug_assert_eq!(
+            self.query_point,
+            Some(loc),
+            "freeze walks the bounds prepared for this arrival's query row"
+        );
+        let max_cap = caps.iter().fold(cap_total, |a, &c| a.max(c));
+        if max_cap <= 0.0 {
+            return;
+        }
+        let m = self.layout.perm.len();
+        let nblocks = self.nblocks;
+        let shard_blocks = self.shard_blocks;
+        let nshards = nblocks.div_ceil(shard_blocks);
+        let layout = &self.layout;
+        let dlb: &[f64] = &self.dlb;
+        let metric = inst.metric();
+        assert!(layout.block <= HUGE_BLOCK, "screen buffers are block-sized");
+        let bs_w = ScatterWriter::new(b_small);
+        let bl_w = ScatterWriter::new(b_large);
+        let ss_w = ScatterWriter::new(&mut self.small);
+        let sl_w = ScatterWriter::new(&mut self.large);
+        let body = |s: usize| {
+            let lo_b = s * shard_blocks;
+            let hi_b = (lo_b + shard_blocks).min(nblocks);
+            let mut lo = [0.0f64; HUGE_BLOCK];
+            let mut hi = [0.0f64; HUGE_BLOCK];
+            // Exact distances, computed lazily once per surviving point
+            // and reused across every cap of the request (NaN = not yet).
+            let mut dex = [f64::NAN; HUGE_BLOCK];
+            for (bi, &dlb_bi) in dlb.iter().enumerate().take(hi_b).skip(lo_b) {
+                if dlb_bi >= max_cap {
+                    continue;
+                }
+                let start = bi * layout.block;
+                let end = (start + layout.block).min(m);
+                let mems = &layout.perm[start..end];
+                let n = mems.len();
+                let screened = full_row.is_none()
+                    && metric.screen_distances(loc, mems, &mut lo[..n], &mut hi[..n]);
+                for d in dex[..n].iter_mut() {
+                    *d = f64::NAN;
+                }
+                let dist_at = |j: usize, dex: &mut [f64; HUGE_BLOCK]| -> f64 {
+                    match full_row {
+                        Some(row) => row[mems[j] as usize],
+                        None => {
+                            if dex[j].is_nan() {
+                                dex[j] = inst.distance(PointId(mems[j]), loc);
+                            }
+                            dex[j]
+                        }
+                    }
+                };
+                for (&e, &cap) in members.iter().zip(caps) {
+                    if cap <= 0.0 || dlb_bi >= cap {
+                        continue;
+                    }
+                    for (j, &p) in mems.iter().enumerate() {
+                        if screened && lo[j] >= cap {
+                            continue;
+                        }
+                        let d = dist_at(j, &mut dex);
+                        if d < cap {
+                            let pi = e.index() * m + p as usize;
+                            // Safety: slot `e·m + p` / bound `e·nblocks +
+                            // bi` belong to this shard alone — `p` is in
+                            // block `bi`, owned by shard `s`.
+                            let b = unsafe { bs_w.slot(pi) };
+                            *b += cap - d;
+                            let key = (f_small[pi] - *b).max(0.0);
+                            let bound = unsafe { ss_w.slot(e.index() * nblocks + bi) };
+                            if key < *bound {
+                                *bound = key;
+                            }
+                        }
+                    }
+                }
+                if cap_total > 0.0 && dlb_bi < cap_total {
+                    for (j, &p) in mems.iter().enumerate() {
+                        if screened && lo[j] >= cap_total {
+                            continue;
+                        }
+                        let d = dist_at(j, &mut dex);
+                        if d < cap_total {
+                            let pi = p as usize;
+                            // Safety: same block-ownership argument.
+                            let b = unsafe { bl_w.slot(pi) };
+                            *b += cap_total - d;
+                            let key = (f_full[pi] - *b).max(0.0);
+                            let bound = unsafe { sl_w.slot(bi) };
+                            if key < *bound {
+                                *bound = key;
+                            }
+                        }
+                    }
+                }
+            }
+        };
+        run_shards(self.pool.as_deref(), nshards, &body);
     }
 
     /// The t3 argmin for commodity `e` from the query whose distance row is

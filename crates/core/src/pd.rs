@@ -139,9 +139,23 @@ pub struct PdOmflp<'a> {
     /// anchor, so a matching tag means the row is valid). `None` until the
     /// first fill.
     dist_row_loc: Option<PointId>,
-    /// Scratch for the freeze walk's block-narrowed candidate ids (see
-    /// [`OpeningTargetIndex::budget_move_candidates`]).
+    /// Scratch for the frozen reference path's block-narrowed candidate
+    /// ids (see [`OpeningTargetIndex::budget_move_candidates`]); the
+    /// current path shards the freeze walk inside the index instead.
     moved_scratch: Vec<u32>,
+    /// Scratch for the partial-row coverage ids (block reps, then the
+    /// predicted scan cover; see [`OpeningTargetIndex::query_scan_cover`]).
+    cover_scratch: Vec<u32>,
+    /// `true` pins this engine to the frozen PR 5 reference serve path
+    /// (full row fills, serial candidate-list freeze): the paired benches
+    /// time the current path against it, so it must not inherit the
+    /// partial-row or sharded-freeze machinery.
+    frozen_reference: bool,
+    /// Point-count floor for the partial-row serve path; defaults to
+    /// [`PARTIAL_ROW_MIN_POINTS`], overridable via
+    /// [`PdOmflp::set_partial_row_threshold`] so lockstep suites can
+    /// engage the path on CI-sized metrics.
+    partial_rows_min: usize,
     /// Scratch row for the cap-shrink passes (rows of *past* locations),
     /// used only by the per-call backend.
     shrink_row: Vec<f64>,
@@ -296,6 +310,19 @@ pub const DENSE_DISTANCE_CAP: usize = 1024;
 /// [`crate::index::SCAN_SHARD_BLOCKS`]).
 pub const PAR_SCAN_MIN_POINTS: usize = 65536;
 
+/// Point-count threshold at which the engine serves arrivals through
+/// kd-bounded *partial* row fills and the sharded screened freeze walk.
+/// Below it a full row fill is one bulk [`omfl_metric::Metric::fill_row`]
+/// (a memcpy for graph metrics, a streamed SIMD pass for Euclidean ones)
+/// that beats thousands of per-call distance evaluations, and the serial
+/// candidate-list freeze walk over a cached full row is already cheap —
+/// partial fills would trade a fast bulk primitive for slow pointwise
+/// calls. Above it the `O(|M|)` fill itself is the dominant serve cost
+/// and coverage-bounded fills win by an order of magnitude. Either path
+/// is bit-identical to the other (`tests/tests/partial_rows.rs` pins
+/// engines to both and locksteps them).
+pub const PARTIAL_ROW_MIN_POINTS: usize = 65536;
+
 impl<'a> PdOmflp<'a> {
     /// Creates the algorithm over an instance, with the incremental t3/t4
     /// opening-target index and the blocked distance cache engaged.
@@ -440,6 +467,9 @@ impl<'a> PdOmflp<'a> {
             dist_row: vec![0.0; m],
             dist_row_loc: None,
             moved_scratch: Vec::new(),
+            cover_scratch: Vec::new(),
+            frozen_reference: legacy,
+            partial_rows_min: PARTIAL_ROW_MIN_POINTS,
             shrink_row: vec![0.0; m],
             shrink_row_loc: None,
             targets,
@@ -554,6 +584,39 @@ impl<'a> PdOmflp<'a> {
             DistanceBackend::Blocked(c) => Some(c.stats()),
             _ => None,
         }
+    }
+
+    /// Coverage-fallback promotions of the blocked row cache: partial rows
+    /// a full-row consumer (an opening's shrink pass) forced up to a full
+    /// fill. `None` for the dense and per-call backends.
+    pub fn row_fallback_promotions(&self) -> Option<u64> {
+        match &self.dist {
+            DistanceBackend::Blocked(c) => Some(c.fallback_promotions()),
+            _ => None,
+        }
+    }
+
+    /// Whether arrivals are served through kd-bounded partial row fills and
+    /// the sharded freeze walk: blocked backend + radius-bounded layout, at
+    /// least [`PARTIAL_ROW_MIN_POINTS`] points (below that a bulk full fill
+    /// is faster than pointwise coverage fills), and not the frozen PR 5
+    /// reference path.
+    pub fn partial_rows_active(&self) -> bool {
+        !self.frozen_reference
+            && self.inst.num_points() >= self.partial_rows_min
+            && matches!(self.dist, DistanceBackend::Blocked(_))
+            && self
+                .targets
+                .as_ref()
+                .is_some_and(|t| t.partial_rows_supported())
+    }
+
+    /// Test/bench hook: overrides the [`PARTIAL_ROW_MIN_POINTS`] floor so
+    /// lockstep suites can engage (or suppress) the partial-row serve path
+    /// on CI-sized metrics. Either side of the threshold is bit-identical
+    /// — the floor is purely a performance crossover.
+    pub fn set_partial_row_threshold(&mut self, min_points: usize) {
+        self.partial_rows_min = min_points;
     }
 
     /// Nearest open facility offering commodity `e` (small-for-`e` or large)
@@ -732,15 +795,39 @@ impl<'a> PdOmflp<'a> {
     /// The bid-reinvestment additions of [`Self::freeze`], split out so the
     /// distance row is borrowed only when some cap is positive.
     ///
-    /// With the opening-target index engaged, each walk is narrowed by
-    /// [`OpeningTargetIndex::budget_move_candidates`]: an addition is
-    /// non-zero exactly for locations with `d < cap`, and a block whose
-    /// certified distance lower bound is at least `cap` provably contains
-    /// none — so only the blocks around the request are visited (a strict
-    /// superset of the moved set, each member still `d < cap`-tested, hence
-    /// bit-identical updates). Scan mode keeps the full contiguous walk.
+    /// On the partial-row serve path ([`Self::partial_rows_active`]) the
+    /// walk is [`OpeningTargetIndex::freeze_reinvest`]: sharded over the
+    /// worker pool, fed the backend's row when a full one is already
+    /// materialized and the metric's certified f32 screening brackets
+    /// otherwise — bit-identical updates either way, and a partial row
+    /// stays partial. Below the threshold (and on the frozen reference
+    /// path) the serial [`OpeningTargetIndex::budget_move_candidates`]
+    /// candidate-list walk over a full row stays faster; scan mode keeps
+    /// the full contiguous walk.
     fn freeze_bids(&mut self, loc: PointId, members: &[CommodityId], caps: &[f64], cap_total: f64) {
         let m = self.inst.num_points();
+        if self.partial_rows_active() {
+            if let Some(t) = &mut self.targets {
+                let full_row: Option<&[f64]> = match &self.dist {
+                    DistanceBackend::Dense(d) => Some(&d[loc.index() * m..(loc.index() + 1) * m]),
+                    DistanceBackend::Blocked(c) => c.cached_row(loc.0),
+                    DistanceBackend::PerCall => None,
+                };
+                t.freeze_reinvest(
+                    self.inst,
+                    loc,
+                    full_row,
+                    members,
+                    caps,
+                    cap_total,
+                    &mut self.b_small,
+                    &mut self.b_large,
+                    &self.f_small,
+                    &self.f_full,
+                );
+                return;
+            }
+        }
         let dist_row = backend_row(
             &mut self.dist,
             self.inst,
@@ -875,18 +962,42 @@ impl OnlineAlgorithm for PdOmflp<'_> {
         if self.targets.is_none() {
             self.dist_row_loc = None;
         }
-        let dist_row = backend_row(
-            &mut self.dist,
-            self.inst,
-            loc,
-            &mut self.dist_row,
-            &mut self.dist_row_loc,
-        );
-        // One pass of per-block distance bounds for this arrival, shared by
-        // every t3/t4 argmin below and the freeze walk afterwards.
-        if let Some(t) = &mut self.targets {
-            t.prepare_query_at(Some(loc), dist_row);
-        }
+        let inst = self.inst;
+        // Radius-bounded index over the blocked cache: fill only the
+        // entries this arrival's scans can read. Seed the reps (the bound
+        // pass reads exactly those), predict the scan cover from the
+        // prepared bounds, extend the row to it — the pruned scans then
+        // see verbatim backend values everywhere they look, so targets,
+        // stats and all downstream state are bit-identical to a full fill.
+        // Any later full-row consumer (an opening's shrink pass) promotes
+        // the partial row through the cache's coverage fallback.
+        let dist_row: &[f64] = if self.partial_rows_active() {
+            let (Some(t), DistanceBackend::Blocked(c)) = (&mut self.targets, &mut self.dist) else {
+                unreachable!("partial_rows_active checked the index and the backend")
+            };
+            let cover = &mut self.cover_scratch;
+            t.seed_cover_ids(cover);
+            let seeded = c.partial_row_with(loc.0, cover, |p| inst.distance(PointId(p), loc));
+            // One pass of per-block distance bounds for this arrival,
+            // shared by every t3/t4 argmin below and the freeze walk.
+            t.prepare_query_at(Some(loc), seeded);
+            t.query_scan_cover(&scratch.members, cover);
+            c.partial_row_with(loc.0, cover, |p| inst.distance(PointId(p), loc))
+        } else {
+            let row = backend_row(
+                &mut self.dist,
+                inst,
+                loc,
+                &mut self.dist_row,
+                &mut self.dist_row_loc,
+            );
+            // One pass of per-block distance bounds for this arrival,
+            // shared by every t3/t4 argmin below and the freeze walk.
+            if let Some(t) = &mut self.targets {
+                t.prepare_query_at(Some(loc), row);
+            }
+            row
+        };
 
         // Per-commodity targets t1 (connect) / t3 (temp open) and joint
         // targets t2 (connect large) / t4 (open large). All constant during

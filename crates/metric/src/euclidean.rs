@@ -273,9 +273,50 @@ impl Metric for EuclideanMetric {
     /// relative margin absorbs the f64 rounding of both folds. The result
     /// is `lo ≤ distance(q, p) ≤ hi` — *guaranteed*, so callers may prune
     /// on these bounds and stay bit-identical after exact confirmation.
+    ///
+    /// Under L2 — the norm the freeze walk screens per block on the hot
+    /// path — the loop nest is interchanged to axis-outer: candidates'
+    /// column entries are gathered into a contiguous chunk and each axis
+    /// runs through [`crate::simd::screen_accumulate_squared`]
+    /// (AVX/SSE2/scalar). Per candidate the accumulation folds the axes in
+    /// the same ascending order with lane-identical arithmetic, so the
+    /// brackets are bit-identical to the candidate-outer loop at every
+    /// dispatch tier.
     fn screen_distances(&self, q: PointId, others: &[u32], lo: &mut [f64], hi: &mut [f64]) -> bool {
         assert!(others.len() <= lo.len() && others.len() <= hi.len());
         let n = self.len();
+        if self.norm == Norm::L2 {
+            let k = others.len();
+            let (lo, hi) = (&mut lo[..k], &mut hi[..k]);
+            lo.fill(0.0);
+            hi.fill(0.0);
+            let mut col = [0.0f32; SCREEN_CHUNK];
+            let mut start = 0usize;
+            while start < k {
+                let end = (start + SCREEN_CHUNK).min(k);
+                let c = end - start;
+                for axis in 0..self.dim {
+                    let base = axis * n;
+                    let qv = self.screen_t[base + q.index()];
+                    for (slot, &p) in col[..c].iter_mut().zip(&others[start..end]) {
+                        *slot = self.screen_t[base + p as usize];
+                    }
+                    simd::screen_accumulate_squared(
+                        &mut lo[start..end],
+                        &mut hi[start..end],
+                        &col[..c],
+                        qv,
+                        self.screen_slack[axis],
+                    );
+                }
+                for (l, h) in lo[start..end].iter_mut().zip(hi[start..end].iter_mut()) {
+                    *l = (l.sqrt() * (1.0 - SCREEN_REL_SLACK)).max(0.0);
+                    *h = h.sqrt() * (1.0 + SCREEN_REL_SLACK);
+                }
+                start = end;
+            }
+            return true;
+        }
         for ((&p, lo), hi) in others.iter().zip(lo.iter_mut()).zip(hi.iter_mut()) {
             let p = p as usize;
             let (mut alo, mut ahi) = (0.0f64, 0.0f64);
@@ -286,23 +327,15 @@ impl Metric for EuclideanMetric {
                 let al = (a - s).max(0.0);
                 let ah = a + s;
                 match self.norm {
-                    Norm::L2 => {
-                        alo += al * al;
-                        ahi += ah * ah;
-                    }
                     Norm::L1 => {
                         alo += al;
                         ahi += ah;
                     }
-                    Norm::LInf => {
+                    _ => {
                         alo = alo.max(al);
                         ahi = ahi.max(ah);
                     }
                 }
-            }
-            if self.norm == Norm::L2 {
-                alo = alo.sqrt();
-                ahi = ahi.sqrt();
             }
             *lo = (alo * (1.0 - SCREEN_REL_SLACK)).max(0.0);
             *hi = ahi * (1.0 + SCREEN_REL_SLACK);
@@ -310,6 +343,11 @@ impl Metric for EuclideanMetric {
         true
     }
 }
+
+/// Candidates per gather chunk of the axis-outer L2 screening pass: the
+/// block sizes it screens (16 or 64 locations) fit in one chunk, and the
+/// fixed-size buffer keeps the trait method allocation-free for any caller.
+const SCREEN_CHUNK: usize = 64;
 
 #[cfg(test)]
 mod tests {

@@ -132,6 +132,39 @@ pub fn fold_max_abs(out: &mut [f64], col: &[f64], q: f64) {
     }
 }
 
+/// The L2 screening axis accumulation over the f32 store:
+///
+/// ```text
+/// a  = |f64(col[i] − q)|          (the subtraction in f32, then widened)
+/// lo[i] += max(a − slack, 0)²
+/// hi[i] += (a + slack)²
+/// ```
+///
+/// One pass per axis builds the squared bracket accumulators behind
+/// [`crate::Metric::screen_distances`]. The f32 subtraction happens in the
+/// narrow type *before* widening — exactly the scalar expression — and the
+/// widening conversion is exact, so the lane arithmetic is the scalar
+/// sequence verbatim (`max` against non-NaN arguments; a `−0.0` from
+/// `a == slack` squares to the same `+0.0` either way).
+pub fn screen_accumulate_squared(lo: &mut [f64], hi: &mut [f64], col: &[f32], q: f32, slack: f64) {
+    debug_assert!(lo.len() == col.len() && hi.len() == col.len());
+    match active_dispatch() {
+        #[cfg(target_arch = "x86_64")]
+        Dispatch::Avx => unsafe { screen_accumulate_squared_avx(lo, hi, col, q, slack) },
+        #[cfg(target_arch = "x86_64")]
+        Dispatch::Sse2 => unsafe { screen_accumulate_squared_sse2(lo, hi, col, q, slack) },
+        _ => {
+            for ((l, h), &c) in lo.iter_mut().zip(hi.iter_mut()).zip(col) {
+                let a = f64::from(c - q).abs();
+                let al = (a - slack).max(0.0);
+                let ah = a + slack;
+                *l += al * al;
+                *h += ah * ah;
+            }
+        }
+    }
+}
+
 /// `out[i] = √out[i]` — the L2 finishing pass.
 pub fn sqrt_in_place(out: &mut [f64]) {
     match active_dispatch() {
@@ -264,6 +297,79 @@ mod x86 {
     }
 
     #[target_feature(enable = "avx")]
+    pub(super) unsafe fn screen_accumulate_squared_avx(
+        lo: &mut [f64],
+        hi: &mut [f64],
+        col: &[f32],
+        q: f32,
+        slack: f64,
+    ) {
+        let n = col.len();
+        let qv = _mm_set1_ps(q);
+        let sv = _mm256_set1_pd(slack);
+        let zero = _mm256_setzero_pd();
+        let mut i = 0;
+        while i + 4 <= n {
+            // f32 subtraction first, then the exact widening — the scalar
+            // `f64::from(c − q)` order of operations.
+            let d32 = _mm_sub_ps(_mm_loadu_ps(col.as_ptr().add(i)), qv);
+            let a = abs256(_mm256_cvtps_pd(d32));
+            let al = _mm256_max_pd(_mm256_sub_pd(a, sv), zero);
+            let ah = _mm256_add_pd(a, sv);
+            let lacc = _mm256_loadu_pd(lo.as_ptr().add(i));
+            let hacc = _mm256_loadu_pd(hi.as_ptr().add(i));
+            _mm256_storeu_pd(
+                lo.as_mut_ptr().add(i),
+                _mm256_add_pd(lacc, _mm256_mul_pd(al, al)),
+            );
+            _mm256_storeu_pd(
+                hi.as_mut_ptr().add(i),
+                _mm256_add_pd(hacc, _mm256_mul_pd(ah, ah)),
+            );
+            i += 4;
+        }
+        for j in i..n {
+            let a = f64::from(col[j] - q).abs();
+            let al = (a - slack).max(0.0);
+            let ah = a + slack;
+            lo[j] += al * al;
+            hi[j] += ah * ah;
+        }
+    }
+
+    pub(super) unsafe fn screen_accumulate_squared_sse2(
+        lo: &mut [f64],
+        hi: &mut [f64],
+        col: &[f32],
+        q: f32,
+        slack: f64,
+    ) {
+        let n = col.len();
+        let qv = _mm_set1_ps(q);
+        let sv = _mm_set1_pd(slack);
+        let zero = _mm_setzero_pd();
+        let mut i = 0;
+        while i + 2 <= n {
+            let d32 = _mm_sub_ps(_mm_setr_ps(col[i], col[i + 1], 0.0, 0.0), qv);
+            let a = abs128(_mm_cvtps_pd(d32));
+            let al = _mm_max_pd(_mm_sub_pd(a, sv), zero);
+            let ah = _mm_add_pd(a, sv);
+            let lacc = _mm_loadu_pd(lo.as_ptr().add(i));
+            let hacc = _mm_loadu_pd(hi.as_ptr().add(i));
+            _mm_storeu_pd(lo.as_mut_ptr().add(i), _mm_add_pd(lacc, _mm_mul_pd(al, al)));
+            _mm_storeu_pd(hi.as_mut_ptr().add(i), _mm_add_pd(hacc, _mm_mul_pd(ah, ah)));
+            i += 2;
+        }
+        for j in i..n {
+            let a = f64::from(col[j] - q).abs();
+            let al = (a - slack).max(0.0);
+            let ah = a + slack;
+            lo[j] += al * al;
+            hi[j] += ah * ah;
+        }
+    }
+
+    #[target_feature(enable = "avx")]
     pub(super) unsafe fn sqrt_in_place_avx(out: &mut [f64]) {
         let n = out.len();
         let mut i = 0;
@@ -375,6 +481,39 @@ mod tests {
                     *slot = slot.sqrt();
                 }
                 assert!(a.iter().zip(&b).all(|(x, y)| x.to_bits() == y.to_bits()));
+            }
+        }
+    }
+
+    fn scalar_screen(lo: &mut [f64], hi: &mut [f64], col: &[f32], q: f32, slack: f64) {
+        for ((l, h), &c) in lo.iter_mut().zip(hi.iter_mut()).zip(col) {
+            let a = f64::from(c - q).abs();
+            let al = (a - slack).max(0.0);
+            let ah = a + slack;
+            *l += al * al;
+            *h += ah * ah;
+        }
+    }
+
+    #[test]
+    fn screen_kernel_is_bit_identical_to_its_scalar_loop() {
+        for n in [0usize, 1, 2, 3, 4, 5, 7, 8, 31, 64, 129] {
+            let col: Vec<f32> = awkward(n, 4).iter().map(|&v| v as f32).collect();
+            let seed_lo = awkward(n, 5);
+            let seed_hi = awkward(n, 6);
+            // A slack equal to some |c − q| exercises the a − s == 0 corner.
+            for (q, slack) in [(-3.75f32, 1.0e-4), (0.0, 0.0), (1.0e9, 128.0)] {
+                let slack_exact = col
+                    .first()
+                    .map_or(slack, |&c| f64::from(c - q).abs().min(slack));
+                for s in [slack, slack_exact] {
+                    let (mut al, mut ah) = (seed_lo.clone(), seed_hi.clone());
+                    let (mut bl, mut bh) = (seed_lo.clone(), seed_hi.clone());
+                    screen_accumulate_squared(&mut al, &mut ah, &col, q, s);
+                    scalar_screen(&mut bl, &mut bh, &col, q, s);
+                    assert!(al.iter().zip(&bl).all(|(x, y)| x.to_bits() == y.to_bits()));
+                    assert!(ah.iter().zip(&bh).all(|(x, y)| x.to_bits() == y.to_bits()));
+                }
             }
         }
     }

@@ -389,6 +389,59 @@ impl<'a, T> ShardWriter<'a, T> {
     }
 }
 
+/// Disjoint parallel writes into one slice at *scattered* indices.
+///
+/// [`ShardWriter`] covers the contiguous-chunk pattern; some fan-outs
+/// partition a buffer by an index function instead — e.g. the sharded
+/// freeze walk writes bid slots keyed by spatial block membership, where
+/// each block's points are scattered through the flat `commodity × point`
+/// arrays but every index still belongs to exactly one shard. The caller
+/// promises (unsafe contract on [`ScatterWriter::slot`]) that no index is
+/// accessed from two threads concurrently.
+pub struct ScatterWriter<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+unsafe impl<T: Send> Send for ScatterWriter<'_, T> {}
+unsafe impl<T: Send> Sync for ScatterWriter<'_, T> {}
+
+impl<'a, T> ScatterWriter<'a, T> {
+    /// Wraps `slice` for scattered disjoint writes.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        Self {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Elements in the underlying slice.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the underlying slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Mutable view of element `i`.
+    ///
+    /// # Safety
+    ///
+    /// Each index must be accessed by at most one thread at a time. The
+    /// intended pattern derives the index set of each pool task from a
+    /// partition (task `s` owns exactly the indices `f(i) == s` for a pure
+    /// function `f`), making the views disjoint by construction.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn slot(&self, i: usize) -> &mut T {
+        assert!(i < self.len, "slot {i} out of range");
+        &mut *self.ptr.add(i)
+    }
+}
+
 /// A reasonable default worker count: the `OMFL_THREADS` environment
 /// variable when set to a positive integer (the knob CI's determinism
 /// matrix drives — results must be bit-identical at every value), else
@@ -687,6 +740,27 @@ mod tests {
             let chunk = unsafe { writer.chunk(i) };
             for (j, slot) in chunk.iter_mut().enumerate() {
                 *slot = (i * 10 + j) as u64 + 1;
+            }
+        });
+        for (k, &v) in buf.iter().enumerate() {
+            assert_eq!(v, k as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn scatter_writer_disjoint_indices_partition_exactly() {
+        // Interleaved ownership: task s owns indices with k % nshards == s —
+        // scattered through the buffer, disjoint across tasks.
+        let nshards = 4;
+        let mut buf = vec![0u64; 103];
+        let writer = ScatterWriter::new(&mut buf);
+        assert_eq!(writer.len(), 103);
+        assert!(!writer.is_empty());
+        let pool = TaskPool::new(3);
+        pool.run(nshards, |s| {
+            for k in (s..103).step_by(nshards) {
+                // Safety: k % nshards == s, so no other task touches k.
+                unsafe { *writer.slot(k) = k as u64 + 1 };
             }
         });
         for (k, &v) in buf.iter().enumerate() {

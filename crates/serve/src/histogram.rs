@@ -1,7 +1,10 @@
 //! Log-scale latency histogram for per-arrival serve times.
 //!
 //! Power-of-two nanosecond buckets: bucket `b` covers `[2^(b-1), 2^b)` ns
-//! (bucket 0 is `0..1` ns). 64 buckets cover every representable `u64`
+//! (bucket 0 is `0..1` ns; bucket 63 absorbs everything from `2^62` up, so
+//! its reported bound is `u64::MAX` rather than `2^63` — the only bucket
+//! whose upper edge is not a power of two, because samples up to
+//! `u64::MAX` land in it). 64 buckets cover every representable `u64`
 //! duration, recording is two instructions, and merging shard-local
 //! histograms is a vector add — so the serve hot loop pays almost nothing
 //! for p50/p99 output. Quantiles are reported as the upper bound of the
@@ -64,7 +67,15 @@ impl LatencyHistogram {
         for (b, &n) in self.buckets.iter().enumerate() {
             seen += n;
             if seen >= rank {
-                return if b == 0 { 1 } else { 1u64 << b.min(63) };
+                // The top bucket is saturated: `record` clamps every sample
+                // with 63+ significant bits into it, so the only honest
+                // upper bound is `u64::MAX` — `1 << 63` would sit *below* a
+                // `u64::MAX` sample.
+                return match b {
+                    0 => 1,
+                    63 => u64::MAX,
+                    b => 1u64 << b,
+                };
             }
         }
         u64::MAX
@@ -129,6 +140,21 @@ mod tests {
         h.record(0);
         h.record(u64::MAX);
         assert_eq!(h.quantile_ns(0.0), 1);
-        assert_eq!(h.quantile_ns(1.0), 1 << 63);
+        // The top bucket's bound must not undercut its own samples: a
+        // `u64::MAX` latency needs a bound of `u64::MAX`, not `1 << 63`.
+        assert_eq!(h.quantile_ns(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn top_bucket_bound_covers_its_whole_range() {
+        let mut h = LatencyHistogram::new();
+        for ns in [1u64 << 62, (1 << 63) - 1, 1 << 63, u64::MAX] {
+            h.record(ns);
+            assert!(
+                h.quantile_ns(1.0) >= ns,
+                "quantile bound {} fell below recorded sample {ns}",
+                h.quantile_ns(1.0)
+            );
+        }
     }
 }

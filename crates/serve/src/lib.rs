@@ -238,8 +238,8 @@ impl<'a> Server<'a> {
         std::thread::scope(|scope| {
             scope.spawn(|| {
                 for chunk in source.order().chunks(micro_batch) {
-                    if !ring.push_batch(chunk) {
-                        return; // consumer stopped early
+                    if ring.push_batch(chunk) < chunk.len() {
+                        return; // consumer stopped early; the prefix drains
                     }
                 }
                 ring.close();

@@ -21,8 +21,9 @@ pub type Arrival = (u32, u32);
 struct RingState {
     queue: VecDeque<Arrival>,
     closed: bool,
-    /// Producer-side blocking episodes (not items): how often a push found
-    /// the ring full and had to wait for the consumer.
+    /// Producer-side blocking episodes (not items, not wakeups): how often
+    /// an item push found the ring full and had to wait for the consumer.
+    /// Spurious condvar wakeups re-enter the wait loop without bumping this.
     backpressure_waits: u64,
     pushed: u64,
 }
@@ -64,18 +65,26 @@ impl ArrivalRing {
     }
 
     /// Enqueues a batch in order, blocking whenever the ring is full.
-    /// Returns `false` (dropping the rest of the batch) if the ring was
-    /// closed while pushing — the consumer is gone, there is nobody left
-    /// to serve the arrivals.
-    pub fn push_batch(&self, items: &[Arrival]) -> bool {
+    /// Returns how many items were actually enqueued. The count is short of
+    /// `items.len()` only when the ring was closed mid-push — the consumer
+    /// is gone, so the rest of the batch is dropped — and whatever prefix
+    /// was enqueued before the close is still drainable, so `pushed` in
+    /// [`stats`](Self::stats) always equals what the consumer can observe.
+    pub fn push_batch(&self, items: &[Arrival]) -> usize {
         let mut state = self.inner.lock().expect("ring poisoned");
         for (k, &item) in items.iter().enumerate() {
-            while state.queue.len() >= self.capacity && !state.closed {
+            // One backpressure *episode* per item that finds the ring full,
+            // counted before waiting: the condvar can wake spuriously and
+            // re-check, and those extra laps around the wait loop are not
+            // additional episodes of consumer-side pressure.
+            if state.queue.len() >= self.capacity && !state.closed {
                 state.backpressure_waits += 1;
-                state = self.not_full.wait(state).expect("ring poisoned");
+                while state.queue.len() >= self.capacity && !state.closed {
+                    state = self.not_full.wait(state).expect("ring poisoned");
+                }
             }
             if state.closed {
-                return false;
+                return k;
             }
             state.queue.push_back(item);
             state.pushed += 1;
@@ -86,7 +95,7 @@ impl ArrivalRing {
             }
         }
         self.not_empty.notify_one();
-        true
+        items.len()
     }
 
     /// Moves up to `max` arrivals into `buf` (appending), blocking while
@@ -137,7 +146,7 @@ mod tests {
             let items = items.clone();
             std::thread::spawn(move || {
                 for chunk in items.chunks(3) {
-                    assert!(ring.push_batch(chunk));
+                    assert_eq!(ring.push_batch(chunk), chunk.len());
                 }
                 ring.close();
             })
@@ -161,39 +170,62 @@ mod tests {
         while out.len() < 3 {
             assert!(ring.drain_into(&mut out, 1));
         }
-        assert!(producer.join().unwrap());
+        assert_eq!(producer.join().unwrap(), 3);
         let (pushed, waits) = ring.stats();
         assert_eq!(pushed, 3);
-        assert!(
-            waits >= 2,
-            "capacity-1 ring must block the producer at least twice, saw {waits}"
+        // Items 2 and 3 each find the capacity-1 ring full exactly once:
+        // episodes are counted per full-ring encounter, not per condvar
+        // wakeup, so the count is exact even under spurious wakeups.
+        assert_eq!(
+            waits, 2,
+            "capacity-1 ring must block the producer exactly twice"
         );
     }
 
     #[test]
     fn close_releases_everyone() {
         let ring = Arc::new(ArrivalRing::new(1));
-        assert!(ring.push_batch(&[(0, 0)]));
+        assert_eq!(ring.push_batch(&[(0, 0)]), 1);
         let blocked_producer = {
             let ring = Arc::clone(&ring);
-            // Full ring: this blocks until close, then reports failure.
+            // Full ring: this blocks until close, then reports 0 pushed.
             std::thread::spawn(move || ring.push_batch(&[(0, 1)]))
         };
         std::thread::sleep(std::time::Duration::from_millis(10));
         ring.close();
-        assert!(!blocked_producer.join().unwrap());
+        assert_eq!(blocked_producer.join().unwrap(), 0);
         let mut out = Vec::new();
         assert!(ring.drain_into(&mut out, 8), "queued item still drains");
         assert_eq!(out, vec![(0, 0)]);
         assert!(!ring.drain_into(&mut out, 8), "then the stream is over");
-        assert!(!ring.push_batch(&[(0, 9)]), "closed ring refuses pushes");
+        assert_eq!(ring.push_batch(&[(0, 9)]), 0, "closed ring refuses pushes");
+    }
+
+    #[test]
+    fn close_mid_batch_reports_the_drainable_prefix() {
+        let ring = Arc::new(ArrivalRing::new(2));
+        let producer = {
+            let ring = Arc::clone(&ring);
+            // Capacity 2, batch of 5: items 0 and 1 land, item 2 blocks.
+            std::thread::spawn(move || ring.push_batch(&[(0, 0), (0, 1), (0, 2), (0, 3), (0, 4)]))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        ring.close();
+        let pushed = producer.join().unwrap();
+        let mut out = Vec::new();
+        while ring.drain_into(&mut out, 8) {}
+        // The return value is the contract: exactly the enqueued prefix,
+        // so the producer knows what the consumer can actually drain.
+        assert_eq!(pushed, 2);
+        assert_eq!(out, vec![(0, 0), (0, 1)]);
+        assert_eq!(ring.stats().0, pushed as u64);
     }
 
     #[test]
     fn zero_capacity_is_clamped() {
         let ring = ArrivalRing::new(0);
         assert_eq!(ring.capacity(), 1);
-        assert!(ring.push_batch(&[]));
+        assert_eq!(ring.push_batch(&[]), 0);
         ring.close();
         let mut out = Vec::new();
         assert!(!ring.drain_into(&mut out, 4));

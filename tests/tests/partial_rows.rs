@@ -1,0 +1,194 @@
+//! Locksteps for the PR 8 serve path: kd-bounded partial row fills and
+//! the sharded, f32-screened freeze walk.
+//!
+//! From `PARTIAL_ROW_MIN_POINTS` up (forced on here via the
+//! `set_partial_row_threshold` hook so CI-sized metrics exercise it) the
+//! engine no longer fills a full `|M|`-entry distance row per arrival — it
+//! fills only the coverage set `OpeningTargetIndex::query_scan_cover`
+//! predicts from the prepared per-block bounds, and reinvests the freeze
+//! caps through a sharded walk that screens each block with certified f32
+//! brackets before confirming survivors exactly. Both are *execution* choices, never algorithmic
+//! ones: every covered entry is the verbatim metric value, the predicted
+//! cover is a superset of what the pruned scans can read, the freeze
+//! update set is exactly `{p : d < cap}` however it is narrowed, and the
+//! shard partition is a pure function of the block count. So the engine
+//! must be bit-for-bit indistinguishable — per-arrival outcomes, dual
+//! sums, total costs — from the full-row, full-walk reference at 1, 2, 7,
+//! or 16 threads, on every family including the id-scattered adversary.
+
+use omfl_core::algorithm::OnlineAlgorithm;
+use omfl_core::pd::PdOmflp;
+use omfl_workload::catalog::{by_name, CatalogProfile};
+use omfl_workload::Scenario;
+use proptest::prelude::*;
+
+/// Serves one scenario on both engines in lockstep; everything observable
+/// must agree bit for bit.
+fn assert_serve_lockstep(
+    sc: &Scenario,
+    mut tuned: PdOmflp<'_>,
+    mut reference: PdOmflp<'_>,
+    label: &str,
+) {
+    for (step, r) in sc.requests.iter().enumerate() {
+        let a = tuned.serve(r).unwrap_or_else(|e| panic!("{label}: {e}"));
+        let b = reference
+            .serve(r)
+            .unwrap_or_else(|e| panic!("{label}: reference: {e}"));
+        assert_eq!(a, b, "{label}: outcome diverged at arrival {step}");
+    }
+    assert_eq!(
+        tuned.dual_sum().to_bits(),
+        reference.dual_sum().to_bits(),
+        "{label}: dual sums diverged"
+    );
+    assert_eq!(
+        tuned.solution().total_cost().to_bits(),
+        reference.solution().total_cost().to_bits(),
+        "{label}: costs diverged"
+    );
+}
+
+#[test]
+fn partial_rows_and_sharded_freeze_lockstep_at_every_thread_count() {
+    // euclid-grid-large at points=40 → |M| = 2560: past the dense cap, so
+    // the stock engine runs the blocked backend over the radius-bounded
+    // layout — partial rows and the sharded screened freeze are live. The
+    // full-scan engine fills complete rows and freezes with the serial
+    // full walk; both must replay identically at every pool size (the
+    // freeze walk shares the scan pool, so the extremes exercise it too).
+    let profile = CatalogProfile {
+        points: 40,
+        services: 8,
+        requests: 100,
+    };
+    let sc = by_name("euclid-grid-large")
+        .unwrap()
+        .build(&profile, 7)
+        .expect("euclid-grid-large");
+    let inst = sc.instance();
+    for threads in [1usize, 2, 7, 16] {
+        let mut tuned = PdOmflp::new(inst);
+        tuned.set_partial_row_threshold(0);
+        assert!(
+            tuned.partial_rows_active(),
+            "blocked backend + bounded layout must enable partial rows"
+        );
+        tuned.configure_parallel_scans(threads, 16);
+        let reference = PdOmflp::with_full_scans(inst);
+        assert_serve_lockstep(&sc, tuned, reference, &format!("partial t={threads}"));
+    }
+}
+
+#[test]
+fn frozen_reference_path_keeps_full_rows_and_stays_lockstep() {
+    // `with_reference_layout` pins the PR 5 serve path: full row fills and
+    // the serial freeze, partial rows gated off — that gate is what keeps
+    // the `huge` paired bench a like-for-like measurement. It must still
+    // replay the current engine bit for bit.
+    let profile = CatalogProfile {
+        points: 40,
+        services: 8,
+        requests: 100,
+    };
+    let sc = by_name("euclid-grid-large")
+        .unwrap()
+        .build(&profile, 11)
+        .expect("euclid-grid-large");
+    let inst = sc.instance();
+    let mut current = PdOmflp::new(inst);
+    current.set_partial_row_threshold(0);
+    assert!(current.partial_rows_active());
+    let frozen = PdOmflp::with_reference_layout(inst);
+    assert!(
+        !frozen.partial_rows_active(),
+        "the frozen reference path must not take the partial-row fast path"
+    );
+    assert_serve_lockstep(&sc, frozen, current, "reference-layout");
+}
+
+#[test]
+fn cold_scatter_adversary_locksteps_and_promotes_partial_rows() {
+    // The id-scattered adversary defeats id-order pruning entirely, so its
+    // coverage sets are the least block-aligned the catalog produces; its
+    // region-hopping queries also open facilities, whose shrink passes
+    // read full rows and force the cache's coverage fallback. Lockstep
+    // must hold, and the fallback counter must be observable.
+    let profile = CatalogProfile {
+        points: 40, // × 32 scale → 1280 points, past the dense cap
+        services: 8,
+        requests: 120,
+    };
+    let sc = by_name("cold-scatter-large")
+        .unwrap()
+        .build(&profile, 13)
+        .expect("cold-scatter-large");
+    let inst = sc.instance();
+    let mut tuned = PdOmflp::new(inst);
+    tuned.set_partial_row_threshold(0);
+    assert!(tuned.partial_rows_active());
+    tuned.configure_parallel_scans(7, 2);
+    let mut reference = PdOmflp::with_full_scans(inst);
+    for (step, r) in sc.requests.iter().enumerate() {
+        let a = tuned
+            .serve(r)
+            .unwrap_or_else(|e| panic!("cold-scatter: {e}"));
+        let b = reference
+            .serve(r)
+            .unwrap_or_else(|e| panic!("cold-scatter reference: {e}"));
+        assert_eq!(a, b, "cold-scatter: outcome diverged at arrival {step}");
+    }
+    assert_eq!(
+        tuned.solution().total_cost().to_bits(),
+        reference.solution().total_cost().to_bits(),
+        "cold-scatter: costs diverged"
+    );
+    let promotions = tuned
+        .row_fallback_promotions()
+        .expect("blocked backend exposes the fallback counter");
+    let (hits, misses, _) = tuned.distance_cache_stats().expect("blocked stats");
+    assert!(
+        hits + misses > 0,
+        "the partial-row path must have touched the cache"
+    );
+    // Promotions only happen when an arrival's location hosts an opening
+    // later; the adversary's hotspot phase makes that routine. If this
+    // ever goes flaky, the blocked-cache unit tests still force the
+    // fallback deterministically — this assert pins the *engine* wiring.
+    assert!(
+        promotions > 0,
+        "openings on this workload must promote partial rows via the fallback"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random (large family, seed, threads, shard size) cells past the
+    /// dense cap: the partial-row engine must be indistinguishable from
+    /// the full-scan one. Thread counts beyond the machine's cores are
+    /// deliberate — oversubscription must not be observable either.
+    #[test]
+    fn random_partial_row_configurations_never_change_outcomes(
+        family_idx in 0usize..64,
+        seed in 0u64..10_000,
+        threads in 1usize..9,
+        shard_blocks in 1usize..40,
+        points in 33usize..44,
+        services in 2u16..8,
+        requests in 20usize..60,
+    ) {
+        let families = ["zipf-services-large", "euclid-grid-large", "cold-scatter-large"];
+        let name = families[family_idx % families.len()];
+        let profile = CatalogProfile { points, services, requests };
+        let sc = by_name(name).unwrap().build(&profile, seed).unwrap();
+        let inst = sc.instance();
+        let mut tuned = PdOmflp::new(inst);
+        tuned.set_partial_row_threshold(0);
+        prop_assert!(tuned.partial_rows_active(), "{name} must cross the dense cap");
+        tuned.configure_parallel_scans(threads, shard_blocks);
+        let reference = PdOmflp::with_full_scans(inst);
+        let label = format!("{name} t={threads} sb={shard_blocks}");
+        assert_serve_lockstep(&sc, tuned, reference, &label);
+    }
+}
