@@ -50,7 +50,7 @@ use omfl_core::naive::NaivePd;
 use omfl_core::pd::PdOmflp;
 use omfl_core::CoreError;
 use omfl_par::{summarize, Summary, TaskPool};
-use omfl_serve::{ServeConfig, ServeError, Server};
+use omfl_serve::{FaultPlan, ServeConfig, ServeError, Server};
 use omfl_sim::sweep::timed_sweep;
 use omfl_sim::{ArrivalSource, Engine};
 use omfl_workload::catalog::{self, CatalogProfile};
@@ -519,6 +519,15 @@ pub struct ServeBench {
     pub digest_match: bool,
     /// The shared digest of the determinism runs.
     pub digest: u64,
+    /// Tenants quarantined by the injected-fault panel (the fault plan
+    /// panics exactly one tenant, so this must be 1).
+    pub faulted_quarantined: usize,
+    /// `true` iff, under the injected fault, every
+    /// [`SERVE_DETERMINISM_CONFIGS`] run quarantined the planned tenant
+    /// and the healthy tenants' digest matched the clean run's digest
+    /// over the same subset — the "healthy tenants are bit-identical
+    /// under faults" gate.
+    pub faulted_digest_match: bool,
     /// Median per-arrival serve latency (ns) of the last timed repeat.
     pub latency_p50_ns: u64,
     /// 99th-percentile per-arrival serve latency (ns) of the last repeat.
@@ -548,11 +557,43 @@ fn serve_run(
         shards,
         micro_batch: 1024,
         queue_capacity: 8192,
+        deadline: None,
     };
-    server.serve(source, &cfg, pool).map_err(|e| match e {
+    let (report, telemetry) = server.serve(source, &cfg, pool).map_err(|e| match e {
         ServeError::Tenant(_, core) => core,
         other => CoreError::BadInstance(other.to_string()),
-    })
+    })?;
+    // A clean bench run that quietly quarantined a tenant would report a
+    // digest about a smaller fleet; fail loudly instead.
+    if let Some(q) = report.quarantined.first() {
+        return Err(CoreError::BadInstance(format!(
+            "clean serve run quarantined tenant {}: {:?}",
+            q.tenant, q.reason
+        )));
+    }
+    Ok((report, telemetry))
+}
+
+/// Silences the panic-hook stderr noise for the *injected* panics the
+/// faulted serve panel fires on purpose; every other panic keeps the
+/// default report. Installed once per process.
+fn quiet_injected_panics() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let payload = info.payload();
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_default();
+            if !message.contains(omfl_serve::INJECTED_PANIC_MARKER) {
+                default_hook(info);
+            }
+        }));
+    });
 }
 
 /// Times the multi-tenant serve loop on a fleet of `tenants` independent
@@ -587,6 +628,37 @@ pub fn serve_bench(
         .windows(2)
         .all(|w| w[0] == w[1] && w[0].digest == w[1].digest);
 
+    // Faulted panel: the same fleet with one tenant panicking mid-stream.
+    // The gate is machine-independent: at every shard/thread config the
+    // planned tenant (and only it) is quarantined, and the healthy
+    // tenants' digest equals the clean run's digest over the same subset.
+    quiet_injected_panics();
+    let plan = FaultPlan::seeded(0xC4A05, &lens, 1);
+    let planned: Vec<usize> = plan
+        .faulted_tenants()
+        .into_iter()
+        .map(|t| t as usize)
+        .collect();
+    let healthy_clean = determinism_reports[0].digest_over(|t| !planned.contains(&t));
+    let mut faulted_quarantined = usize::MAX;
+    let mut faulted_digest_match = true;
+    for &n in SERVE_DETERMINISM_CONFIGS.iter() {
+        let pool = TaskPool::new(n);
+        let server = Server::new(&scenarios, Engine::Pd).expect("pd tenants always box");
+        let cfg = ServeConfig {
+            shards: n,
+            micro_batch: 1024,
+            queue_capacity: 8192,
+            deadline: None,
+        };
+        let (report, _) = server
+            .serve_with_faults(&source, &cfg, &pool, &plan)
+            .map_err(|e| CoreError::BadInstance(e.to_string()))?;
+        let quarantined: Vec<usize> = report.quarantined.iter().map(|q| q.tenant).collect();
+        faulted_quarantined = report.quarantined.len();
+        faulted_digest_match &= quarantined == planned && report.digest == healthy_clean;
+    }
+
     let shards = 16;
     let pool = TaskPool::new(omfl_par::default_threads());
     let mut secs = Vec::with_capacity(repeats);
@@ -612,6 +684,8 @@ pub fn serve_bench(
         serve: summarize(&secs),
         digest_match,
         digest: determinism_reports[0].digest,
+        faulted_quarantined,
+        faulted_digest_match,
         latency_p50_ns: telemetry.latency_p50_ns,
         latency_p99_ns: telemetry.latency_p99_ns,
         backpressure_waits: telemetry.backpressure_waits,
@@ -633,6 +707,12 @@ pub fn serve_json(b: &ServeBench) -> String {
         out,
         "  \"digest_match\": {},",
         if b.digest_match { "1.0" } else { "0.0" }
+    );
+    let _ = writeln!(
+        out,
+        "  \"faulted\": {{ \"quarantined\": {}, \"digest_match\": {} }},",
+        b.faulted_quarantined,
+        if b.faulted_digest_match { "1.0" } else { "0.0" }
     );
     summary_json(&mut out, "serve_secs", &b.serve, "  ");
     out.push_str(",\n");
@@ -939,11 +1019,19 @@ pub fn check(fresh: &str, committed: &str, label: &str) -> Result<Vec<String>, V
                  {now:.2}x below the {MIN_HUGE_PD_SPEEDUP}x floor (baseline {base:.2}x)"
             ));
         }
-        if key == "digest_match" && now != 1.0 {
+        if key.ends_with("digest_match") && now != 1.0 {
             errors.push(format!(
-                "{label}: serve aggregate reports diverged across shard/thread \
-                 configs {SERVE_DETERMINISM_CONFIGS:?} — the serve loop lost \
-                 determinism (this gate is machine-independent)"
+                "{label}: '{key}' aggregate serve reports diverged across \
+                 shard/thread configs {SERVE_DETERMINISM_CONFIGS:?} — the serve \
+                 loop lost determinism (this gate is machine-independent; the \
+                 'faulted.' variant gates healthy-tenant identity under an \
+                 injected panic)"
+            ));
+        }
+        if key == "faulted.quarantined" && now != base {
+            errors.push(format!(
+                "{label}: the injected-fault panel quarantined {now} tenants \
+                 (baseline {base}) — fault containment drifted"
             ));
         }
         if key == "arrivals_per_sec" && base > 0.0 {
@@ -1126,12 +1214,22 @@ mod tests {
         };
         let b = serve_bench(3, &profile, 2).unwrap();
         assert!(b.digest_match, "tiny serve bench must be deterministic");
+        assert_eq!(
+            b.faulted_quarantined, 1,
+            "the plan panics exactly one tenant"
+        );
+        assert!(
+            b.faulted_digest_match,
+            "healthy tenants must be bit-identical under the injected panic"
+        );
         let doc = serve_json(&b);
         let (nums, strs) = parse_flat(&doc).unwrap();
         assert_eq!(strs["family"], "zipf-services");
         assert_eq!(nums["tenants"], 3.0);
         assert_eq!(nums["arrivals"], 144.0);
         assert_eq!(nums["digest_match"], 1.0);
+        assert_eq!(nums["faulted.quarantined"], 1.0);
+        assert_eq!(nums["faulted.digest_match"], 1.0);
         assert!(nums["serve_secs.mean"] > 0.0);
         assert!(nums["arrivals_per_sec"] > 0.0);
         assert!(nums.contains_key("latency_p50_ns"));
@@ -1157,6 +1255,25 @@ mod tests {
         let sub_base = r#"{ "digest_match": 1.0, "serve_secs": { "mean": 0.0005 }, "arrivals_per_sec": 2000000.0 }"#;
         let sub_noisy = r#"{ "digest_match": 1.0, "serve_secs": { "mean": 0.0005 }, "arrivals_per_sec": 200000.0 }"#;
         assert!(check(sub_noisy, sub_base, "t").is_ok());
+    }
+
+    #[test]
+    fn check_gates_the_faulted_cell() {
+        let base = r#"{ "faulted": { "quarantined": 1, "digest_match": 1.0 } }"#;
+        // Healthy-tenant divergence under faults is a hard failure.
+        let diverged = r#"{ "faulted": { "quarantined": 1, "digest_match": 0.0 } }"#;
+        let errs = check(diverged, base, "t").unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.contains("faulted.digest_match")),
+            "{errs:?}"
+        );
+        // So is a drifting quarantine count (containment over- or
+        // under-firing is machine-independent).
+        let drifted = r#"{ "faulted": { "quarantined": 2, "digest_match": 1.0 } }"#;
+        let errs = check(drifted, base, "t").unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("containment")), "{errs:?}");
+        let same = r#"{ "faulted": { "quarantined": 1, "digest_match": 1.0 } }"#;
+        assert!(check(same, base, "t").is_ok());
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub struct ServeOutcome {
 ///
 /// `PartialEq` compares costs as exact `f64` values — the serve determinism
 /// suite asserts snapshots are *bit-identical* across shard/thread counts.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EngineSnapshot {
     /// Requests served so far.
     pub arrivals: usize,
@@ -53,6 +53,29 @@ pub struct EngineSnapshot {
     /// The engine's dual-feasibility lower bound on OPT (Corollary 17
     /// scaling for PD) — 0 for engines without one.
     pub dual_lower_bound: f64,
+    /// Whether the engine state behind this snapshot is trustworthy.
+    /// `true` for every snapshot an engine publishes itself; a serve layer
+    /// that quarantines a faulted tenant republishes the tenant's last
+    /// snapshot with this cleared, so readers learn the state is frozen at
+    /// its pre-fault value and must not be used for bound checks.
+    pub valid: bool,
+}
+
+impl Default for EngineSnapshot {
+    /// The all-zero snapshot of an engine that has served nothing — which
+    /// is a perfectly *valid* state, hence `valid: true`.
+    fn default() -> Self {
+        Self {
+            arrivals: 0,
+            facilities: 0,
+            large_facilities: 0,
+            construction_cost: 0.0,
+            connection_cost: 0.0,
+            dual_sum: 0.0,
+            dual_lower_bound: 0.0,
+            valid: true,
+        }
+    }
 }
 
 impl EngineSnapshot {
@@ -67,7 +90,15 @@ impl EngineSnapshot {
             connection_cost: sol.connection_cost(),
             dual_sum: 0.0,
             dual_lower_bound: 0.0,
+            valid: true,
         }
+    }
+
+    /// This snapshot with the validity flag cleared — what a serve layer
+    /// republishes for a quarantined tenant.
+    pub fn invalidated(mut self) -> Self {
+        self.valid = false;
+        self
     }
 
     /// Construction + connection cost.

@@ -1116,7 +1116,16 @@ fn dist_upper_bound(d_rep: f64, radius: f64) -> f64 {
 /// two execution modes indistinguishable — results and statistics alike.
 fn run_shards(pool: Option<&TaskPool>, nshards: usize, body: &(dyn Fn(usize) + Sync)) {
     match pool {
-        Some(p) => p.run(nshards, body),
+        // The pool contains shard panics per task and reports them typed;
+        // inside the engine a panicking scan shard means the arrival's
+        // answer cannot be assembled, so re-raise as a single panic on the
+        // serve path. The serve layer's per-tenant containment catches it
+        // there — the pool itself (shared across tenants) stays usable.
+        Some(p) => {
+            if let Err(e) = p.run(nshards, body) {
+                panic!("scan shard panicked: {e}");
+            }
+        }
         None => {
             for s in 0..nshards {
                 body(s);
@@ -1333,7 +1342,7 @@ impl OpeningTargetIndex {
                     let lo_w = ShardWriter::new(&mut self.dlb, shard_blocks);
                     let hi_w = ShardWriter::new(&mut self.dub, shard_blocks);
                     let nshards = lo_w.num_chunks();
-                    pool.run(nshards, |s| {
+                    let shards = pool.run(nshards, |s| {
                         let lo = s * shard_blocks;
                         // Safety: shard `s` writes only its own chunks.
                         let lchunk = unsafe { lo_w.chunk(s) };
@@ -1345,6 +1354,9 @@ impl OpeningTargetIndex {
                             *hslot = dist_upper_bound(d_rep, layout.radius[bi]);
                         }
                     });
+                    if let Err(e) = shards {
+                        panic!("bound shard panicked: {e}");
+                    }
                 }
                 _ => {
                     for bi in 0..self.nblocks {

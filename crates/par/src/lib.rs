@@ -30,6 +30,7 @@
 
 use std::collections::VecDeque;
 use std::marker::PhantomData;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 
@@ -143,6 +144,50 @@ where
         .collect()
 }
 
+/// One caught task panic inside a [`TaskPool::run`] fan-out: which index
+/// panicked and the stringified payload (`panic!` message when it was a
+/// string, a placeholder otherwise).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskPanic {
+    /// The task index whose closure invocation panicked.
+    pub index: usize,
+    /// The panic payload rendered as a string.
+    pub message: String,
+}
+
+/// The typed failure of a [`TaskPool::run`] fan-out: at least one task
+/// panicked. Every *other* index still executed exactly once (panics are
+/// caught per task, never allowed to unwind a worker), and the pool itself
+/// remains fully usable for subsequent `run` calls.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolError {
+    /// Every caught panic of the fan-out, in the order they were recorded.
+    pub panics: Vec<TaskPanic>,
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} pool task(s) panicked:", self.panics.len())?;
+        for p in &self.panics {
+            write!(f, " [task {}: {}]", p.index, p.message)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// Renders a caught panic payload for [`TaskPanic::message`].
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// A persistent pool for *within-task* parallelism: fan a closure over
 /// `0..ntasks` indices, block until all complete, reuse the same OS threads
 /// for the next fan-out.
@@ -192,6 +237,10 @@ struct PoolState {
     ntasks: usize,
     next: usize,
     finished: usize,
+    /// Panics caught while executing indices of the current epoch. Drained
+    /// by the submitter into the [`PoolError`] its `run` returns; reset at
+    /// the next submission.
+    panics: Vec<TaskPanic>,
     shutdown: bool,
 }
 
@@ -216,6 +265,7 @@ impl TaskPool {
                 ntasks: 0,
                 next: 0,
                 finished: 0,
+                panics: Vec::new(),
                 shutdown: false,
             }),
             work_cv: Condvar::new(),
@@ -241,23 +291,45 @@ impl TaskPool {
     }
 
     /// Executes `f(i)` for every `i in 0..ntasks`, each exactly once, and
-    /// returns when all have completed. Panics in `f` propagate (workers
-    /// that panic poison the pool mutex, turning later runs into panics
-    /// rather than silent index loss).
-    pub fn run<F: Fn(usize) + Sync>(&self, ntasks: usize, f: F) {
+    /// returns when all have completed.
+    ///
+    /// Panics in `f` are caught *per task*: the remaining indices still
+    /// execute, no worker thread dies, the pool's mutex is never poisoned,
+    /// and `run` reports every caught panic as a typed [`PoolError`]. The
+    /// pool stays fully usable after an `Err` — the next `run` starts from
+    /// a clean slate. (Before this hardening a panicking task killed its
+    /// worker mid-fan-out and every later `run` deadlocked or panicked;
+    /// that footgun is gone.)
+    pub fn run<F: Fn(usize) + Sync>(&self, ntasks: usize, f: F) -> Result<(), PoolError> {
         if ntasks == 0 {
-            return;
+            return Ok(());
         }
         if self.workers.is_empty() || ntasks == 1 {
+            let mut panics = Vec::new();
             for i in 0..ntasks {
-                f(i);
+                if let Err(p) = std::panic::catch_unwind(AssertUnwindSafe(|| f(i))) {
+                    panics.push(TaskPanic {
+                        index: i,
+                        message: payload_message(&*p),
+                    });
+                }
             }
-            return;
+            return if panics.is_empty() {
+                Ok(())
+            } else {
+                Err(PoolError { panics })
+            };
         }
         // One fan-out at a time: a second submitter parking here (instead
         // of racing the epoch bump) is what makes sharing one pool across
-        // long-lived shards safe.
-        let _submit = self.submit.lock().expect("submitter poisoned");
+        // long-lived shards safe. Submitters never panic while holding this
+        // lock (their own task panics are caught below), so recovering a
+        // poisoned guard — impossible since the hardening, but cheap — is
+        // strictly better than turning every later run into a panic.
+        let _submit = self
+            .submit
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let erased: &(dyn Fn(usize) + Sync) = &f;
         // Safety: see RawTask — we block below until every index finished.
         let raw = RawTask(unsafe {
@@ -270,22 +342,36 @@ impl TaskPool {
         st.ntasks = ntasks;
         st.next = 0;
         st.finished = 0;
+        st.panics.clear();
         let epoch = st.epoch;
         self.shared.work_cv.notify_all();
-        // Participate: claim indices until none remain.
+        // Participate: claim indices until none remain. The catch mirrors
+        // the workers': a panicking index is recorded and counted finished,
+        // so the fan-out always converges.
         while st.next < st.ntasks {
             let i = st.next;
             st.next += 1;
             drop(st);
-            f(i);
+            let caught = std::panic::catch_unwind(AssertUnwindSafe(|| f(i))).err();
             st = self.shared.state.lock().expect("pool poisoned");
             st.finished += 1;
+            if let Some(p) = caught {
+                let message = payload_message(&*p);
+                st.panics.push(TaskPanic { index: i, message });
+            }
         }
         while st.finished < st.ntasks {
             st = self.shared.done_cv.wait(st).expect("pool poisoned");
         }
         debug_assert_eq!(st.epoch, epoch);
         st.task = None;
+        if st.panics.is_empty() {
+            Ok(())
+        } else {
+            Err(PoolError {
+                panics: std::mem::take(&mut st.panics),
+            })
+        }
     }
 }
 
@@ -327,9 +413,19 @@ fn worker_loop(shared: &PoolShared) {
             drop(st);
             // Safety: index claimed under the mutex for the matching epoch;
             // the submitter keeps the closure alive until all indices finish.
-            unsafe { (*raw.0)(i) };
+            // The catch keeps a panicking task from unwinding the worker:
+            // the panic is recorded for the submitter's PoolError, the index
+            // counts as finished, and this thread keeps serving fan-outs.
+            let caught =
+                std::panic::catch_unwind(AssertUnwindSafe(|| unsafe { (*raw.0)(i) })).err();
             st = shared.state.lock().expect("pool poisoned");
             st.finished += 1;
+            if let Some(p) = caught {
+                let message = payload_message(&*p);
+                if st.epoch == epoch {
+                    st.panics.push(TaskPanic { index: i, message });
+                }
+            }
             if st.finished == st.ntasks && st.epoch == epoch {
                 shared.done_cv.notify_all();
             }
@@ -661,7 +757,8 @@ mod tests {
                 let hits: Vec<AtomicUsize> = (0..ntasks).map(|_| AtomicUsize::new(0)).collect();
                 pool.run(ntasks, |i| {
                     hits[i].fetch_add(1, Ordering::SeqCst);
-                });
+                })
+                .unwrap();
                 for (i, h) in hits.iter().enumerate() {
                     assert_eq!(
                         h.load(Ordering::SeqCst),
@@ -686,7 +783,8 @@ mod tests {
                     x = seed_for(x, i as u64);
                 }
                 acc[i].store((x as usize).max(1), Ordering::SeqCst);
-            });
+            })
+            .unwrap();
             assert!(acc.iter().all(|a| a.load(Ordering::SeqCst) > 0));
         }
     }
@@ -717,7 +815,8 @@ mod tests {
                             }
                             std::hint::black_box(x);
                             hits[s][i].fetch_add(1, Ordering::SeqCst);
-                        });
+                        })
+                        .unwrap();
                     }
                 });
             }
@@ -741,7 +840,8 @@ mod tests {
             for (j, slot) in chunk.iter_mut().enumerate() {
                 *slot = (i * 10 + j) as u64 + 1;
             }
-        });
+        })
+        .unwrap();
         for (k, &v) in buf.iter().enumerate() {
             assert_eq!(v, k as u64 + 1);
         }
@@ -762,10 +862,83 @@ mod tests {
                 // Safety: k % nshards == s, so no other task touches k.
                 unsafe { *writer.slot(k) = k as u64 + 1 };
             }
-        });
+        })
+        .unwrap();
         for (k, &v) in buf.iter().enumerate() {
             assert_eq!(v, k as u64 + 1);
         }
+    }
+
+    /// Silences the default panic hook for payloads produced by these
+    /// deliberately panicking tests, so `cargo test` output stays readable.
+    /// Other payloads still reach the previous hook.
+    fn quiet_expected_panics() {
+        static ONCE: std::sync::Once = std::sync::Once::new();
+        ONCE.call_once(|| {
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                let payload = info.payload();
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| payload.downcast_ref::<&str>().copied());
+                let quiet = msg.is_some_and(|s| s.contains("deliberate test panic"));
+                if !quiet {
+                    prev(info);
+                }
+            }));
+        });
+    }
+
+    #[test]
+    fn task_pool_survives_task_panics_and_reports_them_typed() {
+        quiet_expected_panics();
+        for threads in [1usize, 2, 4, 7] {
+            let pool = TaskPool::new(threads);
+            let hits: Vec<AtomicUsize> = (0..24).map(|_| AtomicUsize::new(0)).collect();
+            let err = pool
+                .run(24, |i| {
+                    hits[i].fetch_add(1, Ordering::SeqCst);
+                    if i % 7 == 3 {
+                        panic!("deliberate test panic at {i}");
+                    }
+                })
+                .unwrap_err();
+            // Every index ran exactly once, panicking or not.
+            for (i, h) in hits.iter().enumerate() {
+                assert_eq!(h.load(Ordering::SeqCst), 1, "threads {threads}, index {i}");
+            }
+            let mut panicked: Vec<usize> = err.panics.iter().map(|p| p.index).collect();
+            panicked.sort_unstable();
+            assert_eq!(panicked, vec![3, 10, 17], "threads {threads}");
+            assert!(err.panics.iter().all(|p| p.message.contains("deliberate")));
+            assert!(err.to_string().contains("panicked"));
+
+            // The footgun regression: the pool must stay usable after the
+            // panicking fan-out — same workers, clean slate.
+            for _ in 0..3 {
+                let ok: Vec<AtomicUsize> = (0..16).map(|_| AtomicUsize::new(0)).collect();
+                pool.run(16, |i| {
+                    ok[i].fetch_add(1, Ordering::SeqCst);
+                })
+                .expect("pool recovered");
+                assert!(ok.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+            }
+        }
+    }
+
+    #[test]
+    fn task_pool_panic_from_the_submitting_thread_is_caught_too() {
+        quiet_expected_panics();
+        // ntasks == 1 executes inline on the caller; the catch must cover
+        // that path as well as the fan-out path.
+        let pool = TaskPool::new(4);
+        let err = pool
+            .run(1, |_| panic!("deliberate test panic inline"))
+            .unwrap_err();
+        assert_eq!(err.panics.len(), 1);
+        assert_eq!(err.panics[0].index, 0);
+        pool.run(8, |_| {}).expect("pool still fine");
     }
 
     #[test]

@@ -36,19 +36,24 @@ impl LatencyHistogram {
         }
     }
 
-    /// Records one latency sample in nanoseconds.
+    /// Records one latency sample in nanoseconds. Counters saturate instead
+    /// of wrapping: a histogram fed for years (or merged from hostile
+    /// inputs) degrades to a pinned count, never to a debug-build overflow
+    /// panic on the serve hot path.
     pub fn record(&mut self, ns: u64) {
         let b = (u64::BITS - ns.leading_zeros()) as usize; // 0 -> 0, 1 -> 1, ...
-        self.buckets[b.min(BUCKETS - 1)] += 1;
-        self.count += 1;
+        let slot = &mut self.buckets[b.min(BUCKETS - 1)];
+        *slot = slot.saturating_add(1);
+        self.count = self.count.saturating_add(1);
     }
 
-    /// Folds another histogram (e.g. a shard's) into this one.
+    /// Folds another histogram (e.g. a shard's) into this one. Saturating,
+    /// like [`record`](Self::record).
     pub fn merge(&mut self, other: &LatencyHistogram) {
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
-            *a += b;
+            *a = a.saturating_add(*b);
         }
-        self.count += other.count;
+        self.count = self.count.saturating_add(other.count);
     }
 
     /// Samples recorded.
@@ -143,6 +148,22 @@ mod tests {
         // The top bucket's bound must not undercut its own samples: a
         // `u64::MAX` latency needs a bound of `u64::MAX`, not `1 << 63`.
         assert_eq!(h.quantile_ns(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn saturated_counters_pin_instead_of_wrapping() {
+        let mut a = LatencyHistogram::new();
+        a.record(100);
+        let mut b = a.clone();
+        // Drive both to the brink by self-merging doublings, then collide.
+        for _ in 0..63 {
+            let snap = a.clone();
+            a.merge(&snap);
+        }
+        b.merge(&a);
+        b.merge(&a);
+        assert_eq!(b.count(), u64::MAX, "count pins at the ceiling");
+        assert_eq!(b.p50_ns(), 128, "quantiles stay sane at saturation");
     }
 
     #[test]

@@ -13,9 +13,50 @@
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
+use std::time::Duration;
 
 /// One queued arrival: `(tenant, index into that tenant's request stream)`.
 pub type Arrival = (u32, u32);
+
+/// Retry policy for [`ArrivalRing::push_batch_bounded`]: how long (and how
+/// patiently) a producer waits on a full ring before giving up instead of
+/// blocking forever. Waits back off exponentially from `initial_wait` to
+/// `max_wait`; `max_waits` timed-out waits *in a row* (any progress resets
+/// the streak) abandon the push.
+#[derive(Debug, Clone)]
+pub struct PushBudget {
+    /// First wait on a full ring.
+    pub initial_wait: Duration,
+    /// Cap on the exponential backoff.
+    pub max_wait: Duration,
+    /// Consecutive timed-out waits tolerated before giving up.
+    pub max_waits: u32,
+}
+
+impl Default for PushBudget {
+    /// Generous liveness bound: ~1 ms growing to 100 ms waits, 600 strikes —
+    /// roughly a minute of a completely wedged consumer before the producer
+    /// abandons ingest. A healthy consumer never comes close, so the bound
+    /// changes no result; it only converts a permanent hang into a clean
+    /// give-up.
+    fn default() -> Self {
+        Self {
+            initial_wait: Duration::from_millis(1),
+            max_wait: Duration::from_millis(100),
+            max_waits: 600,
+        }
+    }
+}
+
+/// What a bounded push accomplished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PushOutcome {
+    /// Items actually enqueued (a prefix of the batch).
+    pub pushed: usize,
+    /// `true` when the push abandoned the remainder because the retry
+    /// budget ran out (as opposed to the ring being closed).
+    pub gave_up: bool,
+}
 
 #[derive(Debug)]
 struct RingState {
@@ -71,6 +112,22 @@ impl ArrivalRing {
     /// was enqueued before the close is still drainable, so `pushed` in
     /// [`stats`](Self::stats) always equals what the consumer can observe.
     pub fn push_batch(&self, items: &[Arrival]) -> usize {
+        self.push_impl(items, None).pushed
+    }
+
+    /// [`push_batch`](Self::push_batch) with a bounded retry-with-backoff
+    /// wait instead of indefinite blocking: when a full ring stays full for
+    /// `budget.max_waits` consecutive timed-out waits (waits back off
+    /// exponentially from `budget.initial_wait` to `budget.max_wait`), the
+    /// push gives up and reports the enqueued prefix with
+    /// `gave_up == true`. Whatever was enqueued is still drainable, so
+    /// `pushed` in [`stats`](Self::stats) always matches what the consumer
+    /// can observe — a give-up loses the *tail*, never corrupts the prefix.
+    pub fn push_batch_bounded(&self, items: &[Arrival], budget: &PushBudget) -> PushOutcome {
+        self.push_impl(items, Some(budget))
+    }
+
+    fn push_impl(&self, items: &[Arrival], budget: Option<&PushBudget>) -> PushOutcome {
         let mut state = self.inner.lock().expect("ring poisoned");
         for (k, &item) in items.iter().enumerate() {
             // One backpressure *episode* per item that finds the ring full,
@@ -79,12 +136,45 @@ impl ArrivalRing {
             // additional episodes of consumer-side pressure.
             if state.queue.len() >= self.capacity && !state.closed {
                 state.backpressure_waits += 1;
-                while state.queue.len() >= self.capacity && !state.closed {
-                    state = self.not_full.wait(state).expect("ring poisoned");
+                match budget {
+                    None => {
+                        while state.queue.len() >= self.capacity && !state.closed {
+                            state = self.not_full.wait(state).expect("ring poisoned");
+                        }
+                    }
+                    Some(b) => {
+                        let mut wait = b.initial_wait.max(Duration::from_micros(1));
+                        let mut strikes = 0u32;
+                        while state.queue.len() >= self.capacity && !state.closed {
+                            if strikes >= b.max_waits {
+                                return PushOutcome {
+                                    pushed: k,
+                                    gave_up: true,
+                                };
+                            }
+                            let (st, timeout) = self
+                                .not_full
+                                .wait_timeout(state, wait)
+                                .expect("ring poisoned");
+                            state = st;
+                            if timeout.timed_out() {
+                                strikes += 1;
+                                wait = (wait * 2).min(b.max_wait);
+                            } else if state.queue.len() < self.capacity {
+                                // Real progress: the consumer is alive, so
+                                // the patience streak resets.
+                                strikes = 0;
+                                wait = b.initial_wait.max(Duration::from_micros(1));
+                            }
+                        }
+                    }
                 }
             }
             if state.closed {
-                return k;
+                return PushOutcome {
+                    pushed: k,
+                    gave_up: false,
+                };
             }
             state.queue.push_back(item);
             state.pushed += 1;
@@ -95,7 +185,10 @@ impl ArrivalRing {
             }
         }
         self.not_empty.notify_one();
-        items.len()
+        PushOutcome {
+            pushed: items.len(),
+            gave_up: false,
+        }
     }
 
     /// Moves up to `max` arrivals into `buf` (appending), blocking while
@@ -219,6 +312,135 @@ mod tests {
         assert_eq!(pushed, 2);
         assert_eq!(out, vec![(0, 0), (0, 1)]);
         assert_eq!(ring.stats().0, pushed as u64);
+    }
+
+    #[test]
+    fn drain_after_close_on_an_empty_ring_terminates_immediately() {
+        // The consumer's shutdown edge: nothing was ever pushed, the ring is
+        // closed — drain_into must return false at once (no wait, no items)
+        // and keep returning false on repeated calls.
+        let ring = ArrivalRing::new(8);
+        ring.close();
+        let mut out = Vec::new();
+        assert!(!ring.drain_into(&mut out, 16));
+        assert!(!ring.drain_into(&mut out, 1));
+        assert!(out.is_empty());
+        let (pushed, waits) = ring.stats();
+        assert_eq!((pushed, waits), (0, 0));
+        // close is idempotent.
+        ring.close();
+        assert!(!ring.drain_into(&mut out, 16));
+    }
+
+    #[test]
+    fn empty_batch_pushes_are_nops_on_open_and_closed_rings() {
+        let ring = ArrivalRing::new(2);
+        assert_eq!(ring.push_batch(&[]), 0);
+        let out = ring.push_batch_bounded(&[], &PushBudget::default());
+        assert_eq!(
+            out,
+            PushOutcome {
+                pushed: 0,
+                gave_up: false
+            }
+        );
+        // Still a no-op after close — and it must not report a close-drop.
+        ring.close();
+        assert_eq!(ring.push_batch(&[]), 0);
+        let out = ring.push_batch_bounded(&[], &PushBudget::default());
+        assert!(!out.gave_up);
+        let (pushed, waits) = ring.stats();
+        assert_eq!((pushed, waits), (0, 0), "empty pushes touch no stats");
+    }
+
+    #[test]
+    fn capacity_one_ring_with_bounded_pushes_stays_lossless_under_a_live_consumer() {
+        // The blocking-producer edge at the tightest capacity, through the
+        // bounded path: every push waits on a full ring, the consumer keeps
+        // draining, and a generous budget never trips — FIFO order and
+        // exact backpressure accounting both survive.
+        let ring = Arc::new(ArrivalRing::new(1));
+        let items: Vec<Arrival> = (0..40).map(|i| (i % 5, i / 5)).collect();
+        let producer = {
+            let ring = Arc::clone(&ring);
+            let items = items.clone();
+            std::thread::spawn(move || {
+                let mut pushed = 0;
+                for chunk in items.chunks(7) {
+                    let out = ring.push_batch_bounded(chunk, &PushBudget::default());
+                    assert!(!out.gave_up, "live consumer must never exhaust the budget");
+                    pushed += out.pushed;
+                }
+                ring.close();
+                pushed
+            })
+        };
+        let mut out = Vec::new();
+        while ring.drain_into(&mut out, 3) {}
+        assert_eq!(producer.join().unwrap(), items.len());
+        assert_eq!(out, items);
+        let (pushed, waits) = ring.stats();
+        assert_eq!(pushed, items.len() as u64);
+        // Each item past the first bumps the episode counter at most once,
+        // however often its wait loop wakes; whether it bumps at all is a
+        // race against the consumer (the ring may already be drained), so
+        // only the upper bound is deterministic.
+        assert!(waits < items.len() as u64, "waits = {waits}");
+    }
+
+    #[test]
+    fn bounded_push_gives_up_on_a_wedged_consumer_and_keeps_the_prefix_drainable() {
+        let ring = ArrivalRing::new(2);
+        let tight = PushBudget {
+            initial_wait: Duration::from_micros(200),
+            max_wait: Duration::from_millis(2),
+            max_waits: 3,
+        };
+        // Nobody drains: items 0 and 1 land, item 2 exhausts the budget.
+        let out = ring.push_batch_bounded(&[(0, 0), (0, 1), (0, 2), (0, 3)], &tight);
+        assert_eq!(
+            out,
+            PushOutcome {
+                pushed: 2,
+                gave_up: true
+            }
+        );
+        let (pushed, waits) = ring.stats();
+        assert_eq!(pushed, 2, "stats agree with the drainable prefix");
+        assert_eq!(waits, 1, "one backpressure episode, however many retries");
+        // The prefix is intact and the ring still works.
+        ring.close();
+        let mut drained = Vec::new();
+        while ring.drain_into(&mut drained, 8) {}
+        assert_eq!(drained, vec![(0, 0), (0, 1)]);
+    }
+
+    #[test]
+    fn bounded_push_reports_close_not_give_up_when_the_ring_closes() {
+        let ring = Arc::new(ArrivalRing::new(1));
+        assert_eq!(ring.push_batch(&[(0, 0)]), 1);
+        let blocked = {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || {
+                let patient = PushBudget {
+                    initial_wait: Duration::from_millis(1),
+                    max_wait: Duration::from_millis(10),
+                    max_waits: u32::MAX,
+                };
+                ring.push_batch_bounded(&[(0, 1)], &patient)
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        ring.close();
+        let out = blocked.join().unwrap();
+        assert_eq!(
+            out,
+            PushOutcome {
+                pushed: 0,
+                gave_up: false
+            },
+            "a closed ring is a normal end of stream, not a budget failure"
+        );
     }
 
     #[test]

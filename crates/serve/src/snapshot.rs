@@ -10,7 +10,7 @@
 //! behind), which is the documented freshness contract.
 
 use omfl_core::algorithm::EngineSnapshot;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// A cloneable handle onto one tenant's latest published snapshot.
 ///
@@ -32,14 +32,21 @@ impl SnapshotHandle {
 
     /// The latest published snapshot. Cheap (one short lock, one `Arc`
     /// clone) and never blocks on the serve path.
+    ///
+    /// Poison-recovering: the critical section is a single pointer swap /
+    /// clone, so a panic elsewhere can never leave the slot torn — a
+    /// poisoned slot mutex still holds a whole `Arc` and is safe to keep
+    /// using. Readers must never be the thing that takes a serve fleet
+    /// down.
     pub fn read(&self) -> Arc<EngineSnapshot> {
-        Arc::clone(&self.slot.lock().expect("snapshot slot poisoned"))
+        Arc::clone(&self.slot.lock().unwrap_or_else(PoisonError::into_inner))
     }
 
     /// Publishes a new snapshot, replacing the previous one atomically
-    /// from the readers' point of view.
+    /// from the readers' point of view. Poison-recovering, same argument
+    /// as [`read`](Self::read).
     pub fn publish(&self, snap: EngineSnapshot) {
-        *self.slot.lock().expect("snapshot slot poisoned") = Arc::new(snap);
+        *self.slot.lock().unwrap_or_else(PoisonError::into_inner) = Arc::new(snap);
     }
 }
 
@@ -68,10 +75,29 @@ mod tests {
             connection_cost: 1.5,
             dual_sum: 4.0,
             dual_lower_bound: 0.25,
+            valid: true,
         };
         h.publish(snap);
         assert_eq!(*reader.read(), snap);
         // A snapshot taken before the publication is immutable.
         assert_eq!(*old, EngineSnapshot::default());
+    }
+
+    #[test]
+    fn fresh_snapshots_are_valid_and_invalidation_is_visible() {
+        let h = SnapshotHandle::new();
+        assert!(h.read().valid, "the default snapshot is a valid state");
+        let snap = EngineSnapshot {
+            arrivals: 7,
+            ..EngineSnapshot::default()
+        };
+        h.publish(snap);
+        assert!(h.read().valid);
+        // Quarantine republishes the last state with the flag cleared: the
+        // numbers freeze at their pre-fault values, the flag says so.
+        h.publish(h.read().invalidated());
+        let frozen = h.read();
+        assert!(!frozen.valid);
+        assert_eq!(frozen.arrivals, 7);
     }
 }

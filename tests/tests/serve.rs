@@ -50,6 +50,7 @@ fn serve_once(
         shards,
         micro_batch,
         queue_capacity: 128,
+        deadline: None,
     };
     let (report, telemetry) = server.serve(source, &cfg, &pool).expect("serve succeeds");
     assert_eq!(telemetry.shards, shards.max(1));
@@ -120,7 +121,7 @@ fn snapshots_read_consistently_and_idle_tenant_stays_default() {
     let pool = TaskPool::new(4);
     let server = Server::new(&scenarios, Engine::Pd).expect("pd tenants build");
     let handles: Vec<_> = (0..scenarios.len())
-        .map(|t| server.snapshot_handle(t))
+        .map(|t| server.snapshot_handle(t).expect("tenant not poisoned"))
         .collect();
     let stop = Arc::new(AtomicBool::new(false));
 
