@@ -11,6 +11,13 @@ use omfl_core::instance::Instance;
 use omfl_core::request::Request;
 use omfl_metric::PointId;
 
+/// Largest demand size the subset-cover DP supports (`2^k` states).
+///
+/// Callers that accept untrusted request streams must check demands against
+/// this limit and surface a typed error; [`assign_optimal`] itself enforces
+/// it with an assert because it sits on hot solver paths.
+pub const MAX_DEMAND: usize = 20;
+
 /// A facility as the offline solvers see it: location + configuration.
 #[derive(Debug, Clone)]
 pub struct OpenFacility {
@@ -32,7 +39,10 @@ pub fn assign_optimal(
 ) -> Option<(Vec<usize>, f64)> {
     let members: Vec<_> = request.demand().iter().collect();
     let k = members.len();
-    assert!(k <= 20, "assign_optimal supports |sr| <= 20, got {k}");
+    assert!(
+        k <= MAX_DEMAND,
+        "assign_optimal supports |sr| <= {MAX_DEMAND}, got {k}"
+    );
     let full: u32 = if k == 32 { u32::MAX } else { (1u32 << k) - 1 };
 
     // Per-facility: (cover mask over demand members, distance).

@@ -1,34 +1,596 @@
-//! Exact OPT for tiny instances by branch-and-bound.
+//! Exact OPT by Lagrangian-bounded best-first branch-and-bound.
 //!
 //! Soundness rests on a WLOG fact the paper establishes in §1.1: under
 //! subadditive costs an optimal solution never opens two facilities at one
 //! location (merge them: construction cost cannot rise, connection cost
 //! cannot rise either because one connection replaces two). The search
-//! therefore assigns each location a configuration in `{∅} ∪ 2^S∖{∅}` and
-//! prunes on partial construction cost. Leaves are evaluated with the exact
-//! per-request subset-cover DP.
+//! therefore assigns each location a configuration in `{∅} ∪ 2^S∖{∅}`.
 //!
-//! The search space is `(2^|S|)^|M|`, so the solver enforces explicit limits
-//! (defaults: `|S| ≤ 4`, `|M| ≤ 5`, `2^(|S|·|M|) ≤ 2^20`).
+//! Each node fixes a subset of locations to a configuration (or closed) and
+//! is bounded by the certified Lagrangian dual of
+//! [`super::lagrangian`] — a deterministic, fixed-schedule subgradient
+//! ascent warm-started from the parent's multipliers. Branching picks the
+//! undecided location with the most negative reduced cost and creates one
+//! child per configuration (plus closed): an exact partition of the node's
+//! subspace, each child priced by the parent's final multipliers. Leaves are
+//! evaluated with the exact per-request subset-cover DP
+//! ([`assign_optimal`]). A primal heuristic at every expansion rounds the
+//! Lagrangian argmin into a feasible solution so the incumbent tightens
+//! long before leaves are reached.
+//!
+//! # Deterministic parallel frontier
+//!
+//! Node expansion is sharded over [`omfl_par::TaskPool`]: each wave pops a
+//! *fixed-size* batch (independent of thread count) from a min-heap keyed
+//! `(bound, node id)` (ties by id), expands the batch in parallel into
+//! disjoint result slots, then merges the slots **sequentially in slot
+//! order** — incumbent updates, node-id assignment, and heap pushes all
+//! happen in the merge. Every quantity that feeds back into the search is
+//! therefore a pure function of the wave contents, and node counts,
+//! certified optima, and `BoundOnly` gaps are bit-identical at 1, 2, 7, or
+//! 16 threads.
+//!
+//! # Certification
+//!
+//! The search prunes against `incumbent − tol` with
+//! `tol = 1e-9 · (1 + greedy cost)`. When the frontier empties, the
+//! incumbent is the optimum up to that additive tolerance (`gap = 0`). When
+//! the node budget runs out first, the result is a typed
+//! [`ExactOutcome::BoundOnly`] carrying the certified Lagrangian gap
+//! `upper − min(frontier bounds)`.
 
-use super::assign::{assign_optimal, OpenFacility};
+use super::assign::{assign_optimal, OpenFacility, MAX_DEMAND};
+use super::greedy::GreedyOffline;
+use super::lagrangian::{ascend, config_scores, CollapsedInstance, CLOSED, UNDECIDED};
 use omfl_commodity::CommoditySet;
 use omfl_core::instance::Instance;
 use omfl_core::request::Request;
 use omfl_core::solution::Solution;
 use omfl_core::CoreError;
 use omfl_metric::PointId;
+use omfl_par::{ScatterWriter, TaskPool};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
 
-/// Exact solver with explicit size limits.
+/// Subgradient iterations at the root (cold start from zeros).
+const ROOT_ITERS: usize = 72;
+/// Subgradient iterations per interior node (warm-started).
+const NODE_ITERS: usize = 12;
+/// Nodes popped per expansion wave — fixed, so the search trajectory is
+/// independent of the thread count.
+const WAVE: usize = 16;
+
+/// Best-first branch-and-bound exact solver with Lagrangian bounds.
 #[derive(Debug, Clone)]
 pub struct ExactSolver {
     /// Maximum `|S|` (configurations per location = `2^|S|`).
     pub max_commodities: u16,
     /// Maximum `|M|`.
     pub max_points: usize,
+    /// Maximum nodes expanded before falling back to `BoundOnly`.
+    pub node_budget: u64,
+    /// Worker threads for wave expansion (1 = inline, still deterministic).
+    pub threads: usize,
+    /// Optional wall-clock cap, checked at wave boundaries. **Breaks
+    /// node-count determinism when it fires** — leave `None` (the default)
+    /// on every path that must be reproducible (sweeps, benches, CI).
+    pub time_budget: Option<std::time::Duration>,
 }
 
 impl Default for ExactSolver {
+    fn default() -> Self {
+        Self {
+            max_commodities: 12,
+            max_points: 512,
+            node_budget: 50_000,
+            threads: 1,
+            time_budget: None,
+        }
+    }
+}
+
+/// How a bounded solve ended.
+#[derive(Debug, Clone)]
+pub enum ExactOutcome {
+    /// The frontier emptied: the solution is optimal up to the pruning
+    /// tolerance.
+    Certified(Solution),
+    /// The node (or time) budget ran out; the incumbent — when one better
+    /// than greedy's rounding was found — is feasible but not certified.
+    BoundOnly {
+        /// Best feasible solution found.
+        incumbent: Box<Solution>,
+    },
+}
+
+/// Result of [`ExactSolver::solve_bounded`]: outcome plus the certified
+/// bracket and search statistics.
+#[derive(Debug, Clone)]
+pub struct ExactResult {
+    /// Certified or bound-only outcome.
+    pub outcome: ExactOutcome,
+    /// Certified lower bound on OPT (equals `upper_bound` when certified).
+    pub lower_bound: f64,
+    /// Cost of the best feasible solution found.
+    pub upper_bound: f64,
+    /// The root Lagrangian bound before any branching.
+    pub root_bound: f64,
+    /// Nodes expanded (= Lagrangian ascents run on popped nodes).
+    pub nodes_expanded: u64,
+    /// `max(0, upper_bound − lower_bound)`; exactly 0 when certified.
+    pub gap: f64,
+}
+
+impl ExactResult {
+    /// True when the optimum was certified within tolerance.
+    pub fn certified(&self) -> bool {
+        matches!(self.outcome, ExactOutcome::Certified(_))
+    }
+
+    /// The best feasible solution (always present).
+    pub fn solution(&self) -> &Solution {
+        match &self.outcome {
+            ExactOutcome::Certified(s) => s,
+            ExactOutcome::BoundOnly { incumbent } => incumbent,
+        }
+    }
+
+    /// The certified optimum, when certified.
+    pub fn optimum(&self) -> Option<f64> {
+        self.certified().then_some(self.upper_bound)
+    }
+}
+
+/// Heap entry for the best-first frontier: min by `(bound, id)`.
+#[derive(Debug, Clone, Copy)]
+struct FrontierKey {
+    bound: f64,
+    id: u64,
+}
+
+impl PartialEq for FrontierKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for FrontierKey {}
+impl PartialOrd for FrontierKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for FrontierKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the least bound (ties
+        // by lowest id) on top.
+        other
+            .bound
+            .total_cmp(&self.bound)
+            .then(other.id.cmp(&self.id))
+    }
+}
+
+/// A frontier node: per-location decisions + warm-start multipliers.
+struct Node {
+    decisions: Vec<u16>,
+    warm: Arc<Vec<f64>>,
+    bound: f64,
+}
+
+/// What one wave slot produced, merged sequentially in slot order.
+enum Expansion {
+    /// Refined bound met the incumbent: subspace closed.
+    Pruned,
+    /// All locations decided: exact evaluation.
+    Leaf { cost: f64, choice: Vec<u16> },
+    /// Branched on one location.
+    Branched {
+        lambda: Arc<Vec<f64>>,
+        branch: usize,
+        /// `(config mask or CLOSED, certified child bound)`, in fixed order.
+        children: Vec<(u16, f64)>,
+        /// Rounded primal candidate, when feasible.
+        primal: Option<(f64, Vec<u16>)>,
+    },
+}
+
+impl ExactSolver {
+    /// Default budget envelope (`|S| ≤ 12`, `|M| ≤ 512`, 50k nodes).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker thread count (results are identical at any value).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the node budget.
+    pub fn with_node_budget(mut self, nodes: u64) -> Self {
+        self.node_budget = nodes;
+        self
+    }
+
+    /// Solves exactly, requiring certification. Errors when the instance
+    /// exceeds the limits, a demand exceeds [`MAX_DEMAND`], or the node
+    /// budget ran out before the frontier emptied.
+    pub fn solve(&self, inst: &Instance, requests: &[Request]) -> Result<Solution, CoreError> {
+        let res = self.solve_bounded(inst, requests)?;
+        match res.outcome {
+            ExactOutcome::Certified(sol) => Ok(sol),
+            ExactOutcome::BoundOnly { .. } => Err(CoreError::BadInstance(format!(
+                "node budget {} exhausted: certified gap {:.6} (lower {:.6}, upper {:.6})",
+                self.node_budget, res.gap, res.lower_bound, res.upper_bound
+            ))),
+        }
+    }
+
+    /// Runs the branch-and-bound and reports the outcome with its certified
+    /// bracket, instead of erroring when the budget runs out.
+    pub fn solve_bounded(
+        &self,
+        inst: &Instance,
+        requests: &[Request],
+    ) -> Result<ExactResult, CoreError> {
+        let s = inst.num_commodities();
+        let m = inst.num_points();
+        if s > self.max_commodities as usize || m > self.max_points {
+            return Err(CoreError::BadInstance(format!(
+                "ExactSolver limits exceeded: |S| = {s} (max {}), |M| = {m} (max {})",
+                self.max_commodities, self.max_points
+            )));
+        }
+        // Typed demand check before anything can reach the DP's assert.
+        for r in requests {
+            let k = r.demand().len();
+            if k > MAX_DEMAND {
+                return Err(CoreError::BadRequest(format!(
+                    "demand has {k} commodities; the subset-cover DP supports |sr| <= {MAX_DEMAND}"
+                )));
+            }
+        }
+
+        if requests.is_empty() {
+            let sol = Solution::new();
+            return Ok(ExactResult {
+                outcome: ExactOutcome::Certified(sol),
+                lower_bound: 0.0,
+                upper_bound: 0.0,
+                root_bound: 0.0,
+                nodes_expanded: 0,
+                gap: 0.0,
+            });
+        }
+
+        let ci = CollapsedInstance::build(inst, requests)?;
+
+        // Greedy rounding seeds the incumbent, so `ub_ref` is always finite
+        // and the certified optimum never exceeds greedy.
+        let greedy = GreedyOffline::new().solve(inst, requests)?;
+        let mut choice = vec![CLOSED; m];
+        for f in greedy.facilities() {
+            let p = f.location.0 as usize;
+            choice[p] |= f.config.to_mask() as u16;
+        }
+        let mut inc_cost = evaluate_choice(&ci, inst, &choice)
+            .ok_or_else(|| CoreError::Infeasible("greedy produced no feasible cover".into()))?;
+        let mut inc_choice = choice;
+        let tol = 1e-9 * (1.0 + inc_cost);
+
+        let start = std::time::Instant::now();
+        let all_open = vec![UNDECIDED; m];
+        let root = ascend(&ci, &all_open, &[], ROOT_ITERS, inc_cost);
+        let root_bound = root.bound;
+
+        let mut heap: BinaryHeap<FrontierKey> = BinaryHeap::new();
+        let mut nodes: Vec<Option<Node>> = Vec::new();
+        if root_bound < inc_cost - tol {
+            nodes.push(Some(Node {
+                decisions: all_open,
+                warm: Arc::new(root.lambda),
+                bound: root_bound,
+            }));
+            heap.push(FrontierKey {
+                bound: root_bound,
+                id: 0,
+            });
+        }
+
+        let pool = TaskPool::new(self.threads.max(1));
+        let mut nodes_expanded: u64 = 0;
+        let mut out_of_budget = false;
+
+        loop {
+            if heap.is_empty() {
+                break; // certified
+            }
+            if nodes_expanded >= self.node_budget {
+                out_of_budget = true;
+                break;
+            }
+            if let Some(cap) = self.time_budget {
+                if start.elapsed() >= cap {
+                    out_of_budget = true;
+                    break;
+                }
+            }
+
+            // Pop a fixed-size wave (thread-count independent), discarding
+            // nodes the current incumbent already prunes.
+            let cap = WAVE.min((self.node_budget - nodes_expanded) as usize);
+            let mut wave: Vec<Node> = Vec::with_capacity(cap);
+            while wave.len() < cap {
+                let Some(top) = heap.pop() else { break };
+                let node = nodes[top.id as usize]
+                    .take()
+                    .expect("frontier node present");
+                if node.bound < inc_cost - tol {
+                    wave.push(node);
+                }
+            }
+            if wave.is_empty() {
+                continue;
+            }
+
+            let inc_snapshot = inc_cost;
+            let mut results: Vec<Option<Expansion>> = (0..wave.len()).map(|_| None).collect();
+            {
+                let writer = ScatterWriter::new(&mut results);
+                let ci_ref = &ci;
+                let wave_ref = &wave;
+                pool.run(wave_ref.len(), |i| {
+                    let exp = expand(ci_ref, inst, &wave_ref[i], inc_snapshot, tol);
+                    // SAFETY: each task writes only its own slot `i`.
+                    *unsafe { writer.slot(i) } = Some(exp);
+                })
+                .map_err(|e| CoreError::BadInstance(format!("exact solver worker failed: {e}")))?;
+            }
+
+            // Sequential merge in slot order: the only place incumbent,
+            // node ids, and the heap mutate.
+            for (i, exp) in results.into_iter().enumerate() {
+                nodes_expanded += 1;
+                match exp.expect("every slot written") {
+                    Expansion::Pruned => {}
+                    Expansion::Leaf { cost, choice } => {
+                        if cost < inc_cost {
+                            inc_cost = cost;
+                            inc_choice = choice;
+                        }
+                    }
+                    Expansion::Branched {
+                        lambda,
+                        branch,
+                        children,
+                        primal,
+                    } => {
+                        if let Some((cost, choice)) = primal {
+                            if cost < inc_cost {
+                                inc_cost = cost;
+                                inc_choice = choice;
+                            }
+                        }
+                        for (mask, bound) in children {
+                            if bound >= inc_cost - tol {
+                                continue;
+                            }
+                            let mut decisions = wave[i].decisions.clone();
+                            decisions[branch] = mask;
+                            let id = nodes.len() as u64;
+                            nodes.push(Some(Node {
+                                decisions,
+                                warm: Arc::clone(&lambda),
+                                bound,
+                            }));
+                            heap.push(FrontierKey { bound, id });
+                        }
+                    }
+                }
+            }
+        }
+
+        let (lower_bound, gap) = if out_of_budget {
+            let frontier_min = heap
+                .peek()
+                .map(|k| k.bound)
+                .unwrap_or(inc_cost)
+                .min(inc_cost);
+            (frontier_min, (inc_cost - frontier_min).max(0.0))
+        } else {
+            (inc_cost, 0.0)
+        };
+
+        let sol = materialize(&ci, inst, requests, &inc_choice)?;
+        let outcome = if out_of_budget {
+            ExactOutcome::BoundOnly {
+                incumbent: Box::new(sol),
+            }
+        } else {
+            ExactOutcome::Certified(sol)
+        };
+        Ok(ExactResult {
+            outcome,
+            lower_bound,
+            upper_bound: inc_cost,
+            root_bound,
+            nodes_expanded,
+            gap,
+        })
+    }
+}
+
+/// Expands one node: refine its bound by warm-started ascent, then prune,
+/// evaluate (leaf), or branch. Pure function of its arguments — safe to run
+/// in any wave slot on any thread.
+fn expand(ci: &CollapsedInstance, inst: &Instance, node: &Node, inc: f64, tol: f64) -> Expansion {
+    let art = ascend(ci, &node.decisions, &node.warm, NODE_ITERS, inc);
+    // The heap bound was certified too; never regress below it.
+    let bound = art.bound.max(node.bound);
+    if bound >= inc - tol {
+        return Expansion::Pruned;
+    }
+
+    // Branch location: most negative reduced cost (ties: lowest id).
+    let mut branch = usize::MAX;
+    let mut best_rc = f64::INFINITY;
+    for (m, &d) in node.decisions.iter().enumerate() {
+        if d == UNDECIDED && art.min_rc[m] < best_rc {
+            best_rc = art.min_rc[m];
+            branch = m;
+        }
+    }
+    if branch == usize::MAX {
+        // All locations decided: exact leaf evaluation.
+        return match evaluate_choice(ci, inst, &node.decisions) {
+            Some(cost) => Expansion::Leaf {
+                cost,
+                choice: node.decisions.clone(),
+            },
+            None => Expansion::Pruned, // infeasible subspace
+        };
+    }
+
+    // Primal heuristic: round the Lagrangian argmin (fixed decisions as-is,
+    // undecided locations open their argmin config when its reduced cost is
+    // negative), then repair coverage of globally missing commodities.
+    let mut rounded: Vec<u16> = node
+        .decisions
+        .iter()
+        .enumerate()
+        .map(|(m, &d)| {
+            if d == UNDECIDED {
+                if art.min_rc[m] < 0.0 {
+                    art.arg_rc[m]
+                } else {
+                    CLOSED
+                }
+            } else {
+                d
+            }
+        })
+        .collect();
+    repair_coverage(ci, &mut rounded);
+    let primal = evaluate_choice(ci, inst, &rounded).map(|c| (c, rounded));
+
+    // Price all children of the branch location at the refined multipliers:
+    // L_child = L − min(0, min_rc(b)) + rc(b, σ). Exact partition of the
+    // node's subspace, each bound certified at art.lambda.
+    let rc = config_scores(ci, &art.lambda, branch);
+    let base = art.bound - art.min_rc[branch].min(0.0);
+    let mut children: Vec<(u16, f64)> = Vec::with_capacity(ci.nconf);
+    children.push((CLOSED, base.max(node.bound)));
+    for (mask, &r) in rc.iter().enumerate().skip(1) {
+        children.push((mask as u16, (base + r).max(node.bound)));
+    }
+
+    Expansion::Branched {
+        lambda: Arc::new(art.lambda),
+        branch,
+        children,
+        primal,
+    }
+}
+
+/// Ensures every demanded commodity is open somewhere: for each missing
+/// commodity, add it to the location with the cheapest marginal
+/// construction cost (ties: lowest location id).
+fn repair_coverage(ci: &CollapsedInstance, choice: &mut [u16]) {
+    let mut demanded: u64 = 0;
+    for mr in &ci.requests {
+        demanded |= mr.mask;
+    }
+    let mut open: u64 = 0;
+    for &c in choice.iter() {
+        open |= c as u64;
+    }
+    let mut missing = demanded & !open;
+    while missing != 0 {
+        let e = missing.trailing_zeros() as usize;
+        let bit = 1u16 << e;
+        let mut best = f64::INFINITY;
+        let mut best_m = 0usize;
+        for (m, &c) in choice.iter().enumerate() {
+            let cur = c as usize;
+            let marginal =
+                ci.fcost[m * ci.nconf + (cur | (bit as usize))] - ci.fcost[m * ci.nconf + cur];
+            if marginal < best {
+                best = marginal;
+                best_m = m;
+            }
+        }
+        choice[best_m] |= bit;
+        missing &= missing - 1;
+    }
+}
+
+/// Exact cost of a full per-location configuration choice, `None` when some
+/// demand cannot be covered.
+fn evaluate_choice(ci: &CollapsedInstance, inst: &Instance, choice: &[u16]) -> Option<f64> {
+    let mut total = 0.0;
+    let mut facs: Vec<OpenFacility> = Vec::new();
+    for (m, &mask) in choice.iter().enumerate() {
+        if mask != CLOSED && mask != UNDECIDED {
+            total += ci.fcost[m * ci.nconf + mask as usize];
+            facs.push(OpenFacility {
+                location: PointId(m as u32),
+                config: ci.configs[mask as usize].clone(),
+            });
+        }
+    }
+    for mr in &ci.requests {
+        let (_, c) = assign_optimal(inst, &facs, &mr.representative)?;
+        total += mr.weight * c;
+    }
+    Some(total)
+}
+
+/// Materializes a configuration choice into a verified [`Solution`] over
+/// the *original* (un-merged) request list.
+fn materialize(
+    ci: &CollapsedInstance,
+    inst: &Instance,
+    requests: &[Request],
+    choice: &[u16],
+) -> Result<Solution, CoreError> {
+    let facs: Vec<OpenFacility> = choice
+        .iter()
+        .enumerate()
+        .filter(|&(_, &mask)| mask != CLOSED && mask != UNDECIDED)
+        .map(|(m, &mask)| OpenFacility {
+            location: PointId(m as u32),
+            config: ci.configs[mask as usize].clone(),
+        })
+        .collect();
+    let mut sol = Solution::new();
+    let fids: Vec<_> = facs
+        .iter()
+        .map(|f| sol.open_facility(inst, f.location, f.config.clone()))
+        .collect();
+    for r in requests {
+        let (used, _) = assign_optimal(inst, &facs, r)
+            .ok_or_else(|| CoreError::Infeasible("incumbent fails to cover a demand".into()))?;
+        let assigned: Vec<_> = used.iter().map(|&i| fids[i]).collect();
+        sol.assign(inst, r.clone(), &assigned);
+    }
+    sol.verify(inst)?;
+    Ok(sol)
+}
+
+/// The pre-Lagrangian exhaustive solver, kept as a differential oracle for
+/// the branch-and-bound: plain depth-first search over per-location
+/// configurations with construction-cost pruning. Same §1.1 WLOG soundness
+/// argument, much smaller limits (defaults: `|S| ≤ 4`, `|M| ≤ 5`).
+#[derive(Debug, Clone)]
+pub struct ExhaustiveSolver {
+    /// Maximum `|S|` (configurations per location = `2^|S|`).
+    pub max_commodities: u16,
+    /// Maximum `|M|`.
+    pub max_points: usize,
+}
+
+impl Default for ExhaustiveSolver {
     fn default() -> Self {
         Self {
             max_commodities: 4,
@@ -37,7 +599,7 @@ impl Default for ExactSolver {
     }
 }
 
-impl ExactSolver {
+impl ExhaustiveSolver {
     /// Default limits (`|S| ≤ 4`, `|M| ≤ 5`).
     pub fn new() -> Self {
         Self::default()
@@ -49,7 +611,7 @@ impl ExactSolver {
         let m = inst.num_points();
         if s > self.max_commodities as usize || m > self.max_points {
             return Err(CoreError::BadInstance(format!(
-                "ExactSolver limits exceeded: |S| = {s} (max {}), |M| = {m} (max {})",
+                "ExhaustiveSolver limits exceeded: |S| = {s} (max {}), |M| = {m} (max {})",
                 self.max_commodities, self.max_points
             )));
         }
@@ -247,6 +809,134 @@ mod tests {
     }
 
     #[test]
+    fn agrees_with_exhaustive_oracle() {
+        let inst = Instance::new(
+            Box::new(LineMetric::new(vec![0.0, 1.0, 2.5, 5.0]).unwrap()),
+            3,
+            CostModel::power(3, 1.0, 1.2),
+        )
+        .unwrap();
+        let reqs = vec![
+            req(&inst, 0, &[0, 1]),
+            req(&inst, 3, &[2]),
+            req(&inst, 1, &[0, 2]),
+            req(&inst, 2, &[1]),
+        ];
+        let bnb = ExactSolver::new().solve(&inst, &reqs).unwrap().total_cost();
+        let dfs = ExhaustiveSolver::new()
+            .solve(&inst, &reqs)
+            .unwrap()
+            .total_cost();
+        assert!(
+            (bnb - dfs).abs() < 1e-9 * (1.0 + dfs),
+            "bnb {bnb} vs exhaustive {dfs}"
+        );
+    }
+
+    #[test]
+    fn certifies_with_bracket_and_stats() {
+        let inst = Instance::new(
+            Box::new(LineMetric::new(vec![0.0, 2.0, 4.0, 7.0]).unwrap()),
+            3,
+            CostModel::power(3, 1.0, 1.5),
+        )
+        .unwrap();
+        let reqs = vec![
+            req(&inst, 0, &[0, 1]),
+            req(&inst, 1, &[1, 2]),
+            req(&inst, 3, &[0]),
+        ];
+        let res = ExactSolver::new().solve_bounded(&inst, &reqs).unwrap();
+        assert!(res.certified());
+        assert_eq!(res.gap, 0.0);
+        assert_eq!(res.lower_bound, res.upper_bound);
+        assert!(res.root_bound <= res.upper_bound + 1e-9);
+        assert!((res.solution().total_cost() - res.upper_bound).abs() < 1e-9);
+        assert_eq!(res.optimum(), Some(res.upper_bound));
+    }
+
+    #[test]
+    fn identical_at_every_thread_count() {
+        let inst = Instance::new(
+            Box::new(LineMetric::new(vec![0.0, 1.0, 2.0, 4.0, 6.5, 9.0]).unwrap()),
+            4,
+            CostModel::power(4, 1.0, 1.3),
+        )
+        .unwrap();
+        let mut reqs = Vec::new();
+        for (i, &loc) in [0u32, 2, 4, 5, 1, 3, 0, 5].iter().enumerate() {
+            let ids = [(i % 4) as u16, ((i + 1) % 4) as u16];
+            reqs.push(req(&inst, loc, &ids));
+        }
+        let reference = ExactSolver::new().solve_bounded(&inst, &reqs).unwrap();
+        for threads in [2usize, 7, 16] {
+            let res = ExactSolver::new()
+                .with_threads(threads)
+                .solve_bounded(&inst, &reqs)
+                .unwrap();
+            assert_eq!(res.nodes_expanded, reference.nodes_expanded, "t={threads}");
+            assert_eq!(
+                res.upper_bound.to_bits(),
+                reference.upper_bound.to_bits(),
+                "t={threads}"
+            );
+            assert_eq!(
+                res.lower_bound.to_bits(),
+                reference.lower_bound.to_bits(),
+                "t={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_node_budget_reports_bound_only() {
+        let inst = Instance::new(
+            Box::new(LineMetric::new(vec![0.0, 1.0, 2.0, 4.0, 6.5, 9.0, 12.0]).unwrap()),
+            4,
+            CostModel::power(4, 1.0, 1.3),
+        )
+        .unwrap();
+        let mut reqs = Vec::new();
+        for (i, &loc) in [0u32, 2, 4, 5, 1, 3, 6, 0, 5, 6].iter().enumerate() {
+            let ids = [(i % 4) as u16, ((i + 2) % 4) as u16];
+            reqs.push(req(&inst, loc, &ids));
+        }
+        let res = ExactSolver::new()
+            .with_node_budget(1)
+            .solve_bounded(&inst, &reqs)
+            .unwrap();
+        // Either the root certified immediately (fine) or we get a typed
+        // BoundOnly with an ordered bracket.
+        if !res.certified() {
+            assert!(matches!(res.outcome, ExactOutcome::BoundOnly { .. }));
+            assert!(res.lower_bound <= res.upper_bound + 1e-9);
+            assert!(res.gap >= 0.0);
+            assert!(ExactSolver::new()
+                .with_node_budget(1)
+                .solve(&inst, &reqs)
+                .is_err());
+        }
+    }
+
+    #[test]
+    fn oversized_demand_is_a_typed_error() {
+        let inst = Instance::new(
+            Box::new(LineMetric::single_point()),
+            21,
+            CostModel::power(21, 1.0, 1.0),
+        )
+        .unwrap();
+        let ids: Vec<u16> = (0..21).collect();
+        let reqs = vec![req(&inst, 0, &ids)];
+        let solver = ExactSolver {
+            max_commodities: 21,
+            ..ExactSolver::default()
+        };
+        let err = solver.solve(&inst, &reqs).unwrap_err();
+        assert!(matches!(err, CoreError::BadRequest(_)));
+    }
+
+    #[test]
     fn limits_are_enforced() {
         let inst = Instance::new(
             Box::new(LineMetric::uniform(6, 5.0).unwrap()),
@@ -254,7 +944,19 @@ mod tests {
             CostModel::power(3, 1.0, 1.0),
         )
         .unwrap();
-        let err = ExactSolver::new().solve(&inst, &[]).unwrap_err();
+        // The branch-and-bound takes |M| = 6 in stride…
+        assert!(ExactSolver::new().solve(&inst, &[]).is_ok());
+        // …but the exhaustive oracle still refuses it.
+        let err = ExhaustiveSolver::new().solve(&inst, &[]).unwrap_err();
+        assert!(matches!(err, CoreError::BadInstance(_)));
+        // And the branch-and-bound refuses a 13-commodity universe.
+        let wide = Instance::new(
+            Box::new(LineMetric::single_point()),
+            13,
+            CostModel::power(13, 1.0, 1.0),
+        )
+        .unwrap();
+        let err = ExactSolver::new().solve(&wide, &[]).unwrap_err();
         assert!(matches!(err, CoreError::BadInstance(_)));
     }
 

@@ -1,0 +1,592 @@
+//! Lagrangian-relaxation lower bounds for the collapsed offline instance.
+//!
+//! # The relaxation
+//!
+//! By the paper's §1.1 WLOG argument (under subadditive costs an optimal
+//! solution never opens two facilities at one location — merging them raises
+//! neither construction nor connection cost), offline OPT is the integer
+//! program over one configuration choice `σ_m ∈ {∅} ∪ 2^S∖{∅}` per location
+//! and one service indicator `x_{r,m} ∈ {0,1}` per (request, open location):
+//!
+//! ```text
+//! min  Σ_m f_m(σ_m) + Σ_r w_r Σ_m d(r, m) · x_{r,m}
+//! s.t. Σ_m [e ∈ σ_m] · x_{r,m} ≥ 1      ∀ r, ∀ e ∈ s_r   (coverage)
+//! ```
+//!
+//! Dualizing the coverage constraints with multipliers `λ_{r,e} ≥ 0` and
+//! minimizing the Lagrangian over `(σ, x)` decomposes **per location**:
+//!
+//! ```text
+//! L(λ) = Σ_r w_r Σ_{e ∈ s_r} λ_{r,e}
+//!      + Σ_m min(0, min_{σ ≠ ∅} rc(m, σ))
+//! rc(m, σ) = f_m(σ) + Σ_r w_r · min(0, d(r, m) − Λ_r(σ))
+//! Λ_r(σ)  = Σ_{e ∈ s_r ∩ σ} λ_{r,e}
+//! ```
+//!
+//! For every `λ ≥ 0`, `L(λ) ≤ OPT` by weak duality: any feasible solution's
+//! Lagrangian value is its true cost minus a nonnegative slack term. The
+//! bound is *certified* — it needs no convergence, only one evaluation.
+//!
+//! Identical requests (same location, same demand) are merged into one
+//! weighted request sharing multipliers; that restricts the dual space (a
+//! possibly weaker but still valid bound) and shrinks every evaluation.
+//!
+//! # Determinism
+//!
+//! [`ascend`] is a fixed-schedule projected-subgradient ascent: a caller
+//! supplied iteration count, deterministic step sizes (Polyak steps against
+//! a caller-frozen upper-bound reference, halving geometrically on
+//! stagnation), and strictly sequential f64 accumulation in index order.
+//! Given the same inputs it returns bit-identical multipliers and bounds on
+//! every run and at every thread count — the branch-and-bound in
+//! [`super::exact`] relies on this for thread-count-independent node counts.
+
+use super::assign::MAX_DEMAND;
+use omfl_commodity::CommoditySet;
+use omfl_core::instance::Instance;
+use omfl_core::request::Request;
+use omfl_core::CoreError;
+use omfl_metric::PointId;
+
+/// Per-location decision sentinel: not yet branched on.
+pub const UNDECIDED: u16 = u16::MAX;
+/// Per-location decision: no facility at this location.
+pub const CLOSED: u16 = 0;
+
+/// A group of identical requests collapsed into one weighted request.
+#[derive(Debug, Clone)]
+pub struct MergedRequest {
+    /// One representative of the group (all members are identical).
+    pub representative: Request,
+    /// Number of originals in the group.
+    pub weight: f64,
+    /// Demand commodity ids, ascending.
+    pub members: Vec<u16>,
+    /// Demand as a bitmask over `S`.
+    pub mask: u64,
+    /// Index of this request's first multiplier in the flat `λ` vector.
+    pub offset: usize,
+}
+
+/// The collapsed instance all bound evaluations run against: configuration
+/// cost and distance tables plus the deduplicated weighted request list.
+#[derive(Debug, Clone)]
+pub struct CollapsedInstance {
+    /// `|M|`.
+    pub npoints: usize,
+    /// `|S|`.
+    pub ncommodities: usize,
+    /// `2^|S|` configurations (index = bitmask; 0 = closed).
+    pub nconf: usize,
+    /// Materialized configuration sets, indexed by mask.
+    pub configs: Vec<CommoditySet>,
+    /// `fcost[m · nconf + mask]` = construction cost (0 for mask 0).
+    pub fcost: Vec<f64>,
+    /// Deduplicated weighted requests, in first-occurrence order.
+    pub requests: Vec<MergedRequest>,
+    /// `dist[r · npoints + m]` = `d(r, m)`.
+    pub dist: Vec<f64>,
+    /// Total multiplier count `Σ_r |s_r|`.
+    pub nmult: usize,
+}
+
+impl CollapsedInstance {
+    /// Builds the tables. Validates every request and rejects demands
+    /// beyond [`MAX_DEMAND`] with a typed error (the leaf DP cannot
+    /// evaluate them).
+    pub fn build(inst: &Instance, requests: &[Request]) -> Result<Self, CoreError> {
+        let s = inst.num_commodities();
+        let npoints = inst.num_points();
+        let nconf = 1usize << s;
+        for r in requests {
+            r.validate(inst)?;
+            let k = r.demand().len();
+            if k > MAX_DEMAND {
+                return Err(CoreError::BadRequest(format!(
+                    "demand has {k} commodities; the subset-cover DP supports |sr| <= {MAX_DEMAND}"
+                )));
+            }
+        }
+
+        let u = inst.universe();
+        let configs: Vec<CommoditySet> = (0..nconf)
+            .map(|mask| CommoditySet::from_mask(u, mask as u64).expect("mask in range"))
+            .collect();
+        let mut fcost = vec![0.0; npoints * nconf];
+        for m in 0..npoints {
+            for mask in 1..nconf {
+                fcost[m * nconf + mask] = inst.facility_cost(PointId(m as u32), &configs[mask]);
+            }
+        }
+
+        // Dedup identical (location, demand) requests, first-occurrence order.
+        let mut index: std::collections::BTreeMap<(u32, u64), usize> =
+            std::collections::BTreeMap::new();
+        let mut merged: Vec<MergedRequest> = Vec::new();
+        for r in requests {
+            let key = (r.location().0, r.demand().to_mask());
+            match index.get(&key) {
+                Some(&i) => merged[i].weight += 1.0,
+                None => {
+                    index.insert(key, merged.len());
+                    merged.push(MergedRequest {
+                        representative: r.clone(),
+                        weight: 1.0,
+                        members: r.demand().iter().map(|e| e.0).collect(),
+                        mask: r.demand().to_mask(),
+                        offset: 0,
+                    });
+                }
+            }
+        }
+        let mut offset = 0;
+        for mr in &mut merged {
+            mr.offset = offset;
+            offset += mr.members.len();
+        }
+
+        let mut dist = vec![0.0; merged.len() * npoints];
+        for (r, mr) in merged.iter().enumerate() {
+            inst.fill_row(
+                mr.representative.location(),
+                &mut dist[r * npoints..(r + 1) * npoints],
+            );
+        }
+
+        Ok(Self {
+            npoints,
+            ncommodities: s,
+            nconf,
+            configs,
+            fcost,
+            requests: merged,
+            dist,
+            nmult: offset,
+        })
+    }
+}
+
+/// Everything one bound evaluation certifies: the bound itself, the
+/// multipliers that achieved it, and per-location reduced-cost artifacts
+/// used for branching.
+#[derive(Debug, Clone)]
+pub struct BoundArtifacts {
+    /// Certified lower bound `L(λ)` on the best completion of the node.
+    pub bound: f64,
+    /// The multipliers achieving `bound` (warm start for children).
+    pub lambda: Vec<f64>,
+    /// `min_{σ ≠ ∅} rc(m, σ)` per undecided location (`∞` for decided).
+    pub min_rc: Vec<f64>,
+    /// Argmin configuration mask per undecided location (lowest mask wins
+    /// ties; 0 for decided locations).
+    pub arg_rc: Vec<u16>,
+}
+
+/// Scratch buffers reused across subgradient iterations.
+struct Workspace {
+    /// `percom[r · s + e]` = `λ_{r,e}` (0 for non-members).
+    percom: Vec<f64>,
+    /// `lam[r · nconf + mask]` = `Λ_r(mask)`.
+    lam: Vec<f64>,
+    /// `Λ_r(s_r)` per request.
+    lam_full: Vec<f64>,
+    /// Per-mask reduced-cost accumulator for one location.
+    acc: Vec<f64>,
+    /// Coverage counts per multiplier in the Lagrangian argmin.
+    cov: Vec<u32>,
+    /// Subgradient `g_{r,e} = w_r (1 − cov_{r,e})`.
+    grad: Vec<f64>,
+    /// Locations the Lagrangian argmin opens, with their masks.
+    opens: Vec<(usize, u16)>,
+    min_rc: Vec<f64>,
+    arg_rc: Vec<u16>,
+}
+
+impl Workspace {
+    fn new(ci: &CollapsedInstance) -> Self {
+        let nr = ci.requests.len();
+        Self {
+            percom: vec![0.0; nr * ci.ncommodities],
+            lam: vec![0.0; nr * ci.nconf],
+            lam_full: vec![0.0; nr],
+            acc: vec![0.0; ci.nconf],
+            cov: vec![0; ci.nmult],
+            grad: vec![0.0; ci.nmult],
+            opens: Vec::with_capacity(ci.npoints),
+            min_rc: vec![f64::INFINITY; ci.npoints],
+            arg_rc: vec![0; ci.npoints],
+        }
+    }
+
+    /// Fills `percom`, the `Λ` table, and `lam_full` from `lambda`.
+    fn fill_lam(&mut self, ci: &CollapsedInstance, lambda: &[f64]) {
+        let s = ci.ncommodities;
+        let nconf = ci.nconf;
+        self.percom.iter_mut().for_each(|v| *v = 0.0);
+        for (r, mr) in ci.requests.iter().enumerate() {
+            for (j, &e) in mr.members.iter().enumerate() {
+                self.percom[r * s + e as usize] = lambda[mr.offset + j];
+            }
+        }
+        for r in 0..ci.requests.len() {
+            let base = r * nconf;
+            self.lam[base] = 0.0;
+            for mask in 1..nconf {
+                let low = mask & mask.wrapping_neg();
+                let bit = low.trailing_zeros() as usize;
+                self.lam[base + mask] = self.lam[base + (mask ^ low)] + self.percom[r * s + bit];
+            }
+            self.lam_full[r] = self.lam[base + (nconf - 1)];
+        }
+    }
+}
+
+/// Evaluates `L(λ)` for the node described by `decisions` and fills the
+/// workspace with the subgradient and branching artifacts at this `λ`.
+///
+/// All accumulation is strictly sequential in (request, location, mask)
+/// index order: the result is bit-identical on every run.
+fn eval(ci: &CollapsedInstance, decisions: &[u16], lambda: &[f64], ws: &mut Workspace) -> f64 {
+    let nconf = ci.nconf;
+    let np = ci.npoints;
+    ws.fill_lam(ci, lambda);
+
+    let mut total = 0.0;
+    for (r, mr) in ci.requests.iter().enumerate() {
+        total += mr.weight * ws.lam_full[r];
+    }
+
+    ws.opens.clear();
+    for (m, &decision) in decisions.iter().enumerate() {
+        match decision {
+            CLOSED => {
+                ws.min_rc[m] = f64::INFINITY;
+                ws.arg_rc[m] = 0;
+            }
+            UNDECIDED => {
+                ws.acc[..nconf].copy_from_slice(&ci.fcost[m * nconf..(m + 1) * nconf]);
+                for (r, mr) in ci.requests.iter().enumerate() {
+                    let d = ci.dist[r * np + m];
+                    // If d ≥ Λ_r(s_r) then d ≥ Λ_r(σ) for every σ and the
+                    // request contributes nothing at this location.
+                    if d < ws.lam_full[r] {
+                        let base = r * nconf;
+                        for mask in 1..nconf {
+                            let t = d - ws.lam[base + mask];
+                            if t < 0.0 {
+                                ws.acc[mask] += mr.weight * t;
+                            }
+                        }
+                    }
+                }
+                let mut best = ws.acc[1];
+                let mut arg = 1u16;
+                for (mask, &v) in ws.acc.iter().enumerate().skip(2) {
+                    if v < best {
+                        best = v;
+                        arg = mask as u16;
+                    }
+                }
+                ws.min_rc[m] = best;
+                ws.arg_rc[m] = arg;
+                if best < 0.0 {
+                    total += best;
+                    ws.opens.push((m, arg));
+                }
+            }
+            mask => {
+                let mask = mask as usize;
+                let mut c = ci.fcost[m * nconf + mask];
+                for (r, mr) in ci.requests.iter().enumerate() {
+                    let d = ci.dist[r * np + m];
+                    if d < ws.lam_full[r] {
+                        let t = d - ws.lam[r * nconf + mask];
+                        if t < 0.0 {
+                            c += mr.weight * t;
+                        }
+                    }
+                }
+                total += c;
+                ws.min_rc[m] = f64::INFINITY;
+                ws.arg_rc[m] = 0;
+                ws.opens.push((m, mask as u16));
+            }
+        }
+    }
+
+    // Subgradient of L at λ: g_{r,e} = w_r · (1 − Σ_m [e ∈ σ_m] x_{r,m})
+    // where (σ, x) is the Lagrangian argmin just computed.
+    ws.cov.iter_mut().for_each(|v| *v = 0);
+    for &(m, mask) in &ws.opens {
+        let mask = mask as usize;
+        for (r, mr) in ci.requests.iter().enumerate() {
+            let d = ci.dist[r * np + m];
+            if d < ws.lam_full[r] && d < ws.lam[r * nconf + mask] {
+                for (j, &e) in mr.members.iter().enumerate() {
+                    if mask & (1usize << e) != 0 {
+                        ws.cov[mr.offset + j] += 1;
+                    }
+                }
+            }
+        }
+    }
+    for (r, mr) in ci.requests.iter().enumerate() {
+        let _ = r;
+        for j in 0..mr.members.len() {
+            let i = mr.offset + j;
+            ws.grad[i] = mr.weight * (1.0 - ws.cov[i] as f64);
+        }
+    }
+    total
+}
+
+/// Deterministic projected-subgradient dual ascent.
+///
+/// Runs exactly `iters` evaluations starting from `warm` (zeros when
+/// empty), keeping the best bound seen. `ub_ref` is a frozen upper-bound
+/// reference for Polyak step sizing; it also short-circuits the ascent
+/// once `bound ≥ ub_ref` (the caller will prune the node anyway).
+pub fn ascend(
+    ci: &CollapsedInstance,
+    decisions: &[u16],
+    warm: &[f64],
+    iters: usize,
+    ub_ref: f64,
+) -> BoundArtifacts {
+    let mut lambda = if warm.is_empty() {
+        vec![0.0; ci.nmult]
+    } else {
+        debug_assert_eq!(warm.len(), ci.nmult);
+        warm.to_vec()
+    };
+    let mut ws = Workspace::new(ci);
+
+    let mut best = f64::NEG_INFINITY;
+    let mut best_lambda = lambda.clone();
+    let mut best_min_rc = vec![f64::INFINITY; ci.npoints];
+    let mut best_arg_rc = vec![0u16; ci.npoints];
+
+    let mut theta = 1.5;
+    let mut stall = 0u32;
+    for _ in 0..iters.max(1) {
+        let l = eval(ci, decisions, &lambda, &mut ws);
+        if l > best {
+            best = l;
+            best_lambda.copy_from_slice(&lambda);
+            best_min_rc.copy_from_slice(&ws.min_rc);
+            best_arg_rc.copy_from_slice(&ws.arg_rc);
+            stall = 0;
+        } else {
+            stall += 1;
+            if stall >= 3 {
+                theta *= 0.5;
+                stall = 0;
+                if theta < 1e-4 {
+                    break;
+                }
+            }
+        }
+        if ub_ref.is_finite() && best >= ub_ref {
+            break; // node will be pruned; no point tightening further
+        }
+        let norm2: f64 = ws.grad.iter().map(|g| g * g).sum();
+        if norm2 <= 1e-18 {
+            break; // Lagrangian argmin is (weighted-)feasible: λ is optimal
+        }
+        let gap_ref = if ub_ref.is_finite() {
+            (ub_ref - l).max(1e-12 * (1.0 + ub_ref.abs()))
+        } else {
+            l.abs() + 1.0
+        };
+        let step = theta * gap_ref / norm2;
+        for (v, g) in lambda.iter_mut().zip(ws.grad.iter()) {
+            *v = (*v + step * g).max(0.0);
+        }
+    }
+
+    BoundArtifacts {
+        bound: best,
+        lambda: best_lambda,
+        min_rc: best_min_rc,
+        arg_rc: best_arg_rc,
+    }
+}
+
+/// Reduced cost `rc(m, σ)` for every configuration mask of one location at
+/// the given multipliers (`index 0` is 0.0: closed). Used to price all
+/// children of a branch location exactly:
+/// `L_child = L_parent − min(0, min_rc(m)) + rc(m, σ_child)`.
+pub fn config_scores(ci: &CollapsedInstance, lambda: &[f64], m: usize) -> Vec<f64> {
+    let nconf = ci.nconf;
+    let np = ci.npoints;
+    let mut ws = Workspace::new(ci);
+    ws.fill_lam(ci, lambda);
+    let mut rc = vec![0.0; nconf];
+    rc[1..nconf].copy_from_slice(&ci.fcost[m * nconf + 1..(m + 1) * nconf]);
+    for (r, mr) in ci.requests.iter().enumerate() {
+        let d = ci.dist[r * np + m];
+        if d < ws.lam_full[r] {
+            let base = r * nconf;
+            for (mask, slot) in rc.iter_mut().enumerate().skip(1) {
+                let t = d - ws.lam[base + mask];
+                if t < 0.0 {
+                    *slot += mr.weight * t;
+                }
+            }
+        }
+    }
+    rc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::offline::GreedyOffline;
+    use omfl_commodity::cost::CostModel;
+    use omfl_metric::line::LineMetric;
+
+    fn req(inst: &Instance, loc: u32, ids: &[u16]) -> Request {
+        Request::new(
+            PointId(loc),
+            CommoditySet::from_ids(inst.universe(), ids).unwrap(),
+        )
+    }
+
+    fn inst3() -> Instance {
+        Instance::new(
+            Box::new(LineMetric::new(vec![0.0, 2.0, 4.0]).unwrap()),
+            3,
+            CostModel::power(3, 1.0, 1.5),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn merges_identical_requests_with_weights() {
+        let inst = inst3();
+        let reqs = vec![
+            req(&inst, 0, &[0, 1]),
+            req(&inst, 1, &[2]),
+            req(&inst, 0, &[0, 1]),
+            req(&inst, 0, &[0, 1]),
+        ];
+        let ci = CollapsedInstance::build(&inst, &reqs).unwrap();
+        assert_eq!(ci.requests.len(), 2);
+        assert_eq!(ci.requests[0].weight, 3.0);
+        assert_eq!(ci.requests[1].weight, 1.0);
+        assert_eq!(ci.requests[0].members, vec![0, 1]);
+        assert_eq!(ci.nmult, 3);
+    }
+
+    #[test]
+    fn oversized_demand_is_a_typed_error() {
+        let inst = Instance::new(
+            Box::new(LineMetric::single_point()),
+            21,
+            CostModel::power(21, 1.0, 1.0),
+        )
+        .unwrap();
+        let ids: Vec<u16> = (0..21).collect();
+        let r = req(&inst, 0, &ids);
+        let err = CollapsedInstance::build(&inst, &[r]).unwrap_err();
+        assert!(matches!(err, CoreError::BadRequest(_)));
+    }
+
+    #[test]
+    fn zero_multipliers_give_zero_bound() {
+        let inst = inst3();
+        let reqs = vec![req(&inst, 0, &[0]), req(&inst, 2, &[1, 2])];
+        let ci = CollapsedInstance::build(&inst, &reqs).unwrap();
+        let decisions = vec![UNDECIDED; ci.npoints];
+        let mut ws = Workspace::new(&ci);
+        let l = eval(&ci, &decisions, &vec![0.0; ci.nmult], &mut ws);
+        // At λ = 0 no configuration has negative reduced cost and the base
+        // term vanishes.
+        assert_eq!(l, 0.0);
+    }
+
+    #[test]
+    fn ascended_bound_is_positive_and_below_greedy() {
+        let inst = inst3();
+        let reqs = vec![
+            req(&inst, 0, &[0, 1]),
+            req(&inst, 1, &[1, 2]),
+            req(&inst, 2, &[0, 2]),
+            req(&inst, 1, &[0]),
+        ];
+        let greedy = GreedyOffline::new()
+            .solve(&inst, &reqs)
+            .unwrap()
+            .total_cost();
+        let ci = CollapsedInstance::build(&inst, &reqs).unwrap();
+        let decisions = vec![UNDECIDED; ci.npoints];
+        let art = ascend(&ci, &decisions, &[], 60, greedy);
+        assert!(art.bound > 0.0, "ascent should lift the trivial 0 bound");
+        // Greedy is feasible, so the Lagrangian bound cannot exceed it.
+        assert!(
+            art.bound <= greedy + 1e-9,
+            "L = {} > greedy = {greedy}",
+            art.bound
+        );
+    }
+
+    #[test]
+    fn ascend_is_deterministic() {
+        let inst = inst3();
+        let reqs = vec![
+            req(&inst, 0, &[0, 1]),
+            req(&inst, 1, &[1, 2]),
+            req(&inst, 2, &[0]),
+        ];
+        let ci = CollapsedInstance::build(&inst, &reqs).unwrap();
+        let decisions = vec![UNDECIDED; ci.npoints];
+        let a = ascend(&ci, &decisions, &[], 40, 100.0);
+        let b = ascend(&ci, &decisions, &[], 40, 100.0);
+        assert_eq!(a.bound.to_bits(), b.bound.to_bits());
+        assert_eq!(a.lambda, b.lambda);
+        assert_eq!(a.arg_rc, b.arg_rc);
+    }
+
+    #[test]
+    fn config_scores_match_eval_artifacts() {
+        let inst = inst3();
+        let reqs = vec![req(&inst, 0, &[0, 1]), req(&inst, 2, &[1, 2])];
+        let ci = CollapsedInstance::build(&inst, &reqs).unwrap();
+        let decisions = vec![UNDECIDED; ci.npoints];
+        let art = ascend(&ci, &decisions, &[], 30, 50.0);
+        for m in 0..ci.npoints {
+            let rc = config_scores(&ci, &art.lambda, m);
+            let best = rc[1..].iter().cloned().fold(f64::INFINITY, f64::min);
+            assert!(
+                (best - art.min_rc[m]).abs() < 1e-9,
+                "m={m}: min rc {best} vs artifact {}",
+                art.min_rc[m]
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_decisions_change_the_bound_consistently() {
+        let inst = inst3();
+        let reqs = vec![req(&inst, 0, &[0]), req(&inst, 1, &[1])];
+        let ci = CollapsedInstance::build(&inst, &reqs).unwrap();
+        let mut ws = Workspace::new(&ci);
+        let lambda = vec![1.0; ci.nmult];
+
+        let open = vec![UNDECIDED; ci.npoints];
+        let l_open = eval(&ci, &open, &lambda, &mut ws);
+        let min_rc_0 = ws.min_rc[0].min(0.0);
+        let arg0 = ws.arg_rc[0];
+
+        // Fixing location 0 to its argmin keeps the bound identical.
+        let mut fixed = open.clone();
+        fixed[0] = if ws.min_rc[0] < 0.0 { arg0 } else { CLOSED };
+        let l_fixed = eval(&ci, &fixed, &lambda, &mut ws);
+        let expected = if fixed[0] == CLOSED {
+            l_open - min_rc_0
+        } else {
+            l_open
+        };
+        assert!((l_fixed - expected).abs() < 1e-12);
+    }
+}

@@ -1,5 +1,7 @@
 //! Lower bounds on OPT, and the bracket the experiments report against.
 
+use super::assign::MAX_DEMAND;
+use super::exact::{ExactOutcome, ExactSolver};
 use super::greedy::GreedyOffline;
 use super::local_search::LocalSearch;
 use omfl_commodity::CommoditySet;
@@ -97,6 +99,31 @@ pub fn mincost_single(inst: &Instance, r: &Request) -> f64 {
     dp[full as usize]
 }
 
+/// How (and whether) the exact branch-and-bound contributed to a bracket.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ExactArm {
+    /// The instance exceeded the exact solver's budget envelope; the
+    /// bracket is dual/greedy only.
+    Skipped,
+    /// The branch-and-bound certified the optimum: `lower == upper == opt`.
+    Certified {
+        /// The certified optimum.
+        opt: f64,
+        /// Search nodes expanded before the frontier emptied.
+        nodes_expanded: u64,
+    },
+    /// The node budget ran out: the bracket is tightened by the certified
+    /// Lagrangian bound, and `gap` is the certified distance to optimality.
+    BoundOnly {
+        /// Certified lower bound from the remaining frontier.
+        lower: f64,
+        /// Certified gap `upper − lower` at exit.
+        gap: f64,
+        /// Search nodes expanded before the budget ran out.
+        nodes_expanded: u64,
+    },
+}
+
 /// A bracket `lower ≤ OPT ≤ upper` plus helpers to turn a measured cost
 /// into a competitive-ratio interval.
 #[derive(Debug, Clone, Copy)]
@@ -105,21 +132,91 @@ pub struct OptBracket {
     pub lower: f64,
     /// Best known upper bound on OPT (cost of a feasible solution).
     pub upper: f64,
+    /// The exact arm's contribution, when the instance fits its budget.
+    pub exact: ExactArm,
 }
+
+/// Budget envelope for the exact arm inside [`OptBracket::compute`]: sized
+/// so catalog-profile instances resolve in milliseconds while anything
+/// larger falls back to the dual/greedy bracket.
+const BRACKET_EXACT_MAX_COMMODITIES: usize = 10;
+const BRACKET_EXACT_MAX_POINTS: usize = 256;
+const BRACKET_EXACT_MAX_REQUESTS: usize = 1024;
+const BRACKET_EXACT_NODE_BUDGET: u64 = 512;
 
 impl OptBracket {
     /// Computes the bracket: `max(dual LB, serve-alone LB)` below,
-    /// local-search-tightened greedy above.
+    /// local-search-tightened greedy above, and — when the instance fits
+    /// the exact arm's budget — the branch-and-bound's certified bound on
+    /// both sides (collapsing the bracket to a point when it certifies).
     pub fn compute(inst: &Instance, requests: &[Request]) -> Result<Self, CoreError> {
+        // Typed guard before any solver can reach the subset-cover DP's
+        // enforcement assert.
+        let mut max_demand = 0usize;
+        for r in requests {
+            r.validate(inst)?;
+            max_demand = max_demand.max(r.demand().len());
+        }
+        if max_demand > MAX_DEMAND {
+            return Err(CoreError::BadRequest(format!(
+                "demand has {max_demand} commodities; the subset-cover DP supports \
+                 |sr| <= {MAX_DEMAND}"
+            )));
+        }
         let dual = DualLowerBound::compute(inst, requests)?;
-        let alone = serve_alone_lower_bound(inst, requests)?;
+        // The serve-alone partition DP is 3^|sr|; skip it for demands its
+        // own limit rejects.
+        let alone = if max_demand <= 12 {
+            serve_alone_lower_bound(inst, requests)?
+        } else {
+            0.0
+        };
         let greedy = GreedyOffline::new().solve(inst, requests)?;
         let improved = LocalSearch::new().improve(inst, &greedy, requests)?;
         let upper = improved.total_cost().min(greedy.total_cost());
-        Ok(Self {
+        let mut bracket = Self {
             lower: dual.max(alone).min(upper), // bracket must stay ordered
             upper,
-        })
+            exact: ExactArm::Skipped,
+        };
+
+        if inst.num_commodities() <= BRACKET_EXACT_MAX_COMMODITIES
+            && inst.num_points() <= BRACKET_EXACT_MAX_POINTS
+            && requests.len() <= BRACKET_EXACT_MAX_REQUESTS
+        {
+            let solver = ExactSolver::new().with_node_budget(BRACKET_EXACT_NODE_BUDGET);
+            let res = solver.solve_bounded(inst, requests)?;
+            match res.outcome {
+                ExactOutcome::Certified(_) => {
+                    bracket.lower = res.upper_bound;
+                    bracket.upper = res.upper_bound;
+                    bracket.exact = ExactArm::Certified {
+                        opt: res.upper_bound,
+                        nodes_expanded: res.nodes_expanded,
+                    };
+                }
+                ExactOutcome::BoundOnly { .. } => {
+                    bracket.lower = bracket.lower.max(res.lower_bound).min(bracket.upper);
+                    bracket.upper = bracket.upper.min(res.upper_bound);
+                    bracket.exact = ExactArm::BoundOnly {
+                        lower: res.lower_bound,
+                        gap: res.gap,
+                        nodes_expanded: res.nodes_expanded,
+                    };
+                }
+            }
+        }
+        Ok(bracket)
+    }
+
+    /// Exact competitive ratio `cost / opt` when the exact arm certified,
+    /// `NaN` otherwise.
+    pub fn ratio_exact(&self, alg_cost: f64) -> f64 {
+        match self.exact {
+            ExactArm::Certified { opt, .. } if opt > 0.0 => alg_cost / opt,
+            ExactArm::Certified { .. } => 1.0,
+            _ => f64::NAN,
+        }
     }
 
     /// Optimistic ratio estimate `cost / upper` (≤ the true ratio).
@@ -144,7 +241,7 @@ impl OptBracket {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::offline::ExactSolver;
+    use crate::offline::{ExactSolver, ExhaustiveSolver};
     use omfl_commodity::cost::CostModel;
     use omfl_metric::line::LineMetric;
 
@@ -213,9 +310,61 @@ mod tests {
         let b = OptBracket {
             lower: 2.0,
             upper: 4.0,
+            exact: ExactArm::Skipped,
         };
         assert!((b.ratio_lower(8.0) - 2.0).abs() < 1e-12);
         assert!((b.ratio_upper(8.0) - 4.0).abs() < 1e-12);
+        assert!(b.ratio_exact(8.0).is_nan());
+        let c = OptBracket {
+            lower: 2.0,
+            upper: 2.0,
+            exact: ExactArm::Certified {
+                opt: 2.0,
+                nodes_expanded: 3,
+            },
+        };
+        assert!((c.ratio_exact(8.0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_arm_certifies_and_collapses_the_bracket() {
+        let inst = tiny_instance();
+        let reqs = vec![
+            req(&inst, 0, &[0, 1]),
+            req(&inst, 1, &[1, 2]),
+            req(&inst, 2, &[0]),
+            req(&inst, 0, &[2]),
+        ];
+        let opt = ExhaustiveSolver::new()
+            .solve(&inst, &reqs)
+            .unwrap()
+            .total_cost();
+        let bracket = OptBracket::compute(&inst, &reqs).unwrap();
+        match bracket.exact {
+            ExactArm::Certified {
+                opt: certified,
+                nodes_expanded,
+            } => {
+                assert!((certified - opt).abs() < 1e-9, "{certified} vs {opt}");
+                assert!(nodes_expanded <= 512);
+            }
+            other => panic!("expected certification, got {other:?}"),
+        }
+        assert!((bracket.lower - bracket.upper).abs() < 1e-12);
+        assert!((bracket.ratio_exact(2.0 * opt) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn oversized_demand_is_a_typed_error() {
+        let inst = Instance::new(
+            Box::new(LineMetric::single_point()),
+            21,
+            CostModel::power(21, 1.0, 1.0),
+        )
+        .unwrap();
+        let ids: Vec<u16> = (0..21).collect();
+        let err = OptBracket::compute(&inst, &[req(&inst, 0, &ids)]).unwrap_err();
+        assert!(matches!(err, CoreError::BadRequest(_)));
     }
 
     #[test]

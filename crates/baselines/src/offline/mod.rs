@@ -9,19 +9,24 @@
 //!   star greedy) tightened by [`LocalSearch`];
 //! * **lower bounds** on OPT: [`DualLowerBound`] (PD-OMFLP's scaled duals,
 //!   Corollary 17) and the serve-alone bound of [`serve_alone_lower_bound`];
-//! * **exact OPT** via [`ExactSolver`] for tiny instances (used by the test
-//!   suite to certify the bounds, and by experiments on gadget instances).
+//! * **exact OPT** via [`ExactSolver`], a Lagrangian-bounded best-first
+//!   branch-and-bound good for `|M|` into the hundreds (with
+//!   [`ExhaustiveSolver`] kept as its tiny differential oracle). Where the
+//!   exact arm certifies, the bracket collapses to a point and ratios are
+//!   exact.
 //!
 //! `ratio_lower = ALG / upper ≤ true ratio ≤ ALG / lower = ratio_upper`.
 
 mod assign;
 mod exact;
 mod greedy;
+mod lagrangian;
 mod lb;
 mod local_search;
 
-pub use assign::{assign_optimal, OpenFacility};
-pub use exact::ExactSolver;
+pub use assign::{assign_optimal, OpenFacility, MAX_DEMAND};
+pub use exact::{ExactOutcome, ExactResult, ExactSolver, ExhaustiveSolver};
 pub use greedy::GreedyOffline;
-pub use lb::{serve_alone_lower_bound, DualLowerBound, OptBracket};
+pub use lagrangian::{ascend, config_scores, BoundArtifacts, CollapsedInstance, MergedRequest};
+pub use lb::{serve_alone_lower_bound, DualLowerBound, ExactArm, OptBracket};
 pub use local_search::LocalSearch;

@@ -3,7 +3,8 @@
 //! never inverts.
 
 use omfl_baselines::offline::{
-    assign_optimal, serve_alone_lower_bound, ExactSolver, GreedyOffline, LocalSearch, OpenFacility,
+    assign_optimal, serve_alone_lower_bound, ExactSolver, ExhaustiveSolver, GreedyOffline,
+    LocalSearch, OpenFacility,
 };
 use omfl_commodity::cost::CostModel;
 use omfl_commodity::CommoditySet;
@@ -104,6 +105,67 @@ proptest! {
         prop_assert!(
             ls.total_cost() <= greedy.total_cost() + 1e-9,
             "LS {} > greedy {}", ls.total_cost(), greedy.total_cost()
+        );
+    }
+
+    /// Past the old exhaustive caps (`|S| ≤ 4`, `|M| ≤ 5`): the Lagrangian
+    /// root bound, the certified optimum, and greedy never invert —
+    /// `lagrangian_lb ≤ exact ≤ greedy_ub` to within `1e-9 · scale`.
+    #[test]
+    fn lagrangian_bnb_hierarchy_past_old_caps(
+        positions in prop::collection::vec(0.0..12.0f64, 6..9),
+        x in 0.5..1.9f64,
+        reqs_raw in prop::collection::vec((0u32..9, prop::collection::vec(0u16..5, 1..4)), 1..8),
+    ) {
+        let inst = instance(&positions, 5, x);
+        let u = inst.universe();
+        let m = inst.num_points() as u32;
+        let reqs: Vec<Request> = reqs_raw
+            .iter()
+            .map(|(l, ids)| {
+                Request::new(PointId(l % m), CommoditySet::from_ids(u, ids).unwrap())
+            })
+            .collect();
+
+        // Past the old solver's limits by construction.
+        prop_assert!(ExhaustiveSolver::new().solve(&inst, &reqs).is_err());
+
+        let res = ExactSolver::new().solve_bounded(&inst, &reqs).unwrap();
+        prop_assert!(res.certified(), "budget must suffice on these sizes");
+        let exact = res.upper_bound;
+        let greedy = GreedyOffline::new().solve(&inst, &reqs).unwrap().total_cost();
+        let tol = 1e-9 * (1.0 + greedy.abs());
+        prop_assert!(
+            res.root_bound <= exact + tol,
+            "lagrangian root LB {} > exact {exact}", res.root_bound
+        );
+        prop_assert!(res.lower_bound <= exact + tol);
+        prop_assert!(exact <= greedy + tol, "exact {exact} > greedy {greedy}");
+    }
+
+    /// Wherever both solvers run (inside the old caps), the old exhaustive
+    /// DFS and the new branch-and-bound agree on the optimum.
+    #[test]
+    fn exhaustive_agrees_with_bnb(
+        positions in prop::collection::vec(0.0..8.0f64, 2..5),
+        x in 0.5..1.5f64,
+        reqs_raw in prop::collection::vec((0u32..5, prop::collection::vec(0u16..4, 1..4)), 1..6),
+    ) {
+        let inst = instance(&positions, 4, x);
+        let u = inst.universe();
+        let m = inst.num_points() as u32;
+        let reqs: Vec<Request> = reqs_raw
+            .iter()
+            .map(|(l, ids)| {
+                Request::new(PointId(l % m), CommoditySet::from_ids(u, ids).unwrap())
+            })
+            .collect();
+
+        let dfs = ExhaustiveSolver::new().solve(&inst, &reqs).unwrap().total_cost();
+        let bnb = ExactSolver::new().solve(&inst, &reqs).unwrap().total_cost();
+        prop_assert!(
+            (dfs - bnb).abs() <= 1e-9 * (1.0 + dfs.abs()),
+            "exhaustive {dfs} vs branch-and-bound {bnb}"
         );
     }
 

@@ -6,7 +6,7 @@
 //! experiments --full thm2-lb ...   run selected experiments at full size
 //! experiments --out results/       also write CSVs (default: results/)
 //! experiments --emit-json [dir]    write BENCH_pd.json / BENCH_sweep.json /
-//!                                  BENCH_serve.json
+//!                                  BENCH_serve.json / BENCH_opt.json
 //! experiments --check-json [dir]   re-run the smoke profile and fail on
 //!                                  missing keys, a >1.5x perf regression
 //!                                  on any >=1ms cell, a speedup below its
@@ -25,7 +25,7 @@ use std::path::{Path, PathBuf};
 /// Runs the bench smoke profile and either writes (`emit`) or verifies
 /// (`check`) the `BENCH_*.json` artifacts in `dir`.
 fn run_json_mode(dir: &Path, emit: bool) {
-    let (pd_doc, sweep_doc, serve_doc) = match perfjson::smoke_profile_json() {
+    let (pd_doc, sweep_doc, serve_doc, opt_doc) = match perfjson::smoke_profile_json() {
         Ok(docs) => docs,
         Err(e) => {
             eprintln!("bench smoke profile failed: {e}");
@@ -35,16 +35,20 @@ fn run_json_mode(dir: &Path, emit: bool) {
     let pd_path = dir.join("BENCH_pd.json");
     let sweep_path = dir.join("BENCH_sweep.json");
     let serve_path = dir.join("BENCH_serve.json");
+    let opt_path = dir.join("BENCH_opt.json");
     if emit {
         std::fs::create_dir_all(dir).expect("bench output dir");
         std::fs::write(&pd_path, &pd_doc).expect("write BENCH_pd.json");
         std::fs::write(&sweep_path, &sweep_doc).expect("write BENCH_sweep.json");
         std::fs::write(&serve_path, &serve_doc).expect("write BENCH_serve.json");
+        std::fs::write(&opt_path, &opt_doc).expect("write BENCH_opt.json");
         println!("wrote {}", pd_path.display());
         println!("wrote {}", sweep_path.display());
         println!("wrote {}", serve_path.display());
+        println!("wrote {}", opt_path.display());
         print!("{pd_doc}");
         print!("{serve_doc}");
+        print!("{opt_doc}");
         return;
     }
     // The fresh run is persisted unconditionally: on failure CI uploads it
@@ -57,12 +61,14 @@ fn run_json_mode(dir: &Path, emit: bool) {
         .expect("write fresh BENCH_sweep.json");
     std::fs::write(fresh_dir.join("BENCH_serve.json"), &serve_doc)
         .expect("write fresh BENCH_serve.json");
+    std::fs::write(fresh_dir.join("BENCH_opt.json"), &opt_doc).expect("write fresh BENCH_opt.json");
 
     let mut failed = false;
     for (path, fresh, label) in [
         (&pd_path, &pd_doc, "BENCH_pd.json"),
         (&sweep_path, &sweep_doc, "BENCH_sweep.json"),
         (&serve_path, &serve_doc, "BENCH_serve.json"),
+        (&opt_path, &opt_doc, "BENCH_opt.json"),
     ] {
         let committed = match std::fs::read_to_string(path) {
             Ok(c) => c,
@@ -102,7 +108,8 @@ fn run_json_mode(dir: &Path, emit: bool) {
         eprintln!("    cargo run --release -p omfl-bench --bin experiments -- --emit-json .");
         eprintln!(
             "In CI, download the 'bench-fresh-json' artifact of this run and commit its \
-             files as the new BENCH_pd.json / BENCH_sweep.json / BENCH_serve.json."
+             files as the new BENCH_pd.json / BENCH_sweep.json / BENCH_serve.json / \
+             BENCH_opt.json."
         );
         std::process::exit(1);
     }

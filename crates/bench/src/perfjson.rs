@@ -45,6 +45,7 @@
 //! to any depth — `large.incremental_secs.mean` is three levels), and the
 //! parser below reads exactly that shape back as flattened dotted keys.
 
+use omfl_baselines::offline::ExactSolver;
 use omfl_core::algorithm::OnlineAlgorithm;
 use omfl_core::naive::NaivePd;
 use omfl_core::pd::PdOmflp;
@@ -692,6 +693,146 @@ pub fn serve_bench(
     })
 }
 
+/// Thread counts the exact branch-and-bound cell re-solves under. The
+/// frontier contract is that node counts and bounds are bit-identical
+/// across all of them; each family cell's `digest_match` records the
+/// comparison and CI hard-gates it at 1.0.
+pub const OPT_DETERMINISM_CONFIGS: [usize; 4] = [1, 2, 7, 16];
+
+/// Families the exact-OPT cell certifies. All three reach |M| = 200 under
+/// [`opt_profile`] and close the gap well inside [`OPT_NODE_BUDGET`]:
+/// `zipf-services` certifies at the root, `tree-hierarchy` and
+/// `euclid-clusters` each take a few hundred branch-and-bound nodes.
+pub const OPT_FAMILIES: [&str; 3] = ["zipf-services", "tree-hierarchy", "euclid-clusters"];
+
+/// Node budget for the `BENCH_opt.json` cells — far above the few hundred
+/// nodes the gated families need, so a budget exhaustion is a bound
+/// regression, not noise.
+pub const OPT_NODE_BUDGET: u64 = 5_000;
+
+/// The exact-OPT bench profile: |M| = 200 catalog instances, the ISSUE's
+/// target scale for certified optima.
+pub fn opt_profile() -> CatalogProfile {
+    CatalogProfile {
+        points: 200,
+        services: 6,
+        requests: 48,
+    }
+}
+
+/// One certified exact-OPT measurement for `BENCH_opt.json`.
+#[derive(Debug, Clone)]
+pub struct OptBench {
+    /// Workload family name.
+    pub family: &'static str,
+    /// Actual metric size |M|.
+    pub points: usize,
+    /// Requests solved.
+    pub requests: usize,
+    /// Branch-and-bound nodes expanded (thread-count independent).
+    pub nodes_expanded: u64,
+    /// Certified relative gap — 0.0 exactly when the run certified.
+    pub gap_certified: f64,
+    /// The certified optimum (upper bound == lower bound when certified).
+    pub optimum: f64,
+    /// Root Lagrangian bound.
+    pub root_bound: f64,
+    /// `true` iff node counts and both bounds were bit-identical across
+    /// all [`OPT_DETERMINISM_CONFIGS`].
+    pub digest_match: bool,
+    /// Wall seconds per solve, one sample per thread configuration.
+    pub solve: Summary,
+}
+
+/// Solves one catalog family exactly at every [`OPT_DETERMINISM_CONFIGS`]
+/// entry and cross-checks that node counts and bounds are bit-identical.
+pub fn opt_bench(
+    family_name: &'static str,
+    profile: &CatalogProfile,
+) -> Result<OptBench, CoreError> {
+    let family = catalog::by_name(family_name).expect("catalog family");
+    let scenario = family.build(profile, 404)?;
+    let inst = scenario.instance();
+
+    let mut secs = Vec::with_capacity(OPT_DETERMINISM_CONFIGS.len());
+    let mut runs = Vec::with_capacity(OPT_DETERMINISM_CONFIGS.len());
+    for &threads in OPT_DETERMINISM_CONFIGS.iter() {
+        let solver = ExactSolver {
+            max_points: 512,
+            node_budget: OPT_NODE_BUDGET,
+            ..ExactSolver::default()
+        }
+        .with_threads(threads);
+        let t0 = Instant::now();
+        let res = solver.solve_bounded(inst, &scenario.requests)?;
+        secs.push(t0.elapsed().as_secs_f64());
+        if !res.certified() {
+            return Err(CoreError::BadInstance(format!(
+                "{family_name}: branch-and-bound failed to certify within \
+                 {OPT_NODE_BUDGET} nodes (gap {:.6}) — the bench gates \
+                 certified optima only",
+                res.gap
+            )));
+        }
+        runs.push(res);
+    }
+    let reference = &runs[0];
+    let digest_match = runs.iter().all(|r| {
+        r.nodes_expanded == reference.nodes_expanded
+            && r.upper_bound.to_bits() == reference.upper_bound.to_bits()
+            && r.lower_bound.to_bits() == reference.lower_bound.to_bits()
+    });
+    Ok(OptBench {
+        family: family.name,
+        points: inst.num_points(),
+        requests: scenario.len(),
+        nodes_expanded: reference.nodes_expanded,
+        gap_certified: reference.gap,
+        optimum: reference.upper_bound,
+        root_bound: reference.root_bound,
+        digest_match,
+        solve: summarize(&secs),
+    })
+}
+
+/// Renders `BENCH_opt.json`: one cell per [`OPT_FAMILIES`] entry carrying
+/// the machine-independent `nodes_expanded` / `gap_certified` /
+/// `digest_match` gates plus the certified optimum and per-solve wall
+/// seconds (ratio-gated like every other `secs.mean`).
+pub fn opt_json(cells: &[OptBench], profile: &CatalogProfile) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"services\": {},", profile.services);
+    let _ = writeln!(out, "  \"node_budget\": {OPT_NODE_BUDGET},");
+    let _ = writeln!(
+        out,
+        "  \"thread_configs\": \"{:?}\",",
+        OPT_DETERMINISM_CONFIGS
+    );
+    for (i, c) in cells.iter().enumerate() {
+        let _ = writeln!(out, "  \"{}\": {{", c.family);
+        let _ = writeln!(out, "    \"points\": {},", c.points);
+        let _ = writeln!(out, "    \"requests\": {},", c.requests);
+        let _ = writeln!(out, "    \"nodes_expanded\": {},", c.nodes_expanded);
+        let _ = writeln!(out, "    \"gap_certified\": {:.9},", c.gap_certified);
+        let _ = writeln!(out, "    \"optimum\": {:.9},", c.optimum);
+        let _ = writeln!(out, "    \"root_bound\": {:.9},", c.root_bound);
+        let _ = writeln!(
+            out,
+            "    \"digest_match\": {},",
+            if c.digest_match { "1.0" } else { "0.0" }
+        );
+        summary_json(&mut out, "solve_secs", &c.solve, "    ");
+        out.push('\n');
+        out.push_str(if i + 1 < cells.len() {
+            "  },\n"
+        } else {
+            "  }\n"
+        });
+    }
+    out.push_str("}\n");
+    out
+}
+
 /// Renders `BENCH_serve.json`: the deterministic `digest_match` cell (CI
 /// hard-gates it at 1.0), the gated throughput cell, and informational
 /// latency/backpressure telemetry. See the README's serve section for the
@@ -1019,11 +1160,27 @@ pub fn check(fresh: &str, committed: &str, label: &str) -> Result<Vec<String>, V
                  {now:.2}x below the {MIN_HUGE_PD_SPEEDUP}x floor (baseline {base:.2}x)"
             ));
         }
+        if key.ends_with("nodes_expanded") && now != base {
+            errors.push(format!(
+                "{label}: '{key}' = {now} nodes vs committed {base} — the \
+                 branch-and-bound explored a different tree (node counts are \
+                 a deterministic function of the instance and the bound, \
+                 never of the machine or thread count)"
+            ));
+        }
+        if key.ends_with("gap_certified") && now != base {
+            errors.push(format!(
+                "{label}: '{key}' = {now} vs committed {base} — a certified \
+                 gap drifted (0.0 means proven optimal; any other value \
+                 means the certificate was lost)"
+            ));
+        }
         if key.ends_with("digest_match") && now != 1.0 {
             errors.push(format!(
-                "{label}: '{key}' aggregate serve reports diverged across \
-                 shard/thread configs {SERVE_DETERMINISM_CONFIGS:?} — the serve \
-                 loop lost determinism (this gate is machine-independent; the \
+                "{label}: '{key}' results diverged across thread configs — \
+                 a deterministic pipeline (serve aggregate reports, or the \
+                 exact branch-and-bound frontier) lost thread-count \
+                 independence (this gate is machine-independent; the \
                  'faulted.' variant gates healthy-tenant identity under an \
                  injected panic)"
             ));
@@ -1069,9 +1226,10 @@ pub fn check(fresh: &str, committed: &str, label: &str) -> Result<Vec<String>, V
 }
 
 /// The smoke profile both `--emit-json` and `--check-json` run: PD hot
-/// path, catalog sweep timings, and the multi-tenant serve loop. Returns
-/// `(BENCH_pd.json, BENCH_sweep.json, BENCH_serve.json)` contents.
-pub fn smoke_profile_json() -> Result<(String, String, String), CoreError> {
+/// path, catalog sweep timings, the multi-tenant serve loop, and the
+/// certified exact-OPT cells. Returns `(BENCH_pd.json, BENCH_sweep.json,
+/// BENCH_serve.json, BENCH_opt.json)` contents.
+pub fn smoke_profile_json() -> Result<(String, String, String, String), CoreError> {
     let pd = pd_bench(&pd_profile(), 5)?;
     let large = pd_large_bench(&pd_large_profile(), 3)?;
     let euclid_large = pd_euclid_large_bench(&pd_euclid_large_profile(), 3)?;
@@ -1083,7 +1241,12 @@ pub fn smoke_profile_json() -> Result<(String, String, String), CoreError> {
     let sweep_doc = sweep_json(&sweep_profile(), 2020, 3, 1)?;
     let (tenants, profile) = serve_profile();
     let serve_doc = serve_json(&serve_bench(tenants, &profile, 3)?);
-    Ok((pd_doc, sweep_doc, serve_doc))
+    let opt_cells = OPT_FAMILIES
+        .iter()
+        .map(|name| opt_bench(name, &opt_profile()))
+        .collect::<Result<Vec<_>, _>>()?;
+    let opt_doc = opt_json(&opt_cells, &opt_profile());
+    Ok((pd_doc, sweep_doc, serve_doc, opt_doc))
 }
 
 #[cfg(test)]
@@ -1274,6 +1437,67 @@ mod tests {
         assert!(errs.iter().any(|e| e.contains("containment")), "{errs:?}");
         let same = r#"{ "faulted": { "quarantined": 1, "digest_match": 1.0 } }"#;
         assert!(check(same, base, "t").is_ok());
+    }
+
+    #[test]
+    fn emitted_opt_json_round_trips() {
+        // Tiny profile: the emitter shape and the determinism panel are
+        // what's under test, not the |M| = 200 scale (the smoke profile
+        // covers that in release).
+        let profile = CatalogProfile {
+            points: 16,
+            services: 4,
+            requests: 12,
+        };
+        let cells: Vec<OptBench> = ["zipf-services", "tree-hierarchy"]
+            .iter()
+            .map(|name| opt_bench(name, &profile).unwrap())
+            .collect();
+        for c in &cells {
+            assert!(
+                c.digest_match,
+                "{}: frontier must be thread-independent",
+                c.family
+            );
+            assert_eq!(c.gap_certified, 0.0, "{}", c.family);
+            assert!(c.optimum > 0.0, "{}", c.family);
+        }
+        let doc = opt_json(&cells, &profile);
+        let (nums, _) = parse_flat(&doc).unwrap();
+        assert_eq!(nums["services"], 4.0);
+        assert_eq!(nums["node_budget"], OPT_NODE_BUDGET as f64);
+        for c in &cells {
+            let fam = c.family;
+            assert_eq!(
+                nums[&format!("{fam}.nodes_expanded")],
+                c.nodes_expanded as f64
+            );
+            assert_eq!(nums[&format!("{fam}.gap_certified")], 0.0);
+            assert_eq!(nums[&format!("{fam}.digest_match")], 1.0);
+            assert!(nums[&format!("{fam}.optimum")] > 0.0);
+            assert!(nums.contains_key(&format!("{fam}.solve_secs.mean")));
+        }
+    }
+
+    #[test]
+    fn check_gates_opt_nodes_and_certified_gaps() {
+        let base = r#"{ "zipf-services": { "nodes_expanded": 271, "gap_certified": 0.000000000, "digest_match": 1.0 } }"#;
+        assert!(check(base, base, "t").is_ok());
+        // A different tree is a hard failure even if everything else holds.
+        let drifted = r#"{ "zipf-services": { "nodes_expanded": 290, "gap_certified": 0.000000000, "digest_match": 1.0 } }"#;
+        let errs = check(drifted, base, "t").unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.contains("different tree")),
+            "{errs:?}"
+        );
+        // Losing the optimality certificate fails.
+        let uncertified = r#"{ "zipf-services": { "nodes_expanded": 271, "gap_certified": 0.031400000, "digest_match": 1.0 } }"#;
+        let errs = check(uncertified, base, "t").unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("certificate")), "{errs:?}");
+        // Thread-count divergence reuses the digest_match hard gate.
+        let diverged = r#"{ "zipf-services": { "nodes_expanded": 271, "gap_certified": 0.000000000, "digest_match": 0.0 } }"#;
+        let errs = check(diverged, base, "t").unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("thread")), "{errs:?}");
     }
 
     #[test]

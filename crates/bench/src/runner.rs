@@ -3,7 +3,7 @@
 
 use omfl_baselines::all_large::{AllLarge, AllLargeParts};
 use omfl_baselines::offline::{
-    serve_alone_lower_bound, DualLowerBound, GreedyOffline, LocalSearch, OptBracket,
+    serve_alone_lower_bound, DualLowerBound, ExactArm, GreedyOffline, LocalSearch, OptBracket,
 };
 use omfl_baselines::per_commodity::{PerCommodity, PerCommodityParts};
 use omfl_core::algorithm::{run_online, OnlineAlgorithm};
@@ -161,9 +161,13 @@ pub fn bracket(scenario: &Scenario) -> OptBracket {
             .expect("local search");
         upper = upper.min(ls.total_cost());
     }
+    // The exact arm stays out of the bench bracket on purpose: it is a
+    // timing reference, and the sweep's `ratio_exact` column is where
+    // certified optima are reported.
     OptBracket {
         lower: dual.max(alone).min(upper),
         upper,
+        exact: ExactArm::Skipped,
     }
 }
 

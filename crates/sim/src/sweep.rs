@@ -13,10 +13,69 @@
 //! commits the canonical CSV under `results/`).
 
 use crate::{run_engine, Engine, SimReport};
+use omfl_baselines::offline::ExactSolver;
 use omfl_core::CoreError;
 use omfl_par::{parallel_map, seed_for, summarize, Summary};
 use omfl_workload::catalog;
 use omfl_workload::catalog::{CatalogProfile, Family};
+
+/// Size envelope for the per-scenario exact reference: instances inside it
+/// get a branch-and-bound run (threads = 1, fixed node budget — fully
+/// deterministic, so the canonical CSV stays regenerable); anything larger
+/// reports `None` columns.
+const SWEEP_EXACT_MAX_POINTS: usize = 32;
+const SWEEP_EXACT_MAX_COMMODITIES: usize = 10;
+const SWEEP_EXACT_MAX_REQUESTS: usize = 256;
+const SWEEP_EXACT_NODE_BUDGET: u64 = 128;
+
+/// The exact-OPT reference computed once per (family, trial) scenario and
+/// shared by every engine's cell in that trial.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExactRef {
+    /// Certified optimum, when the branch-and-bound certified in budget.
+    pub opt: Option<f64>,
+    /// Certified relative gap `(upper − lower) / upper` when the exact
+    /// solver ran (0 when certified); `None` when the instance was skipped.
+    pub gap: Option<f64>,
+}
+
+impl ExactRef {
+    /// The skipped reference (instance outside the envelope).
+    pub fn skipped() -> Self {
+        Self {
+            opt: None,
+            gap: None,
+        }
+    }
+}
+
+/// Runs the deterministic exact reference for one scenario.
+fn exact_reference(scenario: &crate::Scenario) -> ExactRef {
+    let inst = scenario.instance();
+    if inst.num_points() > SWEEP_EXACT_MAX_POINTS
+        || inst.num_commodities() > SWEEP_EXACT_MAX_COMMODITIES
+        || scenario.requests.len() > SWEEP_EXACT_MAX_REQUESTS
+    {
+        return ExactRef::skipped();
+    }
+    match ExactSolver::new()
+        .with_node_budget(SWEEP_EXACT_NODE_BUDGET)
+        .solve_bounded(inst, &scenario.requests)
+    {
+        Ok(res) => {
+            let rel = if res.upper_bound > 0.0 {
+                res.gap / res.upper_bound
+            } else {
+                0.0
+            };
+            ExactRef {
+                opt: res.certified().then_some(res.upper_bound),
+                gap: Some(rel),
+            }
+        }
+        Err(_) => ExactRef::skipped(),
+    }
+}
 
 /// One completed cell of the sweep matrix.
 #[derive(Debug, Clone, PartialEq)]
@@ -29,6 +88,12 @@ pub struct SweepCell {
     pub seed: u64,
     /// The full simulation report.
     pub report: SimReport,
+    /// True competitive ratio `cost / certified OPT`, when the exact
+    /// branch-and-bound certified this trial's scenario.
+    pub ratio_exact: Option<f64>,
+    /// Certified relative optimality gap of the exact reference (0 when
+    /// certified), `None` when the scenario was outside its envelope.
+    pub gap_certified: Option<f64>,
 }
 
 /// A (family, engine) row aggregated over its trials.
@@ -48,6 +113,12 @@ pub struct SweepRow {
     pub large_serve_share: f64,
     /// Mean p95 connection latency.
     pub mean_p95_latency: f64,
+    /// Mean true competitive ratio over the trials whose scenario the
+    /// exact solver certified; `None` when it certified none of them.
+    pub ratio_exact: Option<f64>,
+    /// Mean certified relative gap over the trials where the exact solver
+    /// ran; `None` when every trial was outside its envelope.
+    pub gap_certified: Option<f64>,
 }
 
 /// The aggregated sweep: rows in (family, engine) first-seen order.
@@ -66,14 +137,16 @@ pub struct SweepTable {
 /// engine, so all engines compete on identical instances. Keeping this in
 /// one place guarantees a timed run measures exactly the cells a regular
 /// sweep produces.
-fn run_matrix<C: Clone + Send>(
+#[allow(clippy::too_many_arguments)] // private plumbing: the six matrix knobs plus the two stage closures
+fn run_matrix<C: Clone + Send, P: Send>(
     families: &[Family],
     profile: &CatalogProfile,
     engines: &[Engine],
     base_seed: u64,
     trials: usize,
     threads: usize,
-    cell: impl Fn(&Family, &crate::Scenario, Engine, u64) -> Result<C, CoreError> + Sync,
+    prep: impl Fn(&Family, &crate::Scenario) -> Result<P, CoreError> + Sync,
+    cell: impl Fn(&Family, &crate::Scenario, &P, Engine, u64) -> Result<C, CoreError> + Sync,
 ) -> Result<Vec<C>, CoreError> {
     let mut tasks = Vec::with_capacity(families.len() * trials);
     for fi in 0..families.len() {
@@ -84,9 +157,10 @@ fn run_matrix<C: Clone + Send>(
     let groups = parallel_map(&tasks, threads, |_, &(fi, t)| {
         let seed = seed_for(base_seed, ((fi as u64) << 32) | t);
         let scenario = families[fi].build(profile, seed)?;
+        let prepared = prep(&families[fi], &scenario)?;
         engines
             .iter()
-            .map(|&engine| cell(&families[fi], &scenario, engine, seed))
+            .map(|&engine| cell(&families[fi], &scenario, &prepared, engine, seed))
             .collect::<Result<Vec<C>, CoreError>>()
     });
     let groups = groups.into_iter().collect::<Result<Vec<_>, _>>()?;
@@ -121,12 +195,20 @@ pub fn sweep(
         base_seed,
         trials,
         threads,
-        |fam, scenario, engine, seed| {
+        |_, scenario| Ok(exact_reference(scenario)),
+        |fam, scenario, exact, engine, seed| {
+            let report = run_engine(scenario, engine)?;
+            let ratio_exact = exact
+                .opt
+                .filter(|&o| o > 0.0)
+                .map(|o| report.total_cost / o);
             Ok(SweepCell {
                 family: fam.name,
                 engine: engine.name(),
                 seed,
-                report: run_engine(scenario, engine)?,
+                report,
+                ratio_exact,
+                gap_certified: exact.gap,
             })
         },
     )
@@ -171,7 +253,10 @@ pub fn timed_sweep(
         base_seed,
         trials,
         threads,
-        |fam, scenario, engine, seed| {
+        // No exact reference in timed runs: timing must measure exactly the
+        // engine work a regular sweep does, nothing else.
+        |_, _| Ok(()),
+        |fam, scenario, (), engine, seed| {
             let t0 = std::time::Instant::now();
             run_engine(scenario, engine)?;
             Ok(TimedCell {
@@ -205,6 +290,14 @@ pub fn aggregate(cells: &[SweepCell]) -> SweepTable {
             let mean = |f: &dyn Fn(&SimReport) -> f64| -> f64 {
                 group.iter().map(|c| f(&c.report)).sum::<f64>() / n
             };
+            let mean_opt = |f: &dyn Fn(&SweepCell) -> Option<f64>| -> Option<f64> {
+                let vals: Vec<f64> = group.iter().filter_map(|c| f(c)).collect();
+                if vals.is_empty() {
+                    None
+                } else {
+                    Some(vals.iter().sum::<f64>() / vals.len() as f64)
+                }
+            };
             SweepRow {
                 family,
                 engine,
@@ -213,6 +306,8 @@ pub fn aggregate(cells: &[SweepCell]) -> SweepTable {
                 mean_large: mean(&|r| r.large_facilities as f64),
                 large_serve_share: mean(&|r| r.large_serves as f64 / (r.requests.max(1)) as f64),
                 mean_p95_latency: mean(&|r| r.latency.p95),
+                ratio_exact: mean_opt(&|c| c.ratio_exact),
+                gap_certified: mean_opt(&|c| c.gap_certified),
             }
         })
         .collect();
@@ -247,6 +342,8 @@ impl SweepTable {
             "large",
             "lg-serve",
             "p95 lat",
+            "ratio-x",
+            "cert-gap",
         ];
         let cells: Vec<Vec<String>> = self.rows.iter().map(row_cells).collect();
         let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
@@ -283,7 +380,8 @@ impl SweepTable {
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
             "family,engine,trials,mean_cost,ci95,min_cost,max_cost,\
-             mean_facilities,mean_large,large_serve_share,mean_p95_latency\n",
+             mean_facilities,mean_large,large_serve_share,mean_p95_latency,\
+             ratio_exact,gap_certified\n",
         );
         for row in self.rows.iter().map(row_cells) {
             out.push_str(&row.join(","));
@@ -306,6 +404,8 @@ fn row_cells(r: &SweepRow) -> Vec<String> {
         fmt(r.mean_large),
         fmt(r.large_serve_share),
         fmt(r.mean_p95_latency),
+        fmt(r.ratio_exact.unwrap_or(f64::NAN)),
+        fmt(r.gap_certified.unwrap_or(f64::NAN)),
     ]
 }
 
@@ -371,6 +471,38 @@ mod tests {
             assert!(row.cost.min <= row.cost.mean && row.cost.mean <= row.cost.max);
             assert!(row.mean_facilities >= 1.0);
             assert!((0.0..=1.0).contains(&row.large_serve_share));
+        }
+    }
+
+    #[test]
+    fn exact_columns_certify_small_families_and_bound_ratios() {
+        let families = catalog::registry();
+        let engines = [Engine::Pd];
+        let cells = sweep(&families, &tiny_profile(), &engines, 11, 2, 2).unwrap();
+        let mut certified = 0;
+        for c in &cells {
+            if c.family.ends_with("-large") {
+                // ×32/×64 families sit outside the exact envelope.
+                assert_eq!(c.ratio_exact, None, "{}", c.family);
+                assert_eq!(c.gap_certified, None, "{}", c.family);
+                continue;
+            }
+            if let Some(ratio) = c.ratio_exact {
+                certified += 1;
+                // Online cost can never beat the certified optimum.
+                assert!(ratio >= 1.0 - 1e-6, "{}: ratio_exact {ratio} < 1", c.family);
+                assert_eq!(c.gap_certified, Some(0.0), "{}", c.family);
+            }
+        }
+        assert!(
+            certified >= 8,
+            "expected most tiny scenarios to certify, got {certified}"
+        );
+        let table = aggregate(&cells);
+        for row in table.rows.iter().filter(|r| !r.family.ends_with("-large")) {
+            if let Some(ratio) = row.ratio_exact {
+                assert!(ratio >= 1.0 - 1e-6);
+            }
         }
     }
 

@@ -45,7 +45,10 @@ pub use omfl_workload as workload;
 pub mod prelude {
     pub use omfl_baselines::{
         meyerson::MeyersonOfl,
-        offline::{DualLowerBound, ExactSolver, GreedyOffline, LocalSearch, OptBracket},
+        offline::{
+            DualLowerBound, ExactArm, ExactOutcome, ExactResult, ExactSolver, ExhaustiveSolver,
+            GreedyOffline, LocalSearch, OptBracket,
+        },
         per_commodity::PerCommodity,
     };
     pub use omfl_commodity::{

@@ -18,12 +18,14 @@
 //!   actually runs on).
 
 use omfl_baselines::all_large::AllLargeParts;
-use omfl_baselines::offline::{serve_alone_lower_bound, DualLowerBound, GreedyOffline};
+use omfl_baselines::offline::{
+    serve_alone_lower_bound, DualLowerBound, ExactSolver, GreedyOffline,
+};
 use omfl_commodity::CommoditySet;
 use omfl_core::bounds;
 use omfl_core::request::Request;
 use omfl_sim::{run_engine, Engine};
-use omfl_workload::catalog::{registry, CatalogProfile};
+use omfl_workload::catalog::{by_name, registry, CatalogProfile};
 use omfl_workload::Scenario;
 use std::sync::Arc;
 
@@ -178,6 +180,82 @@ fn rand_stays_under_the_theorem19_curve_on_every_family() {
             "{}: RAND cost {} exceeds curve ceiling {ceiling}",
             fam.name,
             rep.total_cost
+        );
+    }
+}
+
+/// ROADMAP direction 3 acceptance: the Lagrangian branch-and-bound
+/// certifies exact OPT (gap = 0) on catalog-derived request prefixes at
+/// `|M| = 200`, the certified optimum sits inside the dual/greedy bracket,
+/// and PD's *true* competitive ratio (online / certified OPT) stays under
+/// the Theorem 4 curve.
+#[test]
+fn exact_certifies_at_two_hundred_points() {
+    let profile = CatalogProfile {
+        points: 200,
+        services: 6,
+        requests: 48,
+    };
+    for name in ["zipf-services", "burst-arrivals", "tree-hierarchy"] {
+        let fam = by_name(name).unwrap_or_else(|| panic!("{name} missing"));
+        let sc = fam.build(&profile, 404).expect(name);
+        let inst = sc.instance();
+        assert_eq!(inst.num_points(), 200, "{name}");
+        let n = sc.requests.len();
+        let mut full_stream_opt = None;
+        for prefix in [n / 4, n] {
+            let reqs = &sc.requests[..prefix];
+            let res = ExactSolver::new()
+                .solve_bounded(inst, reqs)
+                .unwrap_or_else(|e| panic!("{name}[..{prefix}]: {e}"));
+            assert!(
+                res.certified(),
+                "{name}[..{prefix}]: budget exhausted at {} nodes, gap {}",
+                res.nodes_expanded,
+                res.gap
+            );
+            assert_eq!(res.gap, 0.0, "{name}[..{prefix}]");
+            let opt = res.upper_bound;
+            let tol = 1e-6 * (1.0 + opt);
+
+            // LB ≤ OPT ≤ greedy.
+            let dual = DualLowerBound::compute(inst, reqs).expect("dual LB");
+            let alone = serve_alone_lower_bound(inst, reqs).expect("serve-alone LB");
+            let greedy = GreedyOffline::new()
+                .solve(inst, reqs)
+                .expect("greedy")
+                .total_cost();
+            assert!(
+                dual.max(alone) <= opt + tol,
+                "{name}[..{prefix}]: LB {} above certified OPT {opt}",
+                dual.max(alone)
+            );
+            assert!(
+                opt <= greedy + tol,
+                "{name}[..{prefix}]: certified OPT {opt} above greedy {greedy}"
+            );
+            // The Lagrangian root bound is itself a valid LB.
+            assert!(res.root_bound <= opt + tol, "{name}[..{prefix}]");
+            if prefix == n {
+                full_stream_opt = Some(opt);
+            }
+        }
+
+        // True competitive ratio against the certified optimum of the full
+        // stream, under the paper's PD curve.
+        let opt = full_stream_opt.expect("full-stream prefix ran");
+        assert!(opt > 0.0, "{name}");
+        let rep = run_engine(&sc, Engine::Pd).expect(name);
+        let ratio = rep.total_cost / opt;
+        let curve = CURVE_SLACK * bounds::pd_upper(inst.num_commodities(), sc.len());
+        assert!(
+            ratio >= 1.0 - 1e-9,
+            "{name}: online {} beat certified OPT {opt}",
+            rep.total_cost
+        );
+        assert!(
+            ratio <= curve,
+            "{name}: true ratio {ratio} above Theorem 4 curve {curve}"
         );
     }
 }

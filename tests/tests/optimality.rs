@@ -2,7 +2,7 @@
 //! of randomized tiny instances where the exact solver is feasible.
 
 use omfl_baselines::offline::{
-    serve_alone_lower_bound, DualLowerBound, ExactSolver, GreedyOffline, LocalSearch,
+    serve_alone_lower_bound, DualLowerBound, ExactSolver, GreedyOffline, LocalSearch, OptBracket,
 };
 use omfl_commodity::cost::CostModel;
 use omfl_commodity::CommoditySet;
@@ -11,8 +11,10 @@ use omfl_core::instance::Instance;
 use omfl_core::pd::PdOmflp;
 use omfl_core::randalg::RandOmflp;
 use omfl_core::request::Request;
+use omfl_core::CoreError;
 use omfl_metric::line::LineMetric;
 use omfl_metric::PointId;
+use omfl_workload::catalog::{by_name, CatalogProfile};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -126,5 +128,81 @@ fn corollary8_on_random_tiny_instances() {
             cost <= 3.0 * pd.dual_sum() + 1e-6,
             "seed {seed}: Corollary 8 violated"
         );
+    }
+}
+
+/// The sharded branch-and-bound frontier is thread-count independent: node
+/// counts and optima are bit-identical at 1, 2, 7, and 16 threads on a
+/// catalog-derived instance (the CI matrix job re-runs this whole binary
+/// under both `OMFL_THREADS` extremes).
+#[test]
+fn exact_bnb_identical_at_one_two_seven_sixteen_threads() {
+    let profile = CatalogProfile {
+        points: 40,
+        services: 6,
+        requests: 48,
+    };
+    let fam = by_name("zipf-services").expect("family");
+    let sc = fam.build(&profile, 404).expect("scenario");
+    let reference = ExactSolver::new()
+        .solve_bounded(sc.instance(), &sc.requests)
+        .expect("solve");
+    assert!(
+        reference.certified(),
+        "reference run must certify (gap {})",
+        reference.gap
+    );
+    for threads in [2usize, 7, 16] {
+        let res = ExactSolver::new()
+            .with_threads(threads)
+            .solve_bounded(sc.instance(), &sc.requests)
+            .expect("solve");
+        assert_eq!(
+            res.nodes_expanded, reference.nodes_expanded,
+            "node count diverged at {threads} threads"
+        );
+        assert_eq!(
+            res.upper_bound.to_bits(),
+            reference.upper_bound.to_bits(),
+            "optimum diverged at {threads} threads"
+        );
+        assert_eq!(
+            res.lower_bound.to_bits(),
+            reference.lower_bound.to_bits(),
+            "lower bound diverged at {threads} threads"
+        );
+        assert!(res.certified());
+    }
+}
+
+/// Regression: a demand beyond the subset-cover DP's 20-commodity limit
+/// must surface as a typed `CoreError` from both `ExactSolver::solve` and
+/// `OptBracket::compute`, not reach the DP's enforcement assert.
+#[test]
+fn twenty_one_commodity_demand_is_a_typed_error() {
+    let inst = Instance::new(
+        Box::new(LineMetric::single_point()),
+        21,
+        CostModel::power(21, 1.0, 1.0),
+    )
+    .unwrap();
+    let u = inst.universe();
+    let ids: Vec<u16> = (0..21).collect();
+    let reqs = vec![Request::new(
+        PointId(0),
+        CommoditySet::from_ids(u, &ids).unwrap(),
+    )];
+
+    let solver = ExactSolver {
+        max_commodities: 21,
+        ..ExactSolver::default()
+    };
+    match solver.solve(&inst, &reqs) {
+        Err(CoreError::BadRequest(msg)) => assert!(msg.contains("21"), "{msg}"),
+        other => panic!("expected BadRequest, got {other:?}"),
+    }
+    match OptBracket::compute(&inst, &reqs) {
+        Err(CoreError::BadRequest(msg)) => assert!(msg.contains("21"), "{msg}"),
+        other => panic!("expected BadRequest, got {other:?}"),
     }
 }
